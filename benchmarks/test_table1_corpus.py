@@ -1,0 +1,37 @@
+"""Table I — regenerate the matrix corpus and audit its statistics."""
+
+import pytest
+
+from repro.data.corpus import TABLE_I, synthesize
+from repro.harness.experiments import table1_corpus
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_corpus(benchmark, report):
+    res = run_once(benchmark, table1_corpus.run)
+    report(res.render())
+
+    assert len(res.rows) == 17
+    for row in res.rows:
+        # synthesis fidelity: mean within 35%, deviation within a factor
+        # of ~2 (the hard part of power-law moment matching)
+        assert row["analog_mu"] == pytest.approx(
+            row["target_mu"], rel=0.35
+        ), row["matrix"]
+        assert (
+            0.35 * row["target_sigma"]
+            <= row["analog_sigma"]
+            <= 2.5 * row["target_sigma"]
+        ), row["matrix"]
+        assert row["analog_nnz"] <= 6e6  # laptop-sized analogs
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_synthesis_speed(benchmark):
+    """Generation cost of one mid-sized analog (build-time budget)."""
+    spec = next(s for s in TABLE_I if s.abbrev == "WIK")
+    benchmark.pedantic(
+        lambda: synthesize(spec, seed=999), rounds=2, iterations=1
+    )

@@ -1,0 +1,22 @@
+"""Table II — the device registry."""
+
+import pytest
+
+from repro.gpu.device import DEVICES, GTX_580, GTX_TITAN, TESLA_K10
+from repro.harness.experiments import table2_devices
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_devices(benchmark, report):
+    res = run_once(benchmark, table2_devices.run)
+    report(res.render())
+
+    assert len(res.rows) == 3
+    # the published relationships the simulator depends on
+    assert GTX_TITAN.dram_bandwidth_gbps > GTX_580.dram_bandwidth_gbps
+    assert GTX_TITAN.supports_dynamic_parallelism
+    assert not TESLA_K10.supports_dynamic_parallelism
+    assert TESLA_K10.gpus_per_board == 2
+    assert GTX_580.memory_gib < 2.0  # drives the Figure 5 OOM cells

@@ -1,0 +1,39 @@
+"""Table III — ACSR speedup for a single SpMV including preprocessing.
+
+The paper: "The speed-ups are generally very high, due to the much higher
+preprocessing time of other schemes."
+"""
+
+import pytest
+
+from repro.harness.experiments import table3_single_spmv
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_single_spmv(benchmark, report):
+    res = run_once(benchmark, table3_single_spmv.run)
+    report(res.render())
+
+    wins = {f: 0 for f in table3_single_spmv.OTHER_FORMATS}
+    cells = {f: 0 for f in table3_single_spmv.OTHER_FORMATS}
+    for row in res.rows:
+        for fmt in table3_single_spmv.OTHER_FORMATS:
+            if row[fmt] is None:
+                continue  # the paper's ∅ cells
+            cells[fmt] += 1
+            if row[fmt] > 1.0:
+                wins[fmt] += 1
+
+    # ACSR wins a single SpMV against the heavy-preprocessing formats on
+    # every matrix, and against HYB on nearly all
+    for fmt in ("bccoo", "brc", "tcoo"):
+        assert wins[fmt] == cells[fmt], fmt
+    assert wins["hyb"] >= 0.7 * cells["hyb"]
+
+    # the auto-tuned formats lose by orders of magnitude
+    assert min(
+        row["bccoo"] for row in res.rows if row["bccoo"] is not None
+    ) > 1_000
+    assert res.summary["tcoo"] > 100

@@ -1,0 +1,25 @@
+"""Table V — bin-specific (BS) and row-specific (RS) grid counts."""
+
+import pytest
+
+from repro.gpu.device import GTX_TITAN
+from repro.harness.experiments import table5_grids
+
+from conftest import run_once
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_grid_counts(benchmark, report):
+    res = run_once(benchmark, table5_grids.run)
+    report(res.render())
+
+    for row in res.rows:
+        # BS is bounded by the number of occupied power-of-two bins
+        assert 1 <= row["BS"] <= 25, row
+        # RS is bounded by the pending-launch limit (RowMax)
+        assert 0 <= row["RS"] <= GTX_TITAN.pending_launch_limit, row
+
+    # power-law corpora put at least some matrices on the DP path
+    assert sum(1 for r in res.rows if r["RS"] > 0) >= 4
+    # and the short-tailed ones use none
+    assert any(r["RS"] == 0 for r in res.rows)

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Dynamic-graph PageRank — the paper's Section VII scenario end-to-end.
+
+A web graph evolves over ten epochs (10% of the rows change each epoch).
+After every change, PageRank is re-run warm-started from the previous
+ranks.  ACSR ships only the change lists and updates the CSR arrays on
+the device; CSR re-copies everything; HYB additionally re-transforms.
+
+Run:  python examples/dynamic_pagerank.py [matrix-abbrev]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import GTX_TITAN
+from repro.data import corpus_matrix
+from repro.dynamic import epoch_speedups, run_dynamic_pagerank
+
+
+def main(matrix: str = "FLI") -> None:
+    adjacency = corpus_matrix(matrix).binarized()
+    print(
+        f"{matrix}: {adjacency.n_rows} rows, {adjacency.nnz} nnz "
+        f"(synthetic analog of the paper's corpus entry)"
+    )
+
+    results = run_dynamic_pagerank(
+        adjacency, GTX_TITAN, n_epochs=10, row_fraction=0.1
+    )
+
+    vs_csr = epoch_speedups(results, "csr")
+    vs_hyb = epoch_speedups(results, "hyb")
+    print(f"\n{'epoch':>5} {'iters':>6} {'ACSR ms':>9} "
+          f"{'vs CSR':>7} {'vs HYB':>7}")
+    for e, rec in enumerate(results["acsr"].epochs):
+        print(
+            f"{e:5d} {rec.iterations:6d} {rec.total_s * 1e3:9.3f} "
+            f"{vs_csr[e]:7.2f} {vs_hyb[e]:7.2f}"
+        )
+    print(
+        f"\naverages: vs CSR {np.mean(vs_csr):.2f}x, "
+        f"vs HYB {np.mean(vs_hyb):.2f}x"
+    )
+    print(
+        "note how the speedup grows after epoch 0: warm restarts shrink "
+        "the iteration counts, so the full-copy / re-transform overheads "
+        "of CSR and HYB weigh ever heavier (Figure 7's trend)."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "FLI")

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Format advisor — Section IX's guidance as a library call.
+
+Given a matrix and a workload description (how many SpMVs between
+structure changes, whether the graph evolves), recommend a format and
+explain why, then sanity-check the recommendation by racing it against
+ACSR on the simulated GTX Titan.
+
+Run:  python examples/format_advisor.py
+"""
+
+import numpy as np
+
+from repro import GTX_TITAN, build_format
+from repro.data import corpus_matrix
+from repro.formats import FormatCapacityError, Workload, recommend
+
+
+SCENARIOS = [
+    ("web graph, dynamic ranking", "FLI", Workload(spmv_per_structure=30, dynamic=True)),
+    ("web graph, one-shot query", "WIK", Workload(spmv_per_structure=20)),
+    ("web graph, long solver", "WIK", Workload(spmv_per_structure=5_000)),
+    ("web graph, marathon solver", "WIK", Workload(spmv_per_structure=2_000_000)),
+]
+
+
+def main() -> None:
+    for label, key, workload in SCENARIOS:
+        csr = corpus_matrix(key)
+        rec = recommend(csr, workload)
+        print(f"\n{label} ({key}, {csr.nnz} nnz):")
+        print(f"  -> {rec.format_name}   (alternatives: {', '.join(rec.alternatives)})")
+        print(f"     {rec.rationale}")
+
+        # Race the pick against ACSR over the scenario's iteration count.
+        try:
+            pick = build_format(rec.format_name, csr)
+        except FormatCapacityError:
+            continue
+        acsr = build_format("acsr", csr)
+        n = workload.spmv_per_structure
+        t_pick = pick.preprocess.total_s + n * pick.spmv_time_s(GTX_TITAN)
+        t_acsr = acsr.preprocess.total_s + n * acsr.spmv_time_s(GTX_TITAN)
+        print(
+            f"     modelled total over {n} SpMVs: "
+            f"{rec.format_name} {t_pick * 1e3:.2f} ms vs "
+            f"ACSR {t_acsr * 1e3:.2f} ms"
+        )
+
+
+if __name__ == "__main__":
+    main()

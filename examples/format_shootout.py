@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Format shootout — the Figure 4 / Table IV trade-off, interactively.
+
+Builds every format in the paper's comparison set over one matrix and
+prints per-format preprocessing time, single-SpMV time, and the
+break-even iteration count against ACSR (Equation 4).  The point of the
+paper in one table: the tuned formats win per-SpMV but need thousands of
+iterations to amortise their preprocessing, which dynamic graphs never
+grant them.
+
+Run:  python examples/format_shootout.py [matrix-abbrev]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import GTX_TITAN, FormatCapacityError, build_format
+from repro.data import corpus_matrix
+from repro.formats import PAPER_COMPARISON_SET
+from repro.harness import break_even
+
+
+def main(matrix: str = "WIK") -> None:
+    csr = corpus_matrix(matrix)
+    x = np.ones(csr.n_cols, dtype=np.float32)
+    ref = csr.matvec(x)
+
+    print(f"{matrix}: {csr.n_rows} rows, {csr.nnz} nnz\n")
+    acsr = build_format("acsr", csr)
+    acsr_st = acsr.spmv_time_s(GTX_TITAN)
+    acsr_pt = acsr.preprocess.total_s
+
+    print(f"{'format':8} {'PT (ms)':>10} {'ST (us)':>9} "
+          f"{'PT/ST':>9} {'break-even n':>13}")
+    for name in PAPER_COMPARISON_SET:
+        try:
+            fmt = build_format(name, csr)
+        except FormatCapacityError as exc:
+            print(f"{name:8} {'∅':>10}   ({exc})")
+            continue
+        res = fmt.run_spmv(x, GTX_TITAN)
+        assert np.allclose(res.y, ref, rtol=1e-4, atol=1e-5)
+        pt = fmt.preprocess.total_s
+        be = break_even(pt, res.time_s, acsr_pt, acsr_st)
+        print(
+            f"{name:8} {pt * 1e3:10.3f} {res.time_s * 1e6:9.1f} "
+            f"{pt / res.time_s:9.1f} {be.render():>13}"
+        )
+    print(
+        "\nbreak-even n = solver iterations after which the format's "
+        "faster SpMV has paid back its preprocessing vs ACSR (∞ = never)."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "WIK")

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Structured-matrix counterpoint: Jacobi iteration on a 2-D Poisson grid.
+
+ACSR earns its keep on irregular power-law matrices — this example shows
+the *other* side of the paper's Section IX guidance: on a banded matrix
+(five-point Laplacian) the advisor picks DIA, and DIA's dense-diagonal
+kernel beats every CSR-family format, ACSR included.  The Jacobi solve
+``x_{k+1} = D^{-1} (b - R x_k)`` runs its off-diagonal SpMV through any
+backend, so the formats race on identical numerics.
+
+Run:  python examples/jacobi_structured.py
+"""
+
+import numpy as np
+
+from repro import CSRMatrix, GTX_TITAN, Precision, build_format
+from repro.formats import Workload, recommend
+
+
+def poisson_2d(n: int) -> tuple[CSRMatrix, np.ndarray]:
+    """Five-point Laplacian on an n x n grid, plus a smooth RHS."""
+    size = n * n
+    rows, cols, vals = [], [], []
+    for i in range(n):
+        for j in range(n):
+            r = i * n + j
+            rows.append(r), cols.append(r), vals.append(4.0)
+            for di, dj in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+                ii, jj = i + di, j + dj
+                if 0 <= ii < n and 0 <= jj < n:
+                    rows.append(r)
+                    cols.append(ii * n + jj)
+                    vals.append(-1.0)
+    A = CSRMatrix.from_coo(
+        np.array(rows),
+        np.array(cols),
+        np.array(vals),
+        (size, size),
+        precision=Precision.DOUBLE,
+    )
+    xs, ys = np.meshgrid(np.linspace(0, 1, n), np.linspace(0, 1, n))
+    b = np.sin(np.pi * xs) * np.sin(np.pi * ys)
+    return A, b.ravel()
+
+
+def split_jacobi(A: CSRMatrix) -> tuple[np.ndarray, CSRMatrix]:
+    """Split A = D + R (diagonal and remainder)."""
+    rows = np.repeat(np.arange(A.n_rows, dtype=np.int64), A.nnz_per_row)
+    on_diag = rows == A.col_idx
+    diag = np.zeros(A.n_rows)
+    diag[rows[on_diag]] = A.values[on_diag]
+    R = CSRMatrix.from_coo(
+        rows[~on_diag],
+        A.col_idx[~on_diag].astype(np.int64),
+        A.values[~on_diag],
+        A.shape,
+        precision=A.precision,
+    )
+    return diag, R
+
+
+def main() -> None:
+    # Format timing on a production-sized grid (SpMV cost is what the
+    # formats differ on)...
+    big, _ = poisson_2d(192)
+    rec = recommend(big, Workload(spmv_per_structure=10_000))
+    print(f"grid 192x192: {big.n_rows} unknowns, {big.nnz} nnz")
+    print(f"advisor: {rec.format_name} — {rec.rationale}\n")
+
+    _, big_r = split_jacobi(big)
+    times = {}
+    for name in (rec.format_name, "ell", "acsr", "csr"):
+        fmt = build_format(name, big_r)
+        times[name] = fmt.spmv_time_s(GTX_TITAN)
+        print(f"  {name:5s}: {times[name] * 1e6:7.2f} us per SpMV")
+    print()
+
+    # ...and a full Jacobi solve on a small grid (Jacobi's convergence is
+    # O(n^2) in grid size, so the demo solve stays small).
+    A, b = poisson_2d(32)
+    diag, R = split_jacobi(A)
+    inv_d = 1.0 / diag
+    fmt = build_format(rec.format_name, R)
+    x = np.zeros(A.n_rows)
+    iters = 0
+    while iters < 5000:
+        x_next = inv_d * (b - fmt.multiply(x))
+        iters += 1
+        if np.linalg.norm(x_next - x) < 1e-9:
+            x = x_next
+            break
+        x = x_next
+    residual = np.linalg.norm(A.matvec(x) - b)
+    print(
+        f"solve on 32x32 with {rec.format_name}: {iters} iterations, "
+        f"residual {residual:.2e}, modelled device time "
+        f"{iters * fmt.spmv_time_s(GTX_TITAN) * 1e3:.2f} ms"
+    )
+
+    print(
+        "\nDIA streams its three/five dense diagonals with zero index "
+        "traffic — the structured regime where the paper's related work "
+        "(Section IX) says not to use CSR-family formats at all."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Reproduce every artifact of the paper end-to-end.
+#
+#   ./scripts/reproduce_all.sh [results_dir]
+#
+# 1. install the package (editable),
+# 2. run the full test suite,
+# 3. regenerate every table and figure with shape assertions,
+# 4. export machine-readable results.
+#
+# Environment knobs: REPRO_SCALE (shrink analogs), REPRO_QUICK (4-matrix
+# subset), REPRO_FULL (app benches on the full corpus).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RESULTS_DIR="${1:-results}"
+
+echo "== install =="
+pip install -e . 2>/dev/null || python setup.py develop
+
+echo "== tests =="
+pytest tests/ 2>&1 | tee test_output.txt
+
+echo "== benchmarks (every table & figure) =="
+pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+echo "== machine-readable export =="
+python -m repro run all --json "$RESULTS_DIR"
+
+echo "done: tables in bench_output.txt, JSON in $RESULTS_DIR/"

@@ -1,0 +1,11 @@
+"""Offline-install shim.
+
+``pip install -e .`` needs network access to fetch the PEP 517 build
+backend; on air-gapped machines ``python setup.py develop`` installs the
+package with nothing but a local setuptools.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,79 @@
+"""repro — ACSR: adaptive CSR SpMV for graph applications.
+
+A from-scratch Python reproduction of *"Fast Sparse Matrix-Vector
+Multiplication on GPUs for Graph Applications"* (Ashari, Sedaghati,
+Eisenlohr, Parthasarathy, Sadayappan — SC 2014), built over a
+deterministic warp-level GPU performance simulator.
+
+Quickstart::
+
+    import numpy as np
+    from repro import ACSRFormat, CSRMatrix, GTX_TITAN
+
+    csr = CSRMatrix.from_scipy(my_scipy_matrix)
+    acsr = ACSRFormat.from_csr(csr)
+    result = acsr.run_spmv(np.ones(csr.n_cols), GTX_TITAN)
+    print(result.y, result.gflops)
+
+Package map: ``repro.gpu`` (simulator substrate), ``repro.formats``
+(CSR/COO/ELL/DIA/HYB/BRC/BCCOO/TCOO), ``repro.core`` (ACSR itself),
+``repro.kernels`` (device kernels), ``repro.apps`` (PageRank/HITS/RWR),
+``repro.dynamic`` (evolving graphs), ``repro.data`` (Table I corpus),
+``repro.harness`` (every table & figure).
+"""
+
+from . import apps, core, data, dynamic, formats, gpu, harness, kernels
+from .core import ACSRFormat, ACSRParams, multi_gpu_spmv
+from .formats import (
+    CSRFormat,
+    CSRMatrix,
+    FormatCapacityError,
+    HYBFormat,
+    SpMVFormat,
+    SpMVResult,
+    available_formats,
+    build_format,
+)
+from .gpu import (
+    DEVICES,
+    GTX_580,
+    GTX_TITAN,
+    TESLA_K10,
+    DeviceSpec,
+    MultiGPUContext,
+    Precision,
+    get_device,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ACSRFormat",
+    "ACSRParams",
+    "CSRFormat",
+    "CSRMatrix",
+    "DEVICES",
+    "DeviceSpec",
+    "FormatCapacityError",
+    "GTX_580",
+    "GTX_TITAN",
+    "HYBFormat",
+    "MultiGPUContext",
+    "Precision",
+    "SpMVFormat",
+    "SpMVResult",
+    "TESLA_K10",
+    "apps",
+    "available_formats",
+    "build_format",
+    "core",
+    "data",
+    "dynamic",
+    "formats",
+    "get_device",
+    "gpu",
+    "harness",
+    "kernels",
+    "multi_gpu_spmv",
+    "__version__",
+]

@@ -1,0 +1,146 @@
+"""Command-line entry point: regenerate any paper artifact from a shell.
+
+Usage::
+
+    python -m repro list                     # available experiments
+    python -m repro run fig5 --device GTXTitan --precision double
+    python -m repro run table4 --matrices ENR WIK
+    python -m repro run all                  # everything (slow)
+    python -m repro corpus HOL               # inspect a synthetic analog
+    python -m repro devices                  # Table II
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from .gpu.device import Precision, get_device
+from .harness import experiments as ex
+
+
+def _fig5(args):
+    return ex.fig5_gflops.run(
+        matrices=args.matrices,
+        device=get_device(args.device),
+        precision=Precision(args.precision),
+    )
+
+
+def _fig6(args):
+    return ex.fig6_apps.run(
+        args.app, matrices=args.matrices, device=get_device(args.device)
+    )
+
+
+def _fig7(args):
+    return ex.fig7_dynamic.run_average(matrices=args.matrices)
+
+
+def _fig8(args):
+    return ex.fig8_multigpu.run(
+        matrices=args.matrices, precision=Precision(args.precision)
+    )
+
+
+EXPERIMENTS: dict[str, Callable] = {
+    "table1": lambda a: ex.table1_corpus.run(matrices=a.matrices),
+    "table2": lambda a: ex.table2_devices.run(),
+    "table3": lambda a: ex.table3_single_spmv.run(matrices=a.matrices),
+    "table4": lambda a: ex.table4_breakeven.run(matrices=a.matrices),
+    "table5": lambda a: ex.table5_grids.run(matrices=a.matrices),
+    "fig3": lambda a: ex.fig3_histogram.run(matrices=a.matrices),
+    "fig4": lambda a: ex.fig4_preprocessing.run(matrices=a.matrices),
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "fig7-top": lambda a: ex.fig7_dynamic.run_detail(),
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "ablation-dp": lambda a: ex.ablations.run_dp_ablation(
+        matrices=a.matrices
+    ),
+    "ablation-threadload": lambda a: ex.ablations.run_thread_load_sweep(),
+    "ablation-sic": lambda a: ex.ablations.run_sic_comparison(
+        matrices=a.matrices
+    ),
+    "ablation-binmax": lambda a: ex.ablations.run_bin_max_sweep(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables/figures of the ACSR paper (SC 2014).",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("devices", help="print the Table II device registry")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
+    run.add_argument(
+        "--matrices",
+        nargs="+",
+        default=None,
+        help="Table I abbreviations (default: the full power-law set)",
+    )
+    run.add_argument("--device", default="GTXTitan")
+    run.add_argument(
+        "--precision", choices=["single", "double"], default="single"
+    )
+    run.add_argument("--app", choices=["pagerank", "hits", "rwr"], default="pagerank")
+    run.add_argument(
+        "--json",
+        metavar="DIR",
+        default=None,
+        help="also write <DIR>/<experiment>.json for each experiment run",
+    )
+
+    corpus = sub.add_parser("corpus", help="inspect one synthetic analog")
+    corpus.add_argument("matrix")
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    if args.command == "devices":
+        print(ex.table2_devices.run().render())
+        return 0
+    if args.command == "corpus":
+        from .data.corpus import corpus_matrix, get_spec
+
+        spec = get_spec(args.matrix)
+        m = corpus_matrix(args.matrix)
+        print(
+            f"{spec.name} ({spec.abbrev}) @ scale {spec.default_scale:.4g}\n"
+            f"  analog: {m.n_rows} x {m.n_cols}, nnz {m.nnz}\n"
+            f"  mu {m.mu:.2f} (target {spec.mu:.2f}), "
+            f"sigma {m.sigma:.1f} (target {spec.sigma}), "
+            f"max {m.max_nnz_row} (target {spec.max_nnz})"
+        )
+        return 0
+    # run
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        result = EXPERIMENTS[name](args)
+        print(result.render())
+        print()
+        if args.json:
+            from pathlib import Path
+
+            from .harness.export import save_json
+
+            out_dir = Path(args.json)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            save_json(result, out_dir / f"{name}.json")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

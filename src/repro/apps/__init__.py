@@ -1,0 +1,41 @@
+"""Graph-mining applications of Section VI: PageRank, HITS, RWR.
+
+All three are power methods whose run time is dominated by the SpMV; the
+modules expose both the matrix *preparation* helpers (normalisation,
+stacking) and the iteration drivers that accept any
+:class:`~repro.formats.base.SpMVFormat` backend.
+"""
+
+from .bfs import BFSResult, bfs, bfs_matrix
+from .hits import hits, split_scores, stacked_matrix
+from .pagerank import DEFAULT_DAMPING, google_matrix, pagerank
+from .power_method import (
+    DEFAULT_EPSILON,
+    MAX_ITERATIONS,
+    PowerMethodResult,
+    euclidean_distance,
+    run_power_method,
+    vector_ops_work,
+)
+from .rwr import DEFAULT_RESTART, column_normalized, rwr
+
+__all__ = [
+    "BFSResult",
+    "bfs",
+    "bfs_matrix",
+    "DEFAULT_DAMPING",
+    "DEFAULT_EPSILON",
+    "DEFAULT_RESTART",
+    "MAX_ITERATIONS",
+    "PowerMethodResult",
+    "column_normalized",
+    "euclidean_distance",
+    "google_matrix",
+    "hits",
+    "pagerank",
+    "run_power_method",
+    "rwr",
+    "split_scores",
+    "stacked_matrix",
+    "vector_ops_work",
+]

@@ -1,0 +1,128 @@
+"""Shared iteration machinery for the Section VI graph applications.
+
+PageRank, HITS and RWR are all power methods: each iteration is one SpMV
+plus a handful of length-n vector operations, repeated until the Euclidean
+distance between successive iterates drops below ``epsilon`` ("Euclidean
+distance was used as the convergence measure, with eps = 1e-6").
+
+The driver runs the *numeric* iteration with the format under test and
+accumulates *modelled* device time: the format's SpMV time plus a common
+vector-update kernel (identical for every format, as on hardware where
+axpy/norm kernels don't depend on the matrix layout).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..formats.base import SpMVFormat
+from ..gpu.device import DeviceSpec, WARP_SIZE
+from ..gpu.kernel import KernelWork
+from ..gpu.memory import coalesced_bytes
+from ..gpu.simulator import simulate_kernel
+from ..kernels.common import launch_for_threads
+
+#: Paper's convergence threshold (Section VI-C).
+DEFAULT_EPSILON = 1e-6
+
+#: Safety cap on iterations for non-convergent inputs.
+MAX_ITERATIONS = 10_000
+
+
+def euclidean_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """The paper's convergence measure."""
+    return float(np.linalg.norm(a.astype(np.float64) - b.astype(np.float64)))
+
+
+def vector_ops_work(n: int, passes: int, precision) -> KernelWork:
+    """One iteration's vector-update kernel (axpy + distance reduction).
+
+    ``passes`` counts length-n array reads/writes; the work is identical
+    for every SpMV format, so it never changes *relative* results.
+    """
+    if n <= 0:
+        return KernelWork.empty("vector-ops", precision)
+    vb = precision.value_bytes
+    n_warps = -(-n // WARP_SIZE)
+    counts = np.full(n_warps, float(WARP_SIZE))
+    rem = n % WARP_SIZE
+    if rem:
+        counts[-1] = rem
+    compute = counts / WARP_SIZE * 4.0 * passes
+    dram = coalesced_bytes(counts * vb) * float(passes)
+    return KernelWork(
+        name="vector-ops",
+        compute_insts=np.asarray(compute, dtype=np.float64),
+        dram_bytes=np.asarray(dram, dtype=np.float64),
+        mem_ops=np.ones(n_warps, dtype=np.float64),
+        flops=2.0 * n * passes,
+        precision=precision,
+        launch=launch_for_threads(n),
+    )
+
+
+@dataclass(frozen=True)
+class PowerMethodResult:
+    """Outcome of one application run with one SpMV backend."""
+
+    vector: np.ndarray
+    iterations: int
+    converged: bool
+    #: Modelled device seconds (SpMV + vector kernels), excluding data
+    #: copies and format transformation, per the Figure 6 methodology.
+    modeled_time_s: float
+    spmv_time_s: float
+
+    @property
+    def time_per_iteration_s(self) -> float:
+        return self.modeled_time_s / max(1, self.iterations)
+
+
+def run_power_method(
+    fmt: SpMVFormat,
+    device: DeviceSpec,
+    x0: np.ndarray,
+    step: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    epsilon: float = DEFAULT_EPSILON,
+    max_iterations: int = MAX_ITERATIONS,
+    vector_passes: int = 5,
+) -> PowerMethodResult:
+    """Iterate ``x <- step(x, A @ x)`` to convergence.
+
+    ``step`` combines the SpMV product with the iterate (damping,
+    teleport, normalisation...) and returns the next iterate.
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    spmv_s = fmt.spmv_time_s(device)
+    vec_s = simulate_kernel(
+        device, vector_ops_work(x0.shape[0], vector_passes, fmt.precision)
+    ).time_s
+    x = np.asarray(x0, dtype=fmt.precision.numpy_dtype).copy()
+    iters = 0
+    converged = False
+    while iters < max_iterations:
+        ax = fmt.multiply(x)
+        x_next = step(x, ax).astype(x.dtype, copy=False)
+        iters += 1
+        dist = euclidean_distance(x_next, x)
+        if not np.isfinite(dist):
+            # Diverged (e.g. a non-substochastic operator); stop rather
+            # than spin to the iteration cap.
+            x = x_next
+            break
+        if dist <= epsilon:
+            x = x_next
+            converged = True
+            break
+        x = x_next
+    return PowerMethodResult(
+        vector=x,
+        iterations=iters,
+        converged=converged,
+        modeled_time_s=iters * (spmv_s + vec_s),
+        spmv_time_s=spmv_s,
+    )

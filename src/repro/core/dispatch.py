@@ -1,0 +1,176 @@
+"""The ACSR driver (Algorithm 1): plan, launch, time.
+
+The driver partitions the occupied bins into
+
+* **G2** — bins up to ``BinMax``: one bin-specific grid each
+  (Algorithm 2), launched from the host;
+* **G1** — every row of the bins above ``BinMax``: a single parent grid
+  whose threads launch one row-specific child grid each (Algorithms 3/4),
+  bounded by ``RowMax``.
+
+``build_plan`` is the "first iteration" branch of Algorithm 1 (binning is
+already done; this is the grouping); ``execute`` and ``time_spmv`` are the
+launch loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..formats.csr import CSRMatrix
+from ..gpu.device import DeviceSpec
+from ..gpu.dynamic_parallelism import (
+    DynamicParallelismUnsupported,
+    child_launch_overhead_s,
+)
+from ..gpu.kernel import KernelWork, merge_concurrent
+from ..gpu.simulator import KernelTiming, simulate_kernel
+from ..kernels import acsr_bin, acsr_dp
+from .binning import Binning
+from .parameters import ACSRParams, ResolvedParams, resolve
+
+
+@dataclass(frozen=True)
+class ACSRPlan:
+    """A device-resolved launch plan."""
+
+    resolved: ResolvedParams
+    #: ``(bin_index, rows)`` for every non-empty G2 bin.
+    g2: tuple[tuple[int, np.ndarray], ...]
+    #: Rows processed via dynamic parallelism (may be empty).
+    g1_rows: np.ndarray
+
+    @property
+    def n_bin_grids(self) -> int:
+        """Table V's *BS* column: bin-specific grids launched."""
+        return len(self.g2)
+
+    @property
+    def n_row_grids(self) -> int:
+        """Table V's *RS* column: row-specific (child) grids launched."""
+        return int(self.g1_rows.shape[0])
+
+
+def build_plan(
+    binning: Binning,
+    params: ACSRParams,
+    device: DeviceSpec,
+    mu: float = 0.0,
+) -> ACSRPlan:
+    """Partition bins into G1/G2 for one device (Algorithm 1's grouping)."""
+    resolved = resolve(params, binning, device, mu=mu)
+    g2 = []
+    g1_parts = []
+    for b, rows in zip(binning.bin_ids, binning.rows_by_bin):
+        if b <= resolved.bin_max:
+            g2.append((b, rows))
+        else:
+            g1_parts.append(rows)
+    g1_rows = (
+        np.sort(np.concatenate(g1_parts))
+        if g1_parts
+        else np.zeros(0, dtype=np.int64)
+    )
+    if g1_rows.shape[0] > resolved.row_max:
+        raise AssertionError(
+            "plan violates RowMax — parameter resolution is inconsistent"
+        )
+    return ACSRPlan(resolved=resolved, g2=tuple(g2), g1_rows=g1_rows)
+
+
+def execute(
+    csr: CSRMatrix, plan: ACSRPlan, x: np.ndarray
+) -> np.ndarray:
+    """Numerical ACSR SpMV: every bin kernel plus the DP group."""
+    y = np.zeros(csr.n_rows, dtype=x.dtype)
+    for b, rows in plan.g2:
+        acsr_bin.execute(csr, rows, x, y)
+    if plan.g1_rows.size:
+        acsr_dp.execute(csr, plan.g1_rows, x, y)
+    return y
+
+
+@dataclass(frozen=True)
+class ACSRTiming:
+    """Modelled time of one ACSR SpMV.
+
+    All of ACSR's grids are mutually independent: the G2 bin grids go out
+    on concurrent streams and the DP parent launches alongside them, its
+    children filling SMs as they are enqueued.  Everything therefore
+    executes as ONE pool sharing the device.  Serial costs on top of the
+    pool are the host launch bill (first launch full price, the rest
+    pipelined) and — only if it exceeds the pool's runtime — the
+    device-side child-enqueue stream.
+    """
+
+    #: The pooled execution (G2 bins + DP parent + DP children).
+    pool: KernelTiming
+    n_bin_grids: int
+    n_row_grids: int
+    #: Host-side launch overhead (bin grids + parent grid).
+    launch_s: float
+    #: Device-side child enqueue time (overlapped with the pool).
+    enqueue_s: float
+
+    @property
+    def bin_timings(self) -> tuple[KernelTiming, ...]:
+        """Back-compat alias: the pooled timing as a 1-tuple."""
+        return (self.pool,)
+
+    @property
+    def time_s(self) -> float:
+        return self.launch_s + max(self.pool.time_s, self.enqueue_s)
+
+
+def bin_works(
+    csr: CSRMatrix, plan: ACSRPlan, device: DeviceSpec
+) -> list[KernelWork]:
+    """The G2 bin-specific kernel works, one per launch."""
+    return [
+        acsr_bin.work(csr, rows, b, device) for b, rows in plan.g2
+    ]
+
+
+def time_spmv(
+    csr: CSRMatrix, plan: ACSRPlan, device: DeviceSpec
+) -> ACSRTiming:
+    """Model one ACSR SpMV: G2 grids, DP parent and children as one pool."""
+    n_children = int(plan.g1_rows.shape[0])
+    if n_children and not device.supports_dynamic_parallelism:
+        raise DynamicParallelismUnsupported(
+            f"plan has a DP group but {device.name} lacks dynamic "
+            "parallelism; build the plan for this device"
+        )
+    works: list[KernelWork] = []
+    if plan.g2:
+        works.append(acsr_bin.pooled_work(csr, list(plan.g2), device))
+    if n_children:
+        works.append(acsr_dp.parent_work(n_children, csr.precision))
+        works.extend(
+            acsr_dp.children_works(
+                csr, plan.g1_rows, plan.resolved.thread_load, device
+            )
+        )
+    if works:
+        pooled = works[0] if len(works) == 1 else merge_concurrent(
+            works, name="acsr"
+        )
+    else:
+        pooled = KernelWork.empty("acsr", csr.precision)
+    pool = simulate_kernel(device, pooled, include_launch_overhead=False)
+
+    n_host_launches = len(plan.g2) + (1 if n_children else 0)
+    launch_s = (
+        device.kernel_launch_overhead_s
+        + max(0, n_host_launches - 1) * device.pipelined_launch_overhead_s
+    )
+    enqueue_s = child_launch_overhead_s(device, n_children)
+    return ACSRTiming(
+        pool=pool,
+        n_bin_grids=len(plan.g2),
+        n_row_grids=n_children,
+        launch_s=launch_s,
+        enqueue_s=enqueue_s,
+    )

@@ -1,0 +1,145 @@
+"""ACSR tuning parameters: BinMax, RowMax, ThreadLoad (Section III).
+
+Three knobs govern the G1/G2 partition of Algorithm 1:
+
+* ``RowMax`` — "the largest number of rows for which we launch a row
+  specific grid", pinned to the device's
+  ``cudaLimitDevRuntimePendingLaunchCount`` (2048) so concurrent child
+  launches never overflow the pending-launch buffer.  ``RowMax = 0``
+  disables dynamic parallelism (the Fermi/GK104 binning-only mode).
+* ``BinMax`` — "the largest bin index for which we launch a bin specific
+  grid"; every bin above it goes to the DP group G1.  ``None`` selects it
+  automatically: take bins from the top of the histogram while their rows
+  are long enough to feed a child grid and their cumulative count stays
+  within ``RowMax``.
+* ``ThreadLoad`` — elements per child-grid thread, "the thread coarsening
+  knob in our algorithm".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.device import DeviceSpec
+from .binning import Binning, bin_range
+
+#: Default elements-per-thread in row-specific child grids.
+DEFAULT_THREAD_LOAD = 16
+
+#: A row only benefits from its own child grid if it can fill at least one
+#: warp of workers at the default coarsening (Section III-B: launching
+#: children for short rows "will not create enough compute work").
+MIN_DP_ROW_NNZ = 32 * DEFAULT_THREAD_LOAD
+
+#: Fewer tail rows than this and the DP parent is not worth launching.
+MIN_DP_CHILDREN = 8
+
+
+@dataclass(frozen=True)
+class ACSRParams:
+    """User-facing ACSR configuration."""
+
+    #: Largest bin processed by a bin-specific kernel; ``None`` = auto.
+    bin_max: int | None = None
+    #: Cap on row-specific child grids; ``None`` = device pending-launch
+    #: limit on DP hardware, 0 elsewhere.
+    row_max: int | None = None
+    #: Elements per child-grid thread.
+    thread_load: int = DEFAULT_THREAD_LOAD
+    #: Force-disable dynamic parallelism even on capable devices.
+    enable_dp: bool = True
+    #: Minimum row length eligible for a child grid; ``None`` derives it
+    #: from the thread load and the matrix mean (DP is for the *tail*, not
+    #: for rows that are merely long in absolute terms — a dense matrix's
+    #: typical rows are served perfectly well by the warp-wide bin kernel).
+    min_dp_nnz: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.bin_max is not None and self.bin_max < 0:
+            raise ValueError("bin_max must be >= 0")
+        if self.row_max is not None and self.row_max < 0:
+            raise ValueError("row_max must be >= 0")
+        if self.thread_load < 1:
+            raise ValueError("thread_load must be >= 1")
+
+
+@dataclass(frozen=True)
+class ResolvedParams:
+    """Parameters after applying device limits and the auto heuristic."""
+
+    bin_max: int
+    row_max: int
+    thread_load: int
+
+    @property
+    def dp_enabled(self) -> bool:
+        return self.row_max > 0
+
+
+def resolve(
+    params: ACSRParams,
+    binning: Binning,
+    device: DeviceSpec,
+    mu: float = 0.0,
+) -> ResolvedParams:
+    """Apply Algorithm 1's partitioning rules for a concrete device.
+
+    ``mu`` (the matrix's mean row length) informs the automatic tail
+    threshold when ``params.min_dp_nnz`` is unset.
+    """
+    if params.row_max is not None:
+        row_max = params.row_max
+    elif params.enable_dp and device.supports_dynamic_parallelism:
+        row_max = device.pending_launch_limit
+    else:
+        row_max = 0
+    if not device.supports_dynamic_parallelism:
+        row_max = 0
+
+    max_bin = binning.max_bin
+    if row_max == 0:
+        # Binning-only: G2 contains every bin, whatever BinMax was asked
+        # for ("group G2 will contain all the bins", Section III-A).
+        return ResolvedParams(
+            bin_max=max_bin,
+            row_max=0,
+            thread_load=params.thread_load,
+        )
+
+    if params.bin_max is not None:
+        bin_max = params.bin_max
+        if binning.rows_in_bins_above(bin_max) > row_max:
+            raise ValueError(
+                f"bin_max={bin_max} puts "
+                f"{binning.rows_in_bins_above(bin_max)} rows in G1, over "
+                f"RowMax={row_max}"
+            )
+        return ResolvedParams(
+            bin_max=bin_max, row_max=row_max, thread_load=params.thread_load
+        )
+
+    # Auto heuristic: absorb bins from the top while (a) the cumulative G1
+    # row count stays within RowMax and (b) the bin's rows are true tail
+    # rows — long enough to feed a child grid AND far above the mean.
+    if params.min_dp_nnz is not None:
+        min_nnz = params.min_dp_nnz
+    else:
+        min_nnz = max(32 * params.thread_load, int(16 * mu))
+    bin_max = max_bin
+    taken = 0
+    for b in sorted(binning.bin_ids, reverse=True):
+        lo, _hi = bin_range(b)
+        if lo < min_nnz:
+            break
+        count = binning.counts[b]
+        if taken + count > row_max:
+            break
+        taken += count
+        bin_max = b - 1
+    # A parent grid for a couple of rows costs more than it saves; the
+    # warp-wide bin kernel handles such tiny tails fine.
+    if taken < MIN_DP_CHILDREN:
+        bin_max = max_bin
+    return ResolvedParams(
+        bin_max=bin_max, row_max=row_max, thread_load=params.thread_load
+    )

@@ -1,0 +1,45 @@
+"""Matrix corpus: generators, the Table I registry, MatrixMarket I/O."""
+
+from .corpus import (
+    MatrixSpec,
+    POWER_LAW_ABBREVS,
+    SCALE_ENV_VAR,
+    TABLE_I,
+    clear_cache,
+    corpus_matrix,
+    get_spec,
+    paper_scale_bytes,
+    paper_scale_time_s,
+    synthesize,
+)
+from .io import MatrixMarketError, read_matrix_market, write_matrix_market
+from .powerlaw import (
+    cluster_degrees,
+    degree_histogram,
+    fit_alpha,
+    rmat_edges,
+    sample_columns,
+    sample_degrees,
+)
+
+__all__ = [
+    "MatrixMarketError",
+    "MatrixSpec",
+    "POWER_LAW_ABBREVS",
+    "SCALE_ENV_VAR",
+    "TABLE_I",
+    "clear_cache",
+    "cluster_degrees",
+    "corpus_matrix",
+    "degree_histogram",
+    "fit_alpha",
+    "get_spec",
+    "paper_scale_bytes",
+    "paper_scale_time_s",
+    "rmat_edges",
+    "read_matrix_market",
+    "sample_columns",
+    "sample_degrees",
+    "synthesize",
+    "write_matrix_market",
+]

@@ -1,0 +1,224 @@
+"""The Table I matrix corpus, as seeded synthetic analogs.
+
+The paper evaluates on 17 University of Florida matrices.  Without the
+collection (or a network), each matrix is synthesised from its published
+row statistics: a fitted truncated power law reproduces the row-length
+histogram (Figure 3), degrees get crawl-order locality, and columns are
+hub-skewed.  DESIGN.md records why this substitution preserves the
+behaviours ACSR exploits.
+
+Printed-table notes: a few Table I cells are internally inconsistent in
+the paper's text (OCR/typesetting); where ``nnz / rows`` contradicts the
+printed mean, the specs below keep the printed ``rows``/``nnz``/``sigma``/
+``max`` and derive the mean, and obvious scale typos (e.g. youtube's
+"54M") are restored from the UF collection.
+
+Analog sizes are scaled (``default_scale``) so the full corpus builds on a
+laptop; row maxima decay only as ``scale**0.25`` to preserve the
+hub-to-mean ratio that drives the paper's load-imbalance story.  Device OOM checks
+(the ``∅`` cells) are made against *paper-scale* footprints via
+:func:`paper_scale_bytes`.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..formats.csr import CSRMatrix
+from ..gpu.device import Precision
+from .powerlaw import cluster_degrees, sample_columns, sample_degrees
+
+#: Environment knob: globally multiply every default scale (e.g. 0.25 for
+#: quick CI runs).
+SCALE_ENV_VAR = "REPRO_SCALE"
+
+#: Target analog nnz at scale 1.0 knobs below (~4M keeps launch overheads
+#: proportionally close to the paper's millisecond-scale SpMVs).
+_TARGET_NNZ = 4.0e6
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """Published statistics of one Table I matrix."""
+
+    name: str
+    abbrev: str
+    rows: int
+    cols: int
+    nnz: int
+    sigma: float
+    max_nnz: int
+    power_law: bool = True
+
+    def __post_init__(self) -> None:
+        if min(self.rows, self.cols, self.nnz, self.max_nnz) < 1:
+            raise ValueError("spec sizes must be positive")
+
+    @property
+    def mu(self) -> float:
+        """Mean non-zeros per row (derived: nnz / rows)."""
+        return self.nnz / self.rows
+
+    @property
+    def rectangular(self) -> bool:
+        return self.rows != self.cols
+
+    @property
+    def default_scale(self) -> float:
+        env = float(os.environ.get(SCALE_ENV_VAR, "1.0"))
+        return min(1.0, _TARGET_NNZ / self.nnz) * env
+
+
+def _spec(name, abbrev, nnz, rows, sigma, max_nnz, cols=None, power_law=True):
+    return MatrixSpec(
+        name=name,
+        abbrev=abbrev,
+        rows=rows,
+        cols=cols if cols is not None else rows,
+        nnz=nnz,
+        sigma=sigma,
+        max_nnz=max_nnz,
+        power_law=power_law,
+    )
+
+
+#: Table I, in the paper's order.
+TABLE_I: tuple[MatrixSpec, ...] = (
+    _spec("amazon-2008", "AMZ", 5_158_000, 735_000, 4.7, 10),
+    _spec("cnr-2000", "CNR", 6_000_000, 845_000, 7.8, 2216),
+    _spec("dblp-2010", "DBL", 1_500_000, 320_000, 5.3, 238),
+    _spec("enron", "ENR", 276_000, 69_000, 28.0, 1392),
+    _spec("eu-2005", "EU2", 19_000_000, 862_000, 29.0, 6985),
+    _spec("flickr", "FLI", 22_000_000, 1_800_000, 101.0, 2615),
+    _spec("hollywood-2009", "HOL", 113_000_000, 1_000_000, 272.0, 11_468),
+    _spec("in-2004", "IN2", 16_000_000, 1_380_000, 37.0, 7753),
+    _spec("indochina-2004", "IND", 194_000_000, 7_400_000, 216.0, 6985),
+    # internet: the printed row count (65K) contradicts the printed mean
+    # (2.7) given 104K nnz; the row count is adjusted to honour mu = 2.7.
+    _spec("internet", "INT", 104_000, 38_500, 24.0, 693),
+    _spec("livejournal", "LIV", 77_000_000, 5_000_000, 22.0, 9186),
+    _spec("ljournal-2008", "LJ2", 79_000_000, 5_000_000, 37.0, 2469),
+    _spec("uk-2002", "UK2", 298_000_000, 18_000_000, 27.0, 2450),
+    _spec("wikipedia", "WIK", 20_000_000, 1_300_000, 42.0, 20_975),
+    _spec("youtube", "YOT", 5_400_000, 1_100_000, 48.0, 2894),
+    _spec("webbase-1M", "WEB", 3_000_000, 1_000_000, 25.0, 4700),
+    _spec(
+        "rail4284",
+        "RAL",
+        11_000_000,
+        4284,
+        2409.0,
+        56_181,
+        cols=1_000_000,
+        power_law=False,
+    ),
+)
+
+SPEC_BY_KEY: dict[str, MatrixSpec] = {}
+for _s in TABLE_I:
+    SPEC_BY_KEY[_s.name] = _s
+    SPEC_BY_KEY[_s.abbrev] = _s
+
+#: The power-law subset used in Figures 5-8.
+POWER_LAW_ABBREVS: tuple[str, ...] = tuple(
+    s.abbrev for s in TABLE_I if s.power_law
+)
+
+
+def get_spec(key: str) -> MatrixSpec:
+    """Look up a spec by full name or abbreviation (case-insensitive)."""
+    for k, s in SPEC_BY_KEY.items():
+        if k.lower() == key.lower():
+            return s
+    raise KeyError(
+        f"unknown matrix {key!r}; known: {sorted(set(SPEC_BY_KEY))}"
+    )
+
+
+def synthesize(
+    spec: MatrixSpec,
+    scale: float | None = None,
+    precision: Precision = Precision.SINGLE,
+    seed: int = 1234,
+) -> CSRMatrix:
+    """Generate the scaled synthetic analog of one Table I matrix."""
+    s = spec.default_scale if scale is None else scale
+    if not 0.0 < s <= 1.0:
+        raise ValueError("scale must be in (0, 1]")
+    # zlib.crc32 is stable across processes (str.__hash__ is salted).
+    rng = np.random.default_rng(
+        np.random.SeedSequence(
+            [seed, zlib.crc32(spec.name.encode()) & 0x7FFFFFFF]
+        )
+    )
+    n_rows = max(64, int(round(spec.rows * s)))
+    n_cols = max(64, int(round(spec.cols * s)))
+    # Hub length decays only as scale^0.25: a 1/64-scale analog keeps a
+    # ~1/2.8-scale hub, preserving the long tail's dominance over the mean
+    # (the property the paper's load-imbalance story rests on).
+    max_deg = int(
+        min(n_cols, max(math.ceil(4 * spec.mu), spec.max_nnz * s**0.25))
+    )
+    max_deg = max(1, max_deg)
+    deg = sample_degrees(
+        n_rows, spec.mu, spec.sigma, max_deg, rng, force_max=True
+    )
+    if spec.power_law:
+        deg = cluster_degrees(deg, rng)
+    total = int(deg.sum())
+    rows = np.repeat(np.arange(n_rows, dtype=np.int64), deg)
+    cols = sample_columns(
+        total, n_cols, rng, hub_exponent=2.2 if spec.power_law else 1.0
+    )
+    vals = rng.standard_normal(total)
+    return CSRMatrix.from_coo(
+        rows, cols, vals, shape=(n_rows, n_cols), precision=precision
+    )
+
+
+_CACHE: dict[tuple, CSRMatrix] = {}
+
+
+def corpus_matrix(
+    key: str,
+    scale: float | None = None,
+    precision: Precision = Precision.SINGLE,
+    seed: int = 1234,
+) -> CSRMatrix:
+    """Cached synthesis: the harness calls this freely across experiments."""
+    spec = get_spec(key)
+    s = spec.default_scale if scale is None else scale
+    cache_key = (spec.name, round(s, 9), precision, seed)
+    mat = _CACHE.get(cache_key)
+    if mat is None:
+        mat = synthesize(spec, s, precision, seed)
+        _CACHE[cache_key] = mat
+    return mat
+
+
+def clear_cache() -> None:
+    """Drop every cached synthetic matrix (tests and scale sweeps)."""
+    _CACHE.clear()
+
+
+def paper_scale_bytes(analog_bytes: int | float, scale: float) -> float:
+    """Extrapolate an analog's device footprint to paper scale.
+
+    Used for the ``∅`` (out-of-memory) cells: the analog fits anywhere, but
+    the matrix it stands in for may not.
+    """
+    if not 0.0 < scale <= 1.0:
+        raise ValueError("scale must be in (0, 1]")
+    return float(analog_bytes) / scale
+
+
+def paper_scale_time_s(analog_time_s: float, scale: float) -> float:
+    """Extrapolate a modelled kernel time to paper scale (time ~ nnz)."""
+    if not 0.0 < scale <= 1.0:
+        raise ValueError("scale must be in (0, 1]")
+    return analog_time_s / scale

@@ -1,0 +1,91 @@
+"""MatrixMarket (coordinate) I/O — the UF collection's interchange format.
+
+Supports the subset the UF sparse collection uses: ``matrix coordinate
+real|integer|pattern general|symmetric``.  Lets users run the harness on
+the *actual* Table I matrices if they have them on disk.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from ..formats.csr import CSRMatrix
+from ..gpu.device import Precision
+
+
+class MatrixMarketError(ValueError):
+    """Malformed MatrixMarket content."""
+
+
+def read_matrix_market(
+    path: str | Path | io.TextIOBase,
+    precision: Precision = Precision.DOUBLE,
+) -> CSRMatrix:
+    """Parse a MatrixMarket coordinate file into CSR."""
+    if isinstance(path, (str, Path)):
+        with open(path, "r") as fh:
+            return read_matrix_market(fh, precision)
+    header = path.readline()
+    if not header.startswith("%%MatrixMarket"):
+        raise MatrixMarketError("missing %%MatrixMarket header")
+    parts = header.strip().split()
+    if len(parts) < 5 or parts[1] != "matrix" or parts[2] != "coordinate":
+        raise MatrixMarketError(
+            "only 'matrix coordinate' files are supported"
+        )
+    field, symmetry = parts[3], parts[4]
+    if field not in ("real", "integer", "pattern"):
+        raise MatrixMarketError(f"unsupported field type {field!r}")
+    if symmetry not in ("general", "symmetric"):
+        raise MatrixMarketError(f"unsupported symmetry {symmetry!r}")
+
+    size_line = path.readline()
+    while size_line.startswith("%"):
+        size_line = path.readline()
+    try:
+        n_rows, n_cols, n_entries = (int(t) for t in size_line.split())
+    except ValueError as exc:
+        raise MatrixMarketError("bad size line") from exc
+
+    data = np.loadtxt(path, ndmin=2) if n_entries else np.zeros((0, 3))
+    if data.shape[0] != n_entries:
+        raise MatrixMarketError(
+            f"expected {n_entries} entries, found {data.shape[0]}"
+        )
+    rows = data[:, 0].astype(np.int64) - 1
+    cols = data[:, 1].astype(np.int64) - 1
+    if field == "pattern":
+        vals = np.ones(n_entries, dtype=np.float64)
+    else:
+        if data.shape[1] < 3:
+            raise MatrixMarketError("value column missing")
+        vals = data[:, 2].astype(np.float64)
+    if symmetry == "symmetric":
+        # Mirror the strictly-off-diagonal entries.
+        off = rows != cols
+        rows, cols = (
+            np.concatenate([rows, cols[off]]),
+            np.concatenate([cols, rows[off]]),
+        )
+        vals = np.concatenate([vals, vals[off]])
+    return CSRMatrix.from_coo(
+        rows, cols, vals, shape=(n_rows, n_cols), precision=precision
+    )
+
+
+def write_matrix_market(
+    csr: CSRMatrix, path: str | Path | io.TextIOBase
+) -> None:
+    """Write CSR as a general real coordinate MatrixMarket file."""
+    if isinstance(path, (str, Path)):
+        with open(path, "w") as fh:
+            write_matrix_market(csr, fh)
+            return
+    path.write("%%MatrixMarket matrix coordinate real general\n")
+    path.write(f"{csr.n_rows} {csr.n_cols} {csr.nnz}\n")
+    rows = np.repeat(np.arange(csr.n_rows, dtype=np.int64), csr.nnz_per_row)
+    for r, c, v in zip(rows, csr.col_idx, csr.values):
+        path.write(f"{r + 1} {c + 1} {float(v):.17g}\n")

@@ -1,0 +1,216 @@
+"""DynCSR: CSR with per-row slack for in-place updates (Section VII).
+
+"For the incremental approach, some additional memory is reserved at the
+end of each CSR row, to be used when nonzeros get added to the row."
+
+The layout keeps ``values``/``col_idx`` arrays sized to each row's
+*capacity*; ``row_start`` points at each row's slot and ``row_len`` is the
+live length.  Deleting compacts the row leftward; inserting appends into
+the slack.  A row that outgrows its capacity is reallocated at the end of
+the arrays (rare with a sensible slack factor — the generator keeps nnz
+roughly constant).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.csr import CSRMatrix
+from ..gpu.device import Precision
+
+
+class RowOverflowError(RuntimeError):
+    """A row outgrew its reserved capacity and reallocation is disabled."""
+
+
+class DynCSR:
+    """Mutable CSR with reserved per-row slack."""
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        col_idx: np.ndarray,
+        row_start: np.ndarray,
+        row_cap: np.ndarray,
+        row_len: np.ndarray,
+        n_cols: int,
+    ) -> None:
+        self.values = values
+        self.col_idx = col_idx
+        self.row_start = row_start
+        self.row_cap = row_cap
+        self.row_len = row_len
+        self.n_cols = int(n_cols)
+        self._validate()
+
+    def _validate(self) -> None:
+        if np.any(self.row_len > self.row_cap):
+            raise ValueError("row length exceeds capacity")
+        if np.any(self.row_len < 0) or np.any(self.row_cap < 0):
+            raise ValueError("negative row length/capacity")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_csr(
+        cls,
+        csr: CSRMatrix,
+        slack: float = 0.3,
+        min_slack: int = 4,
+    ) -> "DynCSR":
+        """Lay out a CSR matrix with ``slack`` fractional headroom per row."""
+        if slack < 0:
+            raise ValueError("slack must be non-negative")
+        if min_slack < 0:
+            raise ValueError("min_slack must be non-negative")
+        lengths = csr.nnz_per_row
+        caps = lengths + np.maximum(
+            (lengths * slack).astype(np.int64), min_slack
+        )
+        starts = np.concatenate([[0], np.cumsum(caps)[:-1]])
+        total = int(caps.sum())
+        values = np.zeros(total, dtype=csr.values.dtype)
+        cols = np.full(total, -1, dtype=np.int32)
+        # Scatter each row into its slot.
+        dst = np.repeat(starts, lengths) + (
+            np.arange(int(lengths.sum()), dtype=np.int64)
+            - np.repeat(np.cumsum(lengths) - lengths, lengths)
+        )
+        values[dst] = csr.values
+        cols[dst] = csr.col_idx
+        return cls(
+            values=values,
+            col_idx=cols,
+            row_start=starts,
+            row_cap=caps.astype(np.int64),
+            row_len=lengths.copy(),
+            n_cols=csr.n_cols,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return int(self.row_start.shape[0])
+
+    @property
+    def nnz(self) -> int:
+        return int(self.row_len.sum())
+
+    @property
+    def precision(self) -> Precision:
+        return (
+            Precision.SINGLE
+            if self.values.dtype == np.float32
+            else Precision.DOUBLE
+        )
+
+    @property
+    def capacity(self) -> int:
+        return int(self.row_cap.sum())
+
+    def row_cols(self, row: int) -> np.ndarray:
+        """Live column indices of one row (sorted)."""
+        s = self.row_start[row]
+        return self.col_idx[s : s + self.row_len[row]]
+
+    def row_values(self, row: int) -> np.ndarray:
+        s = self.row_start[row]
+        return self.values[s : s + self.row_len[row]]
+
+    # ------------------------------------------------------------------
+    def to_csr(self) -> CSRMatrix:
+        """Compact snapshot as an immutable :class:`CSRMatrix`."""
+        lengths = self.row_len
+        row_off = np.concatenate([[0], np.cumsum(lengths)])
+        total = int(lengths.sum())
+        src = np.repeat(self.row_start, lengths) + (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(np.cumsum(lengths) - lengths, lengths)
+        )
+        return CSRMatrix.from_arrays(
+            self.values[src], self.col_idx[src], row_off, self.n_cols
+        )
+
+    # ------------------------------------------------------------------
+    def update_row(
+        self,
+        row: int,
+        delete_cols: np.ndarray,
+        insert_cols: np.ndarray,
+        insert_vals: np.ndarray,
+        allow_realloc: bool = True,
+    ) -> None:
+        """Apply one row's sorted delete/insert lists (the paper's kernel).
+
+        Mirrors the device kernel: delete + compact leftward, then append
+        inserts into the slack.  Duplicate inserts of an existing column
+        overwrite its value.
+        """
+        delete_cols = np.asarray(delete_cols, dtype=np.int32)
+        insert_cols = np.asarray(insert_cols, dtype=np.int32)
+        insert_vals = np.asarray(insert_vals, dtype=self.values.dtype)
+        if insert_cols.shape != insert_vals.shape:
+            raise ValueError("insert columns/values must match in length")
+        s = int(self.row_start[row])
+        length = int(self.row_len[row])
+        cols = self.col_idx[s : s + length]
+        vals = self.values[s : s + length]
+
+        if delete_cols.size:
+            keep = ~np.isin(cols, delete_cols)
+            cols = cols[keep]
+            vals = vals[keep]
+        if insert_cols.size:
+            # Overwrite duplicates, append the rest, keep sorted order.
+            dup = np.isin(cols, insert_cols)
+            new_mask = ~np.isin(insert_cols, cols)
+            if dup.any():
+                pos = np.searchsorted(insert_cols, cols[dup])
+                vals = vals.copy()
+                vals[dup] = insert_vals[pos]
+            cols = np.concatenate([cols, insert_cols[new_mask]])
+            vals = np.concatenate([vals, insert_vals[new_mask]])
+            order = np.argsort(cols, kind="stable")
+            cols = cols[order]
+            vals = vals[order]
+
+        new_len = cols.shape[0]
+        if new_len > self.row_cap[row]:
+            if not allow_realloc:
+                raise RowOverflowError(
+                    f"row {row} needs {new_len} slots, capacity "
+                    f"{int(self.row_cap[row])}"
+                )
+            self._realloc_row(row, new_len)
+            s = int(self.row_start[row])
+        self.col_idx[s : s + new_len] = cols
+        self.values[s : s + new_len] = vals
+        tail = slice(s + new_len, s + int(self.row_cap[row]))
+        self.col_idx[tail] = -1
+        self.values[tail] = 0
+        self.row_len[row] = new_len
+
+    def _realloc_row(self, row: int, needed: int) -> None:
+        """Move a row to fresh space at the end of the arrays."""
+        new_cap = max(needed + 4, int(needed * 1.5))
+        old_total = self.values.shape[0]
+        self.values = np.concatenate(
+            [self.values, np.zeros(new_cap, dtype=self.values.dtype)]
+        )
+        self.col_idx = np.concatenate(
+            [self.col_idx, np.full(new_cap, -1, dtype=np.int32)]
+        )
+        self.row_start[row] = old_total
+        self.row_cap[row] = new_cap
+
+    # ------------------------------------------------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Exact SpMV over the live entries."""
+        return self.to_csr().matvec(x)
+
+    def device_bytes(self) -> int:
+        vb = self.precision.value_bytes
+        return (
+            self.capacity * (vb + 4)
+            + self.n_rows * (8 + 8 + 8)
+            + (self.n_rows + self.n_cols) * vb
+        )

@@ -1,0 +1,66 @@
+"""Sparse-matrix formats: CSR plus the paper's full comparison set.
+
+* :class:`~repro.formats.csr.CSRMatrix` — the base container;
+* :class:`~repro.formats.csr_format.CSRFormat` — CSR with scalar/vector
+  kernels (the baseline of Figures 5–6);
+* :class:`~repro.formats.coo.COOFormat`, :class:`~repro.formats.ell.ELLFormat`,
+  :class:`~repro.formats.dia.DIAFormat` — the classic layouts;
+* :class:`~repro.formats.hyb.HYBFormat` — CUSP's ELL+COO hybrid;
+* :class:`~repro.formats.brc.BRCFormat`,
+  :class:`~repro.formats.bccoo.BCCOOFormat`,
+  :class:`~repro.formats.tcoo.TCOOFormat` — the research comparators of
+  Figure 4 / Tables III–IV, auto-tuners included.
+"""
+
+from .advisor import Recommendation, Workload, matrix_traits, recommend
+from .base import (
+    FormatCapacityError,
+    PreprocessReport,
+    SpMVFormat,
+    SpMVResult,
+)
+from .bccoo import BCCOOConfig, BCCOOFormat
+from .brc import BRCFormat
+from .convert import (
+    FORMAT_BUILDERS,
+    PAPER_COMPARISON_SET,
+    available_formats,
+    build_format,
+)
+from .coo import COOFormat
+from .csr import CSRMatrix, csr_matvec
+from .csr_format import CSRFormat
+from .dia import DIAFormat
+from .ell import ELLFormat, build_ell_slabs
+from .hyb import HYBFormat, hyb_ell_width
+from .sic import SICFormat
+from .tcoo import TCOOFormat
+
+__all__ = [
+    "BCCOOConfig",
+    "BCCOOFormat",
+    "Recommendation",
+    "Workload",
+    "matrix_traits",
+    "recommend",
+    "BRCFormat",
+    "COOFormat",
+    "CSRFormat",
+    "CSRMatrix",
+    "DIAFormat",
+    "ELLFormat",
+    "FORMAT_BUILDERS",
+    "FormatCapacityError",
+    "HYBFormat",
+    "PAPER_COMPARISON_SET",
+    "PreprocessReport",
+    "SICFormat",
+    "SpMVFormat",
+    "SpMVResult",
+    "TCOOFormat",
+    "available_formats",
+    "build_ell_slabs",
+    "build_format",
+    "csr_matvec",
+    "hyb_ell_width",
+]

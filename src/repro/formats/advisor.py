@@ -1,0 +1,133 @@
+"""Format selection advisor — Section IX, operationalised.
+
+The paper's related-work discussion is a decision procedure in prose:
+DIA for banded matrices, ELL for low-variance rows, HYB for static
+power-law matrices that iterate long enough to amortise the transform,
+the tuned formats (BCCOO/TCOO/BRC) only for very long solver runs, and
+ACSR whenever the sparsity structure changes or the run is short.  This
+module turns that into an auditable recommendation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .csr import CSRMatrix
+
+
+@dataclass(frozen=True)
+class Workload:
+    """How the matrix will be used."""
+
+    #: Expected SpMV invocations between structure changes.
+    spmv_per_structure: int = 50
+    #: Does the sparsity structure ever change?
+    dynamic: bool = False
+
+    def __post_init__(self) -> None:
+        if self.spmv_per_structure < 1:
+            raise ValueError("need at least one SpMV per structure")
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """A ranked format choice with the reasoning that produced it."""
+
+    format_name: str
+    rationale: str
+    alternatives: tuple[str, ...]
+
+
+def matrix_traits(csr: CSRMatrix) -> dict[str, float]:
+    """The structural quantities the decision procedure reads."""
+    deg = csr.nnz_per_row
+    mu = csr.mu
+    sigma = csr.sigma
+    if csr.nnz:
+        rows = np.repeat(
+            np.arange(csr.n_rows, dtype=np.int64), deg
+        )
+        diags = csr.col_idx.astype(np.int64) - rows
+        n_diags = int(np.unique(diags).shape[0])
+    else:
+        n_diags = 0
+    return {
+        "mu": mu,
+        "sigma": sigma,
+        "cv": sigma / mu if mu > 0 else 0.0,
+        "max_over_mu": csr.max_nnz_row / mu if mu > 0 else 0.0,
+        "n_diags": float(n_diags),
+        "diag_fraction": n_diags / max(1, csr.n_rows + csr.n_cols - 1),
+    }
+
+
+def recommend(csr: CSRMatrix, workload: Workload | None = None) -> Recommendation:
+    """Pick a format for this matrix + workload, with the paper's logic."""
+    workload = workload or Workload()
+    t = matrix_traits(csr)
+
+    if workload.dynamic:
+        return Recommendation(
+            format_name="acsr",
+            rationale=(
+                "the sparsity structure changes: every transforming format "
+                "re-pays its preprocessing per change, while ACSR re-bins "
+                "with one scan and updates CSR in place (Section VII)"
+            ),
+            alternatives=("csr",),
+        )
+
+    if t["n_diags"] > 0 and t["diag_fraction"] < 0.02 and t["n_diags"] <= 32:
+        return Recommendation(
+            format_name="dia",
+            rationale=(
+                f"only {int(t['n_diags'])} occupied diagonals: DIA is 'the "
+                "superior format for structural matrices' (Section IX)"
+            ),
+            alternatives=("ell", "csr"),
+        )
+
+    if t["cv"] < 0.35 and t["max_over_mu"] < 3.0:
+        return Recommendation(
+            format_name="ell",
+            rationale=(
+                "near-uniform row lengths: ELL's padding is negligible and "
+                "its fully coalesced column-major layout wins"
+            ),
+            alternatives=("hyb", "csr"),
+        )
+
+    # Power-law / irregular territory.
+    if workload.spmv_per_structure >= 100_000:
+        return Recommendation(
+            format_name="bccoo",
+            rationale=(
+                "enough iterations to amortise even the auto-tuner "
+                "(Table IV: BCCOO's break-even is in the 10^3-10^6 range) "
+                "and the tuned kernel has the fastest single SpMV"
+            ),
+            alternatives=("brc", "acsr"),
+        )
+    if workload.spmv_per_structure >= 500:
+        return Recommendation(
+            format_name="brc",
+            rationale=(
+                "hundreds of iterations amortise BRC's sort+reshuffle "
+                "(Table IV: BRC overtakes ACSR 'with fewer iterations' "
+                "than the tuned formats)"
+            ),
+            alternatives=("hyb", "acsr"),
+        )
+    return Recommendation(
+        format_name="acsr",
+        rationale=(
+            f"irregular rows (cv={t['cv']:.2f}, max/mean="
+            f"{t['max_over_mu']:.0f}) and only "
+            f"{workload.spmv_per_structure} SpMVs per structure: "
+            "preprocessing-heavy formats never break even (Table IV) and "
+            "ACSR's binning + dynamic parallelism beat plain CSR"
+        ),
+        alternatives=("hyb", "csr"),
+    )

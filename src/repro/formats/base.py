@@ -1,0 +1,200 @@
+"""Format base classes: preprocessing accounting + the SpMV entry point.
+
+Every sparse format in this package answers three questions the paper's
+evaluation asks:
+
+1. *what does it cost to build you from CSR?* — :class:`PreprocessReport`
+   (host transform + tuning + transfer), the quantity of Figure 4 and the
+   ``PT`` term of Equations 2–4;
+2. *what is your SpMV result?* — ``multiply`` (exact, vectorised NumPy,
+   validated against SciPy in the tests);
+3. *what does one SpMV cost on a device?* — ``kernel_works`` feeding the
+   simulator, the ``ST`` term.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gpu.device import DeviceSpec, Precision
+from ..gpu.kernel import KernelWork
+from ..gpu.simulator import KernelTiming, simulate_sequence
+from ..gpu.transfer import DEFAULT_LINK, PCIeLink
+
+
+class FormatCapacityError(RuntimeError):
+    """The format cannot represent this matrix within sane memory bounds.
+
+    Corresponds to the ``∅`` cells of Tables III/IV ("the format is not
+    able to handle the matrix due to memory limitation").
+    """
+
+
+@dataclass(frozen=True)
+class PreprocessReport:
+    """Everything a format spent before its first SpMV could run.
+
+    Accounting follows Figure 4: all formats start from CSR data already
+    resident on the device, so ``total_s`` (the paper's ``PT``) counts the
+    *transformation* — host transform + tuning + device-side scans — and
+    NOT the baseline copy.  ``transfer_s`` records the cost of shipping
+    this format's own arrays, which the dynamic-graph pipeline
+    (Section VII) charges every epoch for formats that must re-copy.
+    """
+
+    format_name: str
+    #: Host-side transformation time (scans, sorts, packing), seconds.
+    host_s: float
+    #: Host->device copy of the format's data, seconds.
+    transfer_s: float
+    #: Auto-tuning time that scales with the matrix (transforms, trial
+    #: runs), seconds.
+    tuning_s: float = 0.0
+    #: Auto-tuning time that does NOT scale with the matrix (per-config
+    #: kernel compiles), seconds.  Kept separate so the harness can
+    #: extrapolate analog-scale measurements to paper scale.
+    tuning_fixed_s: float = 0.0
+    #: Device-side preprocessing kernels (ACSR's binning scan), seconds.
+    device_s: float = 0.0
+    #: Device memory footprint of the format's data, bytes.
+    device_bytes: int = 0
+    #: Fraction of stored entries that are padding (HYB averages ~33%).
+    padding_fraction: float = 0.0
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        for name in (
+            "host_s",
+            "transfer_s",
+            "tuning_s",
+            "tuning_fixed_s",
+            "device_s",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if not 0.0 <= self.padding_fraction <= 1.0:
+            raise ValueError("padding_fraction must be in [0, 1]")
+
+    @property
+    def total_s(self) -> float:
+        """The paper's ``PT``: transformation + tuning (transfer excluded)."""
+        return self.host_s + self.tuning_s + self.tuning_fixed_s + self.device_s
+
+    def scalable_s(self) -> float:
+        """The portion of ``PT`` that grows with matrix size."""
+        return self.host_s + self.tuning_s + self.device_s
+
+
+@dataclass(frozen=True)
+class SpMVResult:
+    """One SpMV's numeric output plus its modelled execution time."""
+
+    y: np.ndarray
+    time_s: float
+    timings: tuple[KernelTiming, ...]
+    flops: float
+
+    @property
+    def gflops(self) -> float:
+        return self.flops / self.time_s / 1e9 if self.time_s > 0 else 0.0
+
+
+class SpMVFormat(abc.ABC):
+    """A sparse-matrix representation with an SpMV kernel suite.
+
+    Subclasses are built with :meth:`from_csr` and are immutable
+    afterwards.  ``self.preprocess`` must be populated by construction.
+    """
+
+    #: Registry name, e.g. ``"hyb"``.
+    name: str = "abstract"
+
+    preprocess: PreprocessReport
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    @abc.abstractmethod
+    def from_csr(cls, csr, **kwargs) -> "SpMVFormat":
+        """Build the format (and its preprocessing bill) from CSR."""
+
+    # -- shape ----------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def shape(self) -> tuple[int, int]: ...
+
+    @property
+    @abc.abstractmethod
+    def nnz(self) -> int: ...
+
+    @property
+    @abc.abstractmethod
+    def precision(self) -> Precision: ...
+
+    @property
+    def n_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        return self.shape[1]
+
+    # -- compute --------------------------------------------------------
+    @abc.abstractmethod
+    def multiply(self, x: np.ndarray) -> np.ndarray:
+        """Exact ``y = A @ x`` using this format's data layout."""
+
+    @abc.abstractmethod
+    def kernel_works(self, device: DeviceSpec) -> list[KernelWork]:
+        """The launches of one SpMV, in order."""
+
+    def device_bytes(self) -> int:
+        """Device footprint (format data + x + y)."""
+        return self.preprocess.device_bytes
+
+    # -- shared entry points ---------------------------------------------
+    def spmv_time_s(self, device: DeviceSpec) -> float:
+        """Modelled time of one SpMV on ``device`` (the paper's ``ST``)."""
+        return simulate_sequence(device, self.kernel_works(device)).time_s
+
+    def trace(self, device: DeviceSpec):
+        """A :class:`~repro.gpu.trace.KernelTrace` of one SpMV's launches."""
+        from ..gpu.simulator import simulate_kernel
+        from ..gpu.trace import KernelTrace
+
+        tr = KernelTrace(device_name=device.name)
+        for work in self.kernel_works(device):
+            tr.add_span(
+                f"launch {work.name}",
+                device.kernel_launch_overhead_s,
+                category="overhead",
+            )
+            tr.append_timing(
+                simulate_kernel(
+                    device, work, include_launch_overhead=False
+                )
+            )
+        return tr
+
+    def run_spmv(self, x: np.ndarray, device: DeviceSpec) -> SpMVResult:
+        """Execute numerically and model the time in one call."""
+        x = np.asarray(x, dtype=self.precision.numpy_dtype)
+        if x.shape != (self.n_cols,):
+            raise ValueError(f"x must have shape ({self.n_cols},)")
+        y = self.multiply(x)
+        works = self.kernel_works(device)
+        seq = simulate_sequence(device, works)
+        flops = sum(w.flops for w in works)
+        return SpMVResult(
+            y=y, time_s=seq.time_s, timings=seq.timings, flops=flops
+        )
+
+
+def transfer_report_s(
+    device_bytes: int, link: PCIeLink | None = None, n_transfers: int = 3
+) -> float:
+    """Helper: copy time for a format's device arrays."""
+    link = link or DEFAULT_LINK
+    return link.transfer_time_s(device_bytes, n_transfers=n_transfers)

@@ -1,0 +1,71 @@
+"""Format registry and conversion entry point.
+
+``build_format("hyb", csr)`` is the one-liner used by the harness to sweep
+every format of the paper's comparison set over every matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import SpMVFormat
+from .bccoo import BCCOOFormat
+from .brc import BRCFormat
+from .coo import COOFormat
+from .csr import CSRMatrix
+from .csr_format import CSRFormat
+from .dia import DIAFormat
+from .ell import ELLFormat
+from .hyb import HYBFormat
+from .sic import SICFormat
+from .tcoo import TCOOFormat
+
+
+def _acsr_builder(csr: CSRMatrix, **kw) -> SpMVFormat:
+    # Imported lazily: repro.core depends on repro.formats.
+    from ..core.acsr import ACSRFormat
+
+    return ACSRFormat.from_csr(csr, **kw)
+
+
+def _csr_scalar_builder(csr: CSRMatrix, **kw) -> SpMVFormat:
+    return CSRFormat.from_csr(csr, kernel="scalar", **kw)
+
+
+def _csr_vector_builder(csr: CSRMatrix, **kw) -> SpMVFormat:
+    return CSRFormat.from_csr(csr, kernel="vector", **kw)
+
+
+FORMAT_BUILDERS: dict[str, Callable[..., SpMVFormat]] = {
+    "csr": CSRFormat.from_csr,  # cuSPARSE-style warp-per-row
+    "csr-scalar": _csr_scalar_builder,
+    "csr-vector": _csr_vector_builder,  # CUSP mean-sized gangs
+    "coo": COOFormat.from_csr,
+    "ell": ELLFormat.from_csr,
+    "dia": DIAFormat.from_csr,
+    "hyb": HYBFormat.from_csr,
+    "sic": SICFormat.from_csr,
+    "brc": BRCFormat.from_csr,
+    "bccoo": BCCOOFormat.from_csr,
+    "tcoo": TCOOFormat.from_csr,
+    "acsr": _acsr_builder,
+}
+
+#: The formats compared in Figure 4 / Tables III-IV, in the paper's order.
+PAPER_COMPARISON_SET = ("bccoo", "brc", "tcoo", "hyb", "acsr")
+
+
+def available_formats() -> tuple[str, ...]:
+    """Registry names, sorted (the build_format vocabulary)."""
+    return tuple(sorted(FORMAT_BUILDERS))
+
+
+def build_format(name: str, csr: CSRMatrix, **kwargs) -> SpMVFormat:
+    """Construct the named format from CSR (raising on unknown names)."""
+    try:
+        builder = FORMAT_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown format {name!r}; available: {available_formats()}"
+        ) from None
+    return builder(csr, **kwargs)

@@ -1,0 +1,263 @@
+"""The CSR (Compressed Sparse Row) container — the paper's base format.
+
+CSR is "the most compact format for unstructured sparse matrices, and the
+predominantly used representation" (Section II).  Every other format in
+this package is *constructed from* a :class:`CSRMatrix`, and the
+construction cost is exactly the preprocessing overhead the paper measures
+in Figure 4.
+
+The container also computes the column-gather locality profile the memory
+model needs (``gather_profile``) and the standard row statistics of
+Table I (``mu`` / ``sigma`` / ``max_nnz``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from ..gpu.device import INDEX_BYTES, Precision
+from ..gpu.memory import GatherProfile
+from ..util import count_unique
+
+
+def csr_matvec(
+    values: np.ndarray,
+    col_idx: np.ndarray,
+    row_off: np.ndarray,
+    x: np.ndarray,
+) -> np.ndarray:
+    """Reference CSR SpMV: ``y = A @ x``.
+
+    Uses a prefix-sum formulation that is exact for empty rows (where
+    ``np.add.reduceat`` mis-handles repeated offsets).  Accumulation is in
+    float64 regardless of storage precision, then cast back — matching GPU
+    kernels that accumulate in registers.
+    """
+    if row_off.ndim != 1 or row_off.shape[0] < 1:
+        raise ValueError("row_off must be a non-empty 1-D array")
+    prod = values.astype(np.float64, copy=False) * x.astype(np.float64, copy=False)[col_idx]
+    csum = np.concatenate([[0.0], np.cumsum(prod)])
+    y = csum[row_off[1:]] - csum[row_off[:-1]]
+    return y.astype(x.dtype, copy=False)
+
+
+@dataclass(frozen=True)
+class CSRMatrix:
+    """An immutable CSR matrix with GPU-oriented metadata.
+
+    ``values`` carries the storage precision (float32 or float64);
+    ``col_idx`` is int32 (as on the device); ``row_off`` is int64 on the
+    host.
+    """
+
+    values: np.ndarray
+    col_idx: np.ndarray
+    row_off: np.ndarray
+    n_cols: int
+
+    def __post_init__(self) -> None:
+        if self.row_off.ndim != 1 or self.row_off.shape[0] < 1:
+            raise ValueError("row_off must be 1-D with at least one entry")
+        if self.values.shape != self.col_idx.shape:
+            raise ValueError("values and col_idx must have equal length")
+        if int(self.row_off[0]) != 0 or int(self.row_off[-1]) != self.values.shape[0]:
+            raise ValueError("row_off must start at 0 and end at nnz")
+        if np.any(np.diff(self.row_off) < 0):
+            raise ValueError("row_off must be non-decreasing")
+        if self.n_cols < 0:
+            raise ValueError("n_cols must be non-negative")
+        if self.col_idx.size and (
+            int(self.col_idx.min()) < 0 or int(self.col_idx.max()) >= self.n_cols
+        ):
+            raise ValueError("column indices out of range")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_arrays(
+        cls,
+        values: np.ndarray,
+        col_idx: np.ndarray,
+        row_off: np.ndarray,
+        n_cols: int,
+    ) -> "CSRMatrix":
+        return cls(
+            values=np.ascontiguousarray(values),
+            col_idx=np.ascontiguousarray(col_idx, dtype=np.int32),
+            row_off=np.ascontiguousarray(row_off, dtype=np.int64),
+            n_cols=int(n_cols),
+        )
+
+    @classmethod
+    def from_coo(
+        cls,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        shape: tuple[int, int],
+        precision: Precision = Precision.DOUBLE,
+        sum_duplicates: bool = True,
+    ) -> "CSRMatrix":
+        """Build from COO triplets (duplicates summed, rows sorted)."""
+        n_rows, n_cols = shape
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        vals = np.asarray(vals, dtype=np.float64)
+        if rows.shape != cols.shape or rows.shape != vals.shape:
+            raise ValueError("COO triplet arrays must have equal length")
+        if rows.size and (rows.min() < 0 or rows.max() >= n_rows):
+            raise ValueError("row indices out of range")
+        if cols.size and (cols.min() < 0 or cols.max() >= n_cols):
+            raise ValueError("column indices out of range")
+        order = np.lexsort((cols, rows))
+        rows, cols, vals = rows[order], cols[order], vals[order]
+        if sum_duplicates and rows.size:
+            key_change = np.empty(rows.shape[0], dtype=bool)
+            key_change[0] = True
+            key_change[1:] = (np.diff(rows) != 0) | (np.diff(cols) != 0)
+            group = np.cumsum(key_change) - 1
+            summed = np.bincount(group, weights=vals)
+            rows = rows[key_change]
+            cols = cols[key_change]
+            vals = summed
+        row_off = np.zeros(n_rows + 1, dtype=np.int64)
+        np.add.at(row_off, rows + 1, 1)
+        np.cumsum(row_off, out=row_off)
+        return cls.from_arrays(
+            vals.astype(precision.numpy_dtype), cols, row_off, n_cols
+        )
+
+    @classmethod
+    def from_scipy(cls, mat, precision: Precision = Precision.DOUBLE) -> "CSRMatrix":
+        """Build from any ``scipy.sparse`` matrix."""
+        m = mat.tocsr()
+        m.sum_duplicates()
+        return cls.from_arrays(
+            m.data.astype(precision.numpy_dtype),
+            m.indices,
+            m.indptr.astype(np.int64),
+            m.shape[1],
+        )
+
+    def to_scipy(self):
+        """Convert to ``scipy.sparse.csr_matrix`` (for test oracles)."""
+        import scipy.sparse as sp
+
+        return sp.csr_matrix(
+            (self.values, self.col_idx, self.row_off), shape=self.shape
+        )
+
+    def astype(self, precision: Precision) -> "CSRMatrix":
+        """Copy with values stored at the given precision."""
+        return CSRMatrix.from_arrays(
+            self.values.astype(precision.numpy_dtype),
+            self.col_idx,
+            self.row_off,
+            self.n_cols,
+        )
+
+    # ------------------------------------------------------------------
+    # Shape and statistics
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return self.row_off.shape[0] - 1
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n_rows, self.n_cols)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def precision(self) -> Precision:
+        return (
+            Precision.SINGLE
+            if self.values.dtype == np.float32
+            else Precision.DOUBLE
+        )
+
+    @cached_property
+    def nnz_per_row(self) -> np.ndarray:
+        """Row lengths — the quantity ACSR's binning is computed from."""
+        return np.diff(self.row_off).astype(np.int64)
+
+    @property
+    def mu(self) -> float:
+        """Mean non-zeros per row (Table I's μ)."""
+        return float(self.nnz_per_row.mean()) if self.n_rows else 0.0
+
+    @property
+    def sigma(self) -> float:
+        """Standard deviation of non-zeros per row (Table I's σ)."""
+        return float(self.nnz_per_row.std()) if self.n_rows else 0.0
+
+    @property
+    def max_nnz_row(self) -> int:
+        """Longest row (Table I's Max — the power-law tail)."""
+        return int(self.nnz_per_row.max()) if self.n_rows else 0
+
+    @cached_property
+    def gather_profile(self) -> GatherProfile:
+        """Column-access locality profile for the texture-cache model."""
+        if self.nnz == 0:
+            return GatherProfile(reuse=1.0, clustering=1.0)
+        distinct = count_unique(self.col_idx)
+        reuse = max(1.0, self.nnz / distinct)
+        if self.nnz > 1:
+            deltas = np.abs(np.diff(self.col_idx.astype(np.int64)))
+            clustering = float(np.mean(deltas <= 32))
+        else:
+            clustering = 1.0
+        return GatherProfile(reuse=reuse, clustering=clustering)
+
+    # ------------------------------------------------------------------
+    # Compute
+    # ------------------------------------------------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Reference ``A @ x`` used as the numeric oracle everywhere."""
+        x = np.asarray(x)
+        if x.shape != (self.n_cols,):
+            raise ValueError(f"x must have shape ({self.n_cols},)")
+        return csr_matvec(self.values, self.col_idx, self.row_off, x)
+
+    def device_bytes(self) -> int:
+        """Device footprint of CSR data plus the x and y vectors."""
+        vb = self.precision.value_bytes
+        return (
+            self.nnz * vb
+            + self.nnz * INDEX_BYTES
+            + (self.n_rows + 1) * INDEX_BYTES
+            + (self.n_rows + self.n_cols) * vb
+        )
+
+    def binarized(self) -> "CSRMatrix":
+        """Copy with all stored values set to one (adjacency semantics).
+
+        The Section VI/VII applications operate on unweighted adjacency
+        matrices; synthetic corpus matrices carry random weights for SpMV
+        numerics, so the apps binarize first.
+        """
+        return CSRMatrix.from_arrays(
+            np.ones_like(self.values), self.col_idx, self.row_off, self.n_cols
+        )
+
+    def transpose(self) -> "CSRMatrix":
+        """A^T in CSR (used by PageRank/HITS/RWR formulations)."""
+        rows = np.repeat(
+            np.arange(self.n_rows, dtype=np.int64), self.nnz_per_row
+        )
+        return CSRMatrix.from_coo(
+            self.col_idx.astype(np.int64),
+            rows,
+            self.values,
+            shape=(self.n_cols, self.n_rows),
+            precision=self.precision,
+            sum_duplicates=False,
+        )

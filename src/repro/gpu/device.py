@@ -1,0 +1,252 @@
+"""Device models for the GPU performance simulator.
+
+The paper (Table II) evaluates on three NVIDIA GPUs spanning two
+architectures:
+
+* **GTX 580** — Fermi GF110, compute capability 2.0 (no dynamic parallelism,
+  small memory: several matrices are ``OOM`` in Figure 5-center).
+* **Tesla K10** — a dual-GPU card, each GPU a Kepler GK104, compute
+  capability 3.0 (no dynamic parallelism; used for the multi-GPU study of
+  Section VIII).
+* **GTX Titan** — Kepler GK110, compute capability 3.5 (dynamic parallelism
+  available; the headline device).
+
+A :class:`DeviceSpec` captures the architectural parameters the simulator's
+cost model needs.  All parameters are public figures for the real chips; the
+simulator only depends on their *relative* magnitudes, which is what lets the
+reproduction match the paper's shapes without the physical hardware.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Precision(enum.Enum):
+    """Floating-point precision of an SpMV computation.
+
+    The paper reports every experiment in both single and double precision;
+    precision changes the bytes moved per value and the arithmetic
+    throughput (``DeviceSpec.dp_throughput_ratio``).
+    """
+
+    SINGLE = "single"
+    DOUBLE = "double"
+
+    @property
+    def value_bytes(self) -> int:
+        """Size in bytes of one matrix/vector value."""
+        return 4 if self is Precision.SINGLE else 8
+
+    @property
+    def numpy_dtype(self) -> str:
+        return "float32" if self is Precision.SINGLE else "float64"
+
+
+#: Size in bytes of a column index (``int32`` on the GPU).
+INDEX_BYTES = 4
+
+#: SIMT width shared by every NVIDIA architecture the paper uses.
+WARP_SIZE = 32
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Architectural description of one GPU.
+
+    Attributes mirror the quantities a warp-level cost model needs; see
+    ``repro.gpu.simulator`` for how each one enters the timing formula.
+    """
+
+    name: str
+    chip: str
+    compute_capability: tuple[int, int]
+    num_sms: int
+    cores_per_sm: int
+    clock_ghz: float
+    #: Peak DRAM bandwidth in GB/s.
+    dram_bandwidth_gbps: float
+    #: Global-memory latency in cycles (used for the critical-path bound).
+    dram_latency_cycles: int
+    #: Device memory in GiB (drives the paper's OOM (``∅``) cells).
+    memory_gib: float
+    #: Maximum resident warps per SM (48 on Fermi, 64 on Kepler).
+    max_warps_per_sm: int
+    #: Texture cache per SM in KiB — the input vector ``x`` is bound to
+    #: texture memory by cuSPARSE, CUSP and ACSR alike (Section IV).
+    tex_cache_kib_per_sm: int
+    #: L2 cache in KiB.
+    l2_cache_kib: int
+    #: DP arithmetic throughput as a fraction of SP throughput.
+    dp_throughput_ratio: float
+    #: Host-side kernel launch overhead, seconds.
+    kernel_launch_overhead_s: float = 5.0e-6
+    #: Incremental overhead for additional launches issued back-to-back on
+    #: concurrent streams (driver pipelining hides most of the cost).
+    pipelined_launch_overhead_s: float = 1.5e-6
+    #: Device-side (dynamic parallelism) child launch overhead, seconds.
+    dp_launch_overhead_s: float = 2.0e-6
+    #: ``cudaLimitDevRuntimePendingLaunchCount`` (Section III-B).
+    pending_launch_limit: int = 2048
+    #: How many GPUs of this spec share one board (2 for the Tesla K10).
+    gpus_per_board: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_sms <= 0 or self.cores_per_sm <= 0:
+            raise ValueError("device must have positive SM/core counts")
+        if self.clock_ghz <= 0 or self.dram_bandwidth_gbps <= 0:
+            raise ValueError("device must have positive clock and bandwidth")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def supports_dynamic_parallelism(self) -> bool:
+        """Dynamic parallelism requires compute capability >= 3.5."""
+        return self.compute_capability >= (3, 5)
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_sms * self.cores_per_sm
+
+    @property
+    def warp_issue_rate(self) -> float:
+        """Warp-instructions an SM can issue per cycle.
+
+        A warp instruction occupies ``WARP_SIZE`` lanes; an SM with ``C``
+        cores retires ``C / WARP_SIZE`` warp-instructions per cycle (1 on
+        Fermi SM, 6 on Kepler SMX).
+        """
+        return self.cores_per_sm / WARP_SIZE
+
+    @property
+    def memory_bytes(self) -> int:
+        return int(self.memory_gib * (1 << 30))
+
+    @property
+    def sp_peak_gflops(self) -> float:
+        """Peak single-precision GFLOP/s counting FMA as two flops."""
+        return 2.0 * self.total_cores * self.clock_ghz
+
+    def flop_rate(self, precision: Precision) -> float:
+        """Peak FLOP/s for the given precision."""
+        rate = self.sp_peak_gflops * 1e9
+        if precision is Precision.DOUBLE:
+            rate *= self.dp_throughput_ratio
+        return rate
+
+    def fits(self, device_bytes: int | float) -> bool:
+        """Whether a working set fits in device memory.
+
+        An ~85% usable fraction accounts for the CUDA context, the DP
+        runtime reservation and allocator fragmentation.
+        """
+        return device_bytes <= 0.85 * self.memory_bytes
+
+
+# ----------------------------------------------------------------------
+# Table II registry
+# ----------------------------------------------------------------------
+
+GTX_580 = DeviceSpec(
+    name="GTX580",
+    chip="Fermi GF110",
+    compute_capability=(2, 0),
+    num_sms=16,
+    cores_per_sm=32,
+    clock_ghz=1.544,
+    dram_bandwidth_gbps=192.4,
+    dram_latency_cycles=600,
+    memory_gib=1.5,
+    max_warps_per_sm=48,
+    tex_cache_kib_per_sm=12,
+    l2_cache_kib=768,
+    dp_throughput_ratio=1.0 / 8.0,
+)
+
+TESLA_K10 = DeviceSpec(
+    name="TeslaK10",
+    chip="Kepler GK104",
+    compute_capability=(3, 0),
+    num_sms=8,
+    cores_per_sm=192,
+    clock_ghz=0.745,
+    dram_bandwidth_gbps=160.0,
+    dram_latency_cycles=700,
+    memory_gib=4.0,
+    max_warps_per_sm=64,
+    tex_cache_kib_per_sm=48,
+    l2_cache_kib=512,
+    dp_throughput_ratio=1.0 / 24.0,
+    gpus_per_board=2,
+)
+
+GTX_TITAN = DeviceSpec(
+    name="GTXTitan",
+    chip="Kepler GK110",
+    compute_capability=(3, 5),
+    num_sms=14,
+    cores_per_sm=192,
+    clock_ghz=0.837,
+    dram_bandwidth_gbps=288.4,
+    dram_latency_cycles=700,
+    memory_gib=6.0,
+    max_warps_per_sm=64,
+    tex_cache_kib_per_sm=48,
+    l2_cache_kib=1536,
+    dp_throughput_ratio=1.0 / 3.0,
+)
+
+#: All Table II devices, keyed by the name used throughout the harness.
+DEVICES: dict[str, DeviceSpec] = {
+    d.name: d for d in (GTX_580, TESLA_K10, GTX_TITAN)
+}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a Table II device by name (case-insensitive)."""
+    for key, dev in DEVICES.items():
+        if key.lower() == name.lower():
+            return dev
+    raise KeyError(
+        f"unknown device {name!r}; available: {sorted(DEVICES)}"
+    )
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Model of the host CPU used for format preprocessing.
+
+    The paper's comparator formats do their transformation on the host
+    (sorting, padding, blocking) and some additionally *compile* tuned
+    kernels (BCCOO's auto-tuner explores >300 configurations).  Preprocessing
+    time is modelled as element-operations at ``ops_per_sec`` plus per-config
+    compile costs where applicable.
+    """
+
+    name: str = "Core i7"
+    #: Sustained element-operations per second for streaming transforms.
+    ops_per_sec: float = 2.0e9
+    #: Sustained element-operations per second for comparison sorts.
+    sort_ops_per_sec: float = 4.0e8
+    #: nvcc compile + module load cost per tuned kernel configuration.
+    compile_cost_s: float = 0.6
+
+    def stream_time(self, n_ops: int | float) -> float:
+        """Time for a streaming pass touching ``n_ops`` elements."""
+        return float(n_ops) / self.ops_per_sec
+
+    def sort_time(self, n: int | float) -> float:
+        """Time for a comparison sort of ``n`` keys (n log2 n)."""
+        import math
+
+        n = float(n)
+        if n <= 1:
+            return 0.0
+        return n * math.log2(n) / self.sort_ops_per_sec
+
+
+#: Default host for every experiment (each GPU was "hosted by an Intel
+#: Core i7 CPU" — Section IV).
+DEFAULT_HOST = HostSpec()

@@ -1,0 +1,93 @@
+"""Dynamic-parallelism launch economics (Section III-B of the paper).
+
+On compute capability >= 3.5, a kernel may launch child grids from the
+device.  The paper exploits this to give every long-tail row its own
+right-sized grid (Algorithms 3 and 4).  Two hardware realities shape the
+cost model here:
+
+* each device-side launch costs ``dp_launch_overhead_s`` — cheaper than a
+  host launch but not free, which is why tiny rows (group G2) are *not*
+  worth a child grid;
+* ``cudaLimitDevRuntimePendingLaunchCount`` caps concurrent pending child
+  launches at 2048.  Exceeding it forces the runtime to allocate tracking
+  memory on the fly, degrading performance — the paper sets ``RowMax`` to
+  this limit to stay under it, and the simulator charges a growing penalty
+  past it so that misconfigured callers see the same cliff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceSpec
+from .kernel import KernelWork, merge_concurrent
+from .simulator import KernelTiming, simulate_kernel
+
+
+class DynamicParallelismUnsupported(RuntimeError):
+    """Raised when DP execution is requested on a pre-3.5 device."""
+
+
+#: Multiplier applied to the overflow portion of child launches beyond the
+#: pending-launch limit (runtime buffer reallocation).
+OVERFLOW_PENALTY = 8.0
+
+#: Device-side launches issue from many parent warps concurrently; the DP
+#: runtime sustains roughly this many in-flight enqueues, so per-child
+#: overhead amortises across ways (overflow launches serialise fully).
+CONCURRENT_LAUNCH_WAYS = 32.0
+
+
+def child_launch_overhead_s(device: DeviceSpec, n_children: int) -> float:
+    """Total device-side launch overhead for ``n_children`` child grids."""
+    if n_children < 0:
+        raise ValueError("child count must be non-negative")
+    within = min(n_children, device.pending_launch_limit)
+    overflow = max(0, n_children - device.pending_launch_limit)
+    base = within * device.dp_launch_overhead_s / CONCURRENT_LAUNCH_WAYS
+    return base + overflow * device.dp_launch_overhead_s * OVERFLOW_PENALTY
+
+
+@dataclass(frozen=True)
+class DPTiming:
+    """Timing of a parent grid plus its concurrently executing children."""
+
+    parent: KernelTiming
+    children: KernelTiming | None
+    n_children: int
+    child_overhead_s: float
+
+    @property
+    def time_s(self) -> float:
+        child_s = self.children.time_s if self.children is not None else 0.0
+        # The parent blocks until all children complete; children execute
+        # concurrently with each other, serialised only by their launch
+        # overheads.
+        return self.parent.time_s + self.child_overhead_s + child_s
+
+
+def simulate_dynamic_launch(
+    device: DeviceSpec,
+    parent: KernelWork,
+    children: list[KernelWork],
+) -> DPTiming:
+    """Model a parent kernel that launches one child grid per work item."""
+    if not device.supports_dynamic_parallelism:
+        raise DynamicParallelismUnsupported(
+            f"{device.name} (CC {device.compute_capability}) lacks dynamic "
+            "parallelism; use the binning-only path (RowMax = 0)"
+        )
+    parent_t = simulate_kernel(device, parent)
+    overhead = child_launch_overhead_s(device, len(children))
+    if children:
+        merged = merge_concurrent(children, name="dp-children")
+        # Children are device-launched: no host launch overhead.
+        child_t = simulate_kernel(device, merged, include_launch_overhead=False)
+    else:
+        child_t = None
+    return DPTiming(
+        parent=parent_t,
+        children=child_t,
+        n_children=len(children),
+        child_overhead_s=overhead,
+    )

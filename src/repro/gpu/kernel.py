@@ -1,0 +1,155 @@
+"""Kernel work descriptions consumed by the simulator.
+
+A :class:`KernelWork` is the simulator's unit of accounting: the per-warp
+compute and memory demands of one kernel launch.  Kernels (in
+``repro.kernels``) build these analytically from matrix metadata — they
+never simulate individual threads, which keeps the model fast enough to
+sweep 17 matrices × 3 devices × 2 precisions in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .device import Precision
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """CUDA-style launch geometry (kept for reporting and validation)."""
+
+    grid_blocks: int
+    threads_per_block: int
+
+    def __post_init__(self) -> None:
+        if self.grid_blocks < 0:
+            raise ValueError("grid size must be non-negative")
+        if not 0 < self.threads_per_block <= 1024:
+            raise ValueError("block size must be in (0, 1024]")
+
+    @property
+    def total_threads(self) -> int:
+        return self.grid_blocks * self.threads_per_block
+
+    @property
+    def total_warps(self) -> int:
+        warps_per_block = -(-self.threads_per_block // 32)
+        return self.grid_blocks * warps_per_block
+
+
+@dataclass(frozen=True)
+class KernelWork:
+    """Per-warp resource demands of one kernel launch.
+
+    All arrays have one entry per warp.  ``compute_insts`` counts
+    warp-instructions issued (divergent iterations already inflated to the
+    warp's max), ``dram_bytes`` is post-coalescing DRAM traffic, and
+    ``mem_ops`` counts *dependent* memory operations on the warp's critical
+    path (used for the latency bound when occupancy is too low to hide
+    DRAM latency).
+    """
+
+    name: str
+    compute_insts: np.ndarray
+    dram_bytes: np.ndarray
+    mem_ops: np.ndarray
+    #: Useful floating-point operations (for GFLOPs reporting only).
+    flops: float
+    precision: Precision = Precision.SINGLE
+    launch: LaunchConfig | None = None
+    #: Fraction of instructions that are floating-point (scaled for DP).
+    fp_fraction: float = 0.35
+    #: Per-block resource usage; caps SM residency when set (see
+    #: ``repro.gpu.occupancy``).  ``None`` = not resource-limited.
+    resources: object | None = None
+    #: Optional per-entry multiplicities: entry ``i`` stands for
+    #: ``warp_weights[i]`` *identical* warps.  Lets perfectly uniform
+    #: kernels (COO-family, ELL) be described in O(1) entries instead of
+    #: one entry per warp.  ``None`` = every entry is one warp.
+    warp_weights: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        n = self.compute_insts.shape[0]
+        if self.dram_bytes.shape[0] != n or self.mem_ops.shape[0] != n:
+            raise ValueError("per-warp arrays must share a length")
+        if self.warp_weights is not None:
+            if self.warp_weights.shape[0] != n:
+                raise ValueError("warp_weights must match entry count")
+            if n and self.warp_weights.min() < 1:
+                raise ValueError("warp weights must be >= 1")
+        if self.flops < 0:
+            raise ValueError("flops must be non-negative")
+
+    @property
+    def n_entries(self) -> int:
+        return int(self.compute_insts.shape[0])
+
+    @property
+    def n_warps(self) -> int:
+        if self.warp_weights is not None:
+            return int(self.warp_weights.sum())
+        return int(self.compute_insts.shape[0])
+
+    def _weights(self) -> np.ndarray:
+        if self.warp_weights is not None:
+            return self.warp_weights.astype(np.float64)
+        return np.ones(self.n_entries, dtype=np.float64)
+
+    @property
+    def total_dram_bytes(self) -> float:
+        return float(np.sum(self.dram_bytes * self._weights()))
+
+    @property
+    def total_insts(self) -> float:
+        return float(np.sum(self.compute_insts * self._weights()))
+
+    @staticmethod
+    def empty(name: str, precision: Precision = Precision.SINGLE) -> "KernelWork":
+        """A launch that does nothing (e.g. an empty bin)."""
+        z = np.zeros(0, dtype=np.float64)
+        return KernelWork(
+            name=name,
+            compute_insts=z,
+            dram_bytes=z.copy(),
+            mem_ops=z.copy(),
+            flops=0.0,
+            precision=precision,
+        )
+
+    def merged_with(self, other: "KernelWork") -> "KernelWork":
+        """Concatenate two works that execute concurrently on one device."""
+        return merge_concurrent(
+            [self, other], name=f"{self.name}+{other.name}"
+        )
+
+
+def merge_concurrent(works: list[KernelWork], name: str | None = None) -> KernelWork:
+    """Merge kernels that run concurrently (e.g. DP child grids).
+
+    The merged work is scheduled as one pool of warps, which matches how
+    the hardware fills SMs from whatever grids are resident.
+    """
+    if not works:
+        raise ValueError("need at least one work to merge")
+    precision = works[0].precision
+    for w in works:
+        if w.precision is not precision:
+            raise ValueError("cannot merge works of different precisions")
+    resources = next((w.resources for w in works if w.resources), None)
+    if any(w.warp_weights is not None for w in works):
+        weights = np.concatenate([w._weights() for w in works])
+    else:
+        weights = None
+    return KernelWork(
+        name=name or "+".join(w.name for w in works[:3]),
+        compute_insts=np.concatenate([w.compute_insts for w in works]),
+        dram_bytes=np.concatenate([w.dram_bytes for w in works]),
+        mem_ops=np.concatenate([w.mem_ops for w in works]),
+        flops=sum(w.flops for w in works),
+        precision=precision,
+        fp_fraction=works[0].fp_fraction,
+        resources=resources,
+        warp_weights=weights,
+    )

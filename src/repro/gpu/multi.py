@@ -1,0 +1,77 @@
+"""Multi-GPU execution model (Section VIII).
+
+The paper runs ACSR on the dual-GPU Tesla K10 by splitting every bin's row
+list in half, one half per GPU ("For two GPUs, we simply map half of the
+rows in each bin to each device").  Each GPU computes its share of ``y``;
+the devices then synchronise and the halves are concatenated.
+
+The model here generalises to ``n`` GPUs: per-device kernel sequences run
+concurrently, total time is the maximum device time plus a synchronisation
+cost.  Imperfect scaling emerges naturally: small matrices leave each GPU
+under-occupied, so per-device times do not halve (the ENR/FLI/INT/YOT
+observation), while launch overheads are paid per device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceSpec
+from .kernel import KernelWork
+from .simulator import SequenceTiming, simulate_sequence
+
+#: Cross-device synchronisation (event record + stream sync), seconds.
+SYNC_OVERHEAD_S = 20.0e-6
+
+
+@dataclass(frozen=True)
+class MultiGPUTiming:
+    """Timing of one multi-device SpMV."""
+
+    per_device: tuple[SequenceTiming, ...]
+    sync_overhead_s: float
+
+    @property
+    def time_s(self) -> float:
+        if not self.per_device:
+            return 0.0
+        return max(t.time_s for t in self.per_device) + self.sync_overhead_s
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.per_device)
+
+
+@dataclass(frozen=True)
+class MultiGPUContext:
+    """A set of identical GPUs executing partitioned work."""
+
+    devices: tuple[DeviceSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            raise ValueError("need at least one device")
+
+    @classmethod
+    def of(cls, device: DeviceSpec, n: int) -> "MultiGPUContext":
+        """``n`` GPUs of one spec (e.g. the two GK104s of a Tesla K10)."""
+        if n < 1:
+            raise ValueError("device count must be >= 1")
+        return cls(devices=tuple([device] * n))
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.devices)
+
+    def run(self, per_device_works: list[list[KernelWork]]) -> MultiGPUTiming:
+        """Execute one work sequence per device, concurrently."""
+        if len(per_device_works) != self.n_devices:
+            raise ValueError(
+                f"expected {self.n_devices} work lists, got {len(per_device_works)}"
+            )
+        timings = tuple(
+            simulate_sequence(dev, works)
+            for dev, works in zip(self.devices, per_device_works)
+        )
+        sync = SYNC_OVERHEAD_S if self.n_devices > 1 else 0.0
+        return MultiGPUTiming(per_device=timings, sync_overhead_s=sync)

@@ -1,0 +1,126 @@
+"""CUDA occupancy calculation for the simulator's residency estimates.
+
+The simulator's latency hiding and bandwidth ramp depend on how many
+warps an SM actually keeps resident, which on hardware is capped by four
+per-architecture resources: warp slots, thread slots, register file and
+shared memory, and block slots.  This module reproduces the standard
+occupancy calculation for the paper's two architectures, letting kernels
+that are register- or shared-memory-hungry (e.g. the BCCOO segmented
+scan) see their real residency instead of the optimistic default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceSpec, WARP_SIZE
+
+
+@dataclass(frozen=True)
+class ArchLimits:
+    """Per-SM resource ceilings of one compute-capability generation."""
+
+    max_threads_per_sm: int
+    max_blocks_per_sm: int
+    registers_per_sm: int
+    shared_bytes_per_sm: int
+    register_allocation_unit: int
+
+
+#: Fermi (CC 2.x) and Kepler (CC 3.x) limits, per the CUDA occupancy data.
+FERMI_LIMITS = ArchLimits(
+    max_threads_per_sm=1536,
+    max_blocks_per_sm=8,
+    registers_per_sm=32_768,
+    shared_bytes_per_sm=48 * 1024,
+    register_allocation_unit=64,
+)
+
+KEPLER_LIMITS = ArchLimits(
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=16,
+    registers_per_sm=65_536,
+    shared_bytes_per_sm=48 * 1024,
+    register_allocation_unit=256,
+)
+
+
+def arch_limits(device: DeviceSpec) -> ArchLimits:
+    """The resource ceilings for a Table II device."""
+    major = device.compute_capability[0]
+    if major <= 2:
+        return FERMI_LIMITS
+    return KEPLER_LIMITS
+
+
+@dataclass(frozen=True)
+class KernelResources:
+    """What one thread block of a kernel consumes."""
+
+    threads_per_block: int = 128
+    registers_per_thread: int = 32
+    shared_bytes_per_block: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.threads_per_block <= 1024:
+            raise ValueError("threads_per_block must be in (0, 1024]")
+        if self.registers_per_thread < 1:
+            raise ValueError("registers_per_thread must be >= 1")
+        if self.shared_bytes_per_block < 0:
+            raise ValueError("shared memory must be non-negative")
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Resident blocks/warps per SM and which resource capped them."""
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    limiter: str
+    occupancy: float
+
+
+def compute_occupancy(
+    device: DeviceSpec, resources: KernelResources
+) -> OccupancyResult:
+    """Blocks an SM can host simultaneously, and what limits them."""
+    limits = arch_limits(device)
+    warps_per_block = -(-resources.threads_per_block // WARP_SIZE)
+
+    candidates: dict[str, int] = {}
+    candidates["blocks"] = limits.max_blocks_per_sm
+    candidates["threads"] = (
+        limits.max_threads_per_sm // resources.threads_per_block
+    )
+    candidates["warp-slots"] = device.max_warps_per_sm // warps_per_block
+    # Registers allocate in units per warp.
+    unit = limits.register_allocation_unit
+    regs_per_warp = -(-resources.registers_per_thread * WARP_SIZE // unit) * unit
+    regs_per_block = regs_per_warp * warps_per_block
+    candidates["registers"] = (
+        limits.registers_per_sm // regs_per_block if regs_per_block else 10**9
+    )
+    if resources.shared_bytes_per_block:
+        candidates["shared-memory"] = (
+            limits.shared_bytes_per_sm // resources.shared_bytes_per_block
+        )
+
+    limiter = min(candidates, key=candidates.get)  # type: ignore[arg-type]
+    blocks = max(0, candidates[limiter])
+    warps = blocks * warps_per_block
+    return OccupancyResult(
+        blocks_per_sm=blocks,
+        warps_per_sm=min(warps, device.max_warps_per_sm),
+        limiter=limiter,
+        occupancy=min(warps, device.max_warps_per_sm)
+        / device.max_warps_per_sm,
+    )
+
+
+def residency_cap(
+    device: DeviceSpec, resources: KernelResources | None
+) -> float:
+    """Warps/SM ceiling the simulator should apply (inf when unknown)."""
+    if resources is None:
+        return float(device.max_warps_per_sm)
+    return float(compute_occupancy(device, resources).warps_per_sm)

@@ -1,0 +1,194 @@
+"""The SM scheduler: turns :class:`KernelWork` into modelled seconds.
+
+The timing model is a roofline with three bounds, evaluated per launch:
+
+* **compute bound** — warps are placed round-robin on SMs; the busiest SM's
+  warp-instruction count divided by its issue rate.  Double precision
+  inflates the floating-point fraction of instructions by the device's
+  DP/SP throughput ratio.
+* **bandwidth bound** — total post-coalescing DRAM traffic at an achieved
+  bandwidth that degrades when too few warps are resident to hide latency
+  (``memory.bandwidth_efficiency``).
+* **latency (critical-path) bound** — the longest single warp cannot finish
+  faster than its dependent memory operations allow; with deep occupancy
+  this is hidden, with one straggler warp (a power-law tail row under
+  CSR-vector) it dominates.  This bound is what makes binning and dynamic
+  parallelism *matter* in the model, exactly as on hardware.
+
+The modelled time of a launch is ``max`` of the three bounds plus launch
+overhead.  Everything is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .device import DeviceSpec, Precision
+from .kernel import KernelWork
+from .memory import bandwidth_efficiency
+
+#: Outstanding memory operations one warp keeps in flight (loop unrolling +
+#: independent load addresses give SpMV inner loops substantial MLP).
+MLP_PER_WARP = 8.0
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Breakdown of one launch's modelled time."""
+
+    name: str
+    time_s: float
+    compute_s: float
+    memory_s: float
+    critical_path_s: float
+    launch_overhead_s: float
+    dram_bytes: float
+    n_warps: int
+    occupancy: float
+
+    @property
+    def bound(self) -> str:
+        """Which roofline term dominated this launch."""
+        body = self.time_s - self.launch_overhead_s
+        if body <= 0:
+            return "launch"
+        terms = {
+            "compute": self.compute_s,
+            "memory": self.memory_s,
+            "latency": self.critical_path_s,
+        }
+        return max(terms, key=terms.get)  # type: ignore[arg-type]
+
+
+def _dp_inflation(device: DeviceSpec, work: KernelWork) -> float:
+    """Instruction-count inflation factor for double precision."""
+    if work.precision is Precision.SINGLE:
+        return 1.0
+    slowdown = 1.0 / device.dp_throughput_ratio
+    return 1.0 + work.fp_fraction * (slowdown - 1.0)
+
+
+def simulate_kernel(
+    device: DeviceSpec,
+    work: KernelWork,
+    *,
+    include_launch_overhead: bool = True,
+    launch_overhead_s: float | None = None,
+) -> KernelTiming:
+    """Model the execution time of one kernel launch on ``device``."""
+    overhead = (
+        launch_overhead_s
+        if launch_overhead_s is not None
+        else (device.kernel_launch_overhead_s if include_launch_overhead else 0.0)
+    )
+    n_warps = work.n_warps
+    if n_warps == 0 or work.total_insts == 0:
+        return KernelTiming(
+            name=work.name,
+            time_s=overhead,
+            compute_s=0.0,
+            memory_s=0.0,
+            critical_path_s=0.0,
+            launch_overhead_s=overhead,
+            dram_bytes=0.0,
+            n_warps=n_warps,
+            occupancy=0.0,
+        )
+
+    clock_hz = device.clock_ghz * 1e9
+    inflation = _dp_inflation(device, work)
+    insts = work.compute_insts * inflation
+
+    # --- compute bound: busiest SM under round-robin warp placement.
+    if work.warp_weights is not None:
+        # Weighted entries stand for runs of identical warps, which
+        # round-robin placement spreads evenly: the busiest SM carries the
+        # balanced share plus at most one extra copy of the heaviest entry.
+        total_insts = float(np.sum(insts * work.warp_weights))
+        busiest = total_insts / device.num_sms + float(insts.max())
+        compute_s = busiest / device.warp_issue_rate / clock_hz
+    else:
+        sm_ids = np.arange(work.n_entries) % device.num_sms
+        sm_insts = np.bincount(
+            sm_ids, weights=insts, minlength=device.num_sms
+        )
+        compute_s = float(sm_insts.max()) / device.warp_issue_rate / clock_hz
+
+    # --- bandwidth bound with occupancy-degraded efficiency.  Residency
+    # is capped by the kernel's per-block resources when declared.
+    from .occupancy import residency_cap  # local import (no cycle at load)
+
+    resident = min(
+        device.max_warps_per_sm,
+        residency_cap(device, work.resources),
+        max(1.0, n_warps / device.num_sms),
+    )
+    occupancy = resident / device.max_warps_per_sm
+    eff = bandwidth_efficiency(resident, device)
+    memory_s = work.total_dram_bytes / (device.dram_bandwidth_gbps * 1e9 * eff)
+
+    # --- latency bound: the slowest warp's dependent chain.  A straggler
+    # warp (e.g. a power-law hub row) finishes alone at the kernel tail
+    # with nothing left to hide its stalls, but the hardware still keeps
+    # several loads in flight per warp (memory-level parallelism), so each
+    # "dependent" operation exposes latency/MLP cycles.
+    exposed_latency_cycles = device.dram_latency_cycles / MLP_PER_WARP
+    chain_cycles = insts / device.warp_issue_rate + work.mem_ops * exposed_latency_cycles
+    critical_s = float(chain_cycles.max()) / clock_hz
+
+    body = max(compute_s, memory_s, critical_s)
+    return KernelTiming(
+        name=work.name,
+        time_s=body + overhead,
+        compute_s=compute_s,
+        memory_s=memory_s,
+        critical_path_s=critical_s,
+        launch_overhead_s=overhead,
+        dram_bytes=work.total_dram_bytes,
+        n_warps=n_warps,
+        occupancy=float(occupancy),
+    )
+
+
+@dataclass(frozen=True)
+class SequenceTiming:
+    """Total modelled time of a sequence of dependent launches."""
+
+    timings: tuple[KernelTiming, ...]
+
+    @property
+    def time_s(self) -> float:
+        return sum(t.time_s for t in self.timings)
+
+    @property
+    def launch_overhead_s(self) -> float:
+        return sum(t.launch_overhead_s for t in self.timings)
+
+    @property
+    def dram_bytes(self) -> float:
+        return sum(t.dram_bytes for t in self.timings)
+
+
+def simulate_sequence(
+    device: DeviceSpec,
+    works: list[KernelWork],
+    *,
+    include_launch_overhead: bool = True,
+) -> SequenceTiming:
+    """Model back-to-back launches (each pays its own launch overhead)."""
+    timings = tuple(
+        simulate_kernel(
+            device, w, include_launch_overhead=include_launch_overhead
+        )
+        for w in works
+    )
+    return SequenceTiming(timings=timings)
+
+
+def gflops(flops: float, time_s: float) -> float:
+    """Computation rate in GFLOP/s (the paper's Figure 5 metric)."""
+    if time_s <= 0:
+        raise ValueError("time must be positive")
+    return flops / time_s / 1e9

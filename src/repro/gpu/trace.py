@@ -1,0 +1,141 @@
+"""Kernel timeline traces — observability for the modelled execution.
+
+Every simulated launch can be recorded into a :class:`KernelTrace` and
+exported in the Chrome trace-event format (load it at ``chrome://tracing``
+or in Perfetto), giving the same at-a-glance picture an ``nvprof``
+timeline gives on hardware: which grids ran, for how long, on which
+stream, and what bound them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .simulator import KernelTiming
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One span on the timeline."""
+
+    name: str
+    start_s: float
+    duration_s: float
+    stream: int = 0
+    category: str = "kernel"
+    args: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.duration_s < 0 or self.start_s < 0:
+            raise ValueError("trace spans must be non-negative")
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+class KernelTrace:
+    """An append-only timeline of modelled device activity."""
+
+    def __init__(self, device_name: str = "GPU") -> None:
+        self.device_name = device_name
+        self.events: list[TraceEvent] = []
+        self._cursor_s = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def duration_s(self) -> float:
+        return max((e.end_s for e in self.events), default=0.0)
+
+    def add(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def append_timing(
+        self,
+        timing: KernelTiming,
+        stream: int = 0,
+        category: str = "kernel",
+        concurrent: bool = False,
+    ) -> TraceEvent:
+        """Place a simulated launch on the timeline.
+
+        Sequential events advance the cursor; ``concurrent=True`` overlays
+        the event at the current cursor without advancing it (grids on
+        other streams).
+        """
+        ev = TraceEvent(
+            name=timing.name,
+            start_s=self._cursor_s,
+            duration_s=timing.time_s,
+            stream=stream,
+            category=category,
+            args={
+                "bound": timing.bound,
+                "warps": timing.n_warps,
+                "dram_bytes": timing.dram_bytes,
+                "occupancy": round(timing.occupancy, 3),
+            },
+        )
+        self.events.append(ev)
+        if not concurrent:
+            self._cursor_s = ev.end_s
+        return ev
+
+    def add_span(
+        self,
+        name: str,
+        duration_s: float,
+        stream: int = 0,
+        category: str = "overhead",
+        **args,
+    ) -> TraceEvent:
+        """A non-kernel span (launch overhead, transfer, sync)."""
+        ev = TraceEvent(
+            name=name,
+            start_s=self._cursor_s,
+            duration_s=duration_s,
+            stream=stream,
+            category=category,
+            args=args,
+        )
+        self.events.append(ev)
+        self._cursor_s = ev.end_s
+        return ev
+
+    # ------------------------------------------------------------------
+    def to_chrome_trace(self) -> dict:
+        """The Chrome/Perfetto ``traceEvents`` JSON structure."""
+        out = []
+        for ev in self.events:
+            out.append(
+                {
+                    "name": ev.name,
+                    "cat": ev.category,
+                    "ph": "X",  # complete event
+                    "ts": ev.start_s * 1e6,  # microseconds
+                    "dur": ev.duration_s * 1e6,
+                    "pid": self.device_name,
+                    "tid": f"stream {ev.stream}",
+                    "args": ev.args,
+                }
+            )
+        return {"traceEvents": out, "displayTimeUnit": "ns"}
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_chrome_trace(), indent=1))
+        return path
+
+    def summary(self) -> str:
+        """A one-screen text rendering of the timeline."""
+        lines = [f"trace on {self.device_name}: {len(self.events)} events, "
+                 f"{self.duration_s * 1e6:.1f} us total"]
+        for ev in sorted(self.events, key=lambda e: (e.start_s, e.stream)):
+            bar_start = ev.start_s * 1e6
+            lines.append(
+                f"  [{bar_start:9.2f} +{ev.duration_s * 1e6:8.2f} us] "
+                f"s{ev.stream} {ev.category:9s} {ev.name}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Host <-> device transfer model (PCIe).
+
+Transfer costs matter in two places in the paper:
+
+* Table IV / Figure 4 — alternate formats must ship their transformed (and
+  padded) data to the device, so their preprocessing bill includes the copy;
+* Section VII — for dynamic graphs, CSR/HYB re-copy the *whole* matrix every
+  epoch while ACSR ships only the change lists, which is where the
+  growing speedups of Figure 7 come from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PCIeLink:
+    """A PCIe connection between host and one GPU."""
+
+    #: Effective (not theoretical) bandwidth in GB/s.  PCIe 2.0 x16 sustains
+    #: ~6 GB/s with pinned memory, which matches the paper's era.
+    bandwidth_gbps: float = 6.0
+    #: Fixed per-transfer latency (driver + DMA setup), seconds.
+    latency_s: float = 10.0e-6
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency_s < 0:
+            raise ValueError("latency must be non-negative")
+
+    def transfer_time_s(self, n_bytes: int | float, n_transfers: int = 1) -> float:
+        """Seconds to move ``n_bytes`` in ``n_transfers`` DMA operations."""
+        if n_bytes < 0:
+            raise ValueError("bytes must be non-negative")
+        if n_transfers < 0:
+            raise ValueError("transfer count must be non-negative")
+        if n_bytes == 0 and n_transfers == 0:
+            return 0.0
+        return n_transfers * self.latency_s + float(n_bytes) / (
+            self.bandwidth_gbps * 1e9
+        )
+
+
+#: Link model used by every experiment unless overridden.
+DEFAULT_LINK = PCIeLink()
+
+
+def csr_device_bytes(n_rows: int, nnz: int, value_bytes: int) -> int:
+    """Device footprint of a CSR matrix: values, col_idx, row_off."""
+    if n_rows < 0 or nnz < 0:
+        raise ValueError("sizes must be non-negative")
+    return nnz * value_bytes + nnz * 4 + (n_rows + 1) * 4

@@ -1,0 +1,33 @@
+"""One module per paper artifact (see DESIGN.md's experiment index)."""
+
+from . import (
+    ablations,
+    common,
+    fig3_histogram,
+    fig4_preprocessing,
+    fig5_gflops,
+    fig6_apps,
+    fig7_dynamic,
+    fig8_multigpu,
+    table1_corpus,
+    table2_devices,
+    table3_single_spmv,
+    table4_breakeven,
+    table5_grids,
+)
+
+__all__ = [
+    "ablations",
+    "common",
+    "fig3_histogram",
+    "fig4_preprocessing",
+    "fig5_gflops",
+    "fig6_apps",
+    "fig7_dynamic",
+    "fig8_multigpu",
+    "table1_corpus",
+    "table2_devices",
+    "table3_single_spmv",
+    "table4_breakeven",
+    "table5_grids",
+]

@@ -1,0 +1,184 @@
+"""Ablations over ACSR's design choices (beyond the paper's headline runs).
+
+DESIGN.md calls these out as extension studies:
+
+* **DP on/off** — Titan with and without the dynamic-parallelism group
+  (quantifies what Section V attributes to DP vs binning alone);
+* **ThreadLoad sweep** — the paper's "thread coarsening knob";
+* **BinMax sweep** — how much of the tail to hand to DP;
+* **texture on/off** — value of binding ``x`` to texture memory.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...core.acsr import ACSRFormat
+from ...core.parameters import ACSRParams
+from ...data.corpus import corpus_matrix
+from ...gpu.device import GTX_TITAN, DeviceSpec, Precision
+from ..report import render_table
+from .common import ExperimentResult, default_matrices
+
+
+def run_dp_ablation(
+    matrices: Sequence[str] | None = None,
+    device: DeviceSpec = GTX_TITAN,
+) -> ExperimentResult:
+    """Time ACSR with and without the dynamic-parallelism group."""
+    rows = []
+    for key in default_matrices(matrices):
+        csr = corpus_matrix(key, precision=Precision.SINGLE)
+        with_dp = ACSRFormat.from_csr(csr, ACSRParams(enable_dp=True))
+        without = ACSRFormat.from_csr(csr, ACSRParams(enable_dp=False))
+        t_dp = with_dp.spmv_time_s(device)
+        t_bin = without.spmv_time_s(device)
+        rows.append(
+            {
+                "matrix": key,
+                "dp_us": t_dp * 1e6,
+                "binning_only_us": t_bin * 1e6,
+                "dp_gain": t_bin / t_dp,
+                "n_children": with_dp.plan_for(device).n_row_grids,
+            }
+        )
+
+    def renderer(res: ExperimentResult) -> str:
+        return render_table(
+            "Ablation — dynamic parallelism on/off (GTX Titan)",
+            ["matrix", "dp_us", "bin_us", "gain", "children"],
+            [
+                [
+                    r["matrix"],
+                    r["dp_us"],
+                    r["binning_only_us"],
+                    r["dp_gain"],
+                    r["n_children"],
+                ]
+                for r in res.rows
+            ],
+        )
+
+    return ExperimentResult(
+        experiment="ablation-dp", rows=rows, renderer=renderer
+    )
+
+
+def run_thread_load_sweep(
+    matrix: str = "WIK",
+    loads: Sequence[int] = (2, 4, 8, 16, 32, 64),
+    device: DeviceSpec = GTX_TITAN,
+) -> ExperimentResult:
+    """Sweep the paper's thread-coarsening knob on one matrix."""
+    csr = corpus_matrix(matrix, precision=Precision.SINGLE)
+    rows = []
+    for tl in loads:
+        fmt = ACSRFormat.from_csr(csr, ACSRParams(thread_load=tl))
+        rows.append(
+            {
+                "thread_load": tl,
+                "time_us": fmt.spmv_time_s(device) * 1e6,
+                "children": fmt.plan_for(device).n_row_grids,
+            }
+        )
+
+    def renderer(res: ExperimentResult) -> str:
+        return render_table(
+            f"Ablation — ThreadLoad sweep on {matrix}",
+            ["load", "time_us", "children"],
+            [
+                [r["thread_load"], r["time_us"], r["children"]]
+                for r in res.rows
+            ],
+        )
+
+    return ExperimentResult(
+        experiment="ablation-threadload", rows=rows, renderer=renderer
+    )
+
+
+def run_sic_comparison(
+    matrices: Sequence[str] | None = None,
+    device: DeviceSpec = GTX_TITAN,
+) -> ExperimentResult:
+    """The comparison the paper could not run (Section IX): ACSR vs SIC.
+
+    "Since their implementation was not available, it was not feasible to
+    perform an experimental performance comparison with ACSR."  With both
+    built from scratch here, the comparison follows the paper's
+    *expectation*: SIC behaves like the other reformat-heavy schemes —
+    competitive per-SpMV, expensive to (re)build.
+    """
+    from ..runner import run_cell
+
+    rows = []
+    for key in default_matrices(matrices):
+        acsr = run_cell(key, "acsr", device)
+        sic = run_cell(key, "sic", device)
+        rows.append(
+            {
+                "matrix": key,
+                "st_speedup": sic.st_s / acsr.st_s,
+                "sic_pt_over_st": sic.pt_paper_s() / sic.st_paper_s(),
+                "acsr_pt_over_st": acsr.pt_paper_s() / acsr.st_paper_s(),
+            }
+        )
+
+    def renderer(res: ExperimentResult) -> str:
+        return render_table(
+            "Extension — ACSR vs SIC (the Section IX missing comparison)",
+            ["matrix", "ACSR/SIC", "SIC PT/ST", "ACSR PT/ST"],
+            [
+                [
+                    r["matrix"],
+                    r["st_speedup"],
+                    r["sic_pt_over_st"],
+                    r["acsr_pt_over_st"],
+                ]
+                for r in res.rows
+            ],
+        )
+
+    return ExperimentResult(
+        experiment="ablation-sic", rows=rows, renderer=renderer
+    )
+
+
+def run_bin_max_sweep(
+    matrix: str = "WIK",
+    device: DeviceSpec = GTX_TITAN,
+) -> ExperimentResult:
+    """Sweep BinMax: how much of the tail to hand to child grids."""
+    csr = corpus_matrix(matrix, precision=Precision.SINGLE)
+    auto = ACSRFormat.from_csr(csr)
+    max_bin = auto.binning.max_bin
+    rows = []
+    for bin_max in range(max(1, max_bin - 6), max_bin + 1):
+        try:
+            fmt = ACSRFormat.from_csr(csr, ACSRParams(bin_max=bin_max))
+            t = fmt.spmv_time_s(device)
+            children = fmt.plan_for(device).n_row_grids
+        except ValueError:
+            # Too many rows would land in G1 for this BinMax.
+            t, children = None, None
+        rows.append(
+            {
+                "bin_max": bin_max,
+                "time_us": t * 1e6 if t is not None else None,
+                "children": children,
+            }
+        )
+
+    def renderer(res: ExperimentResult) -> str:
+        return render_table(
+            f"Ablation — BinMax sweep on {matrix} (max bin {max_bin})",
+            ["binmax", "time_us", "children"],
+            [
+                [r["bin_max"], r["time_us"], r["children"]]
+                for r in res.rows
+            ],
+        )
+
+    return ExperimentResult(
+        experiment="ablation-binmax", rows=rows, renderer=renderer
+    )

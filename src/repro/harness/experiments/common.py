@@ -1,0 +1,44 @@
+"""Shared experiment plumbing.
+
+Every experiment module exposes ``run(...) -> ExperimentResult`` whose
+``rows`` are plain dicts (easy to assert on in benchmarks) and whose
+``render()`` prints the paper-style table or series.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from ...data.corpus import POWER_LAW_ABBREVS
+
+#: Subset used when REPRO_QUICK is set (spans tiny, mid, dense, huge-tail).
+QUICK_ABBREVS: tuple[str, ...] = ("ENR", "DBL", "WIK", "HOL")
+
+QUICK_ENV_VAR = "REPRO_QUICK"
+
+
+def default_matrices(matrices: Sequence[str] | None = None) -> tuple[str, ...]:
+    """Experiment matrix list: explicit arg > env quick-mode > full set."""
+    if matrices is not None:
+        return tuple(matrices)
+    if os.environ.get(QUICK_ENV_VAR):
+        return QUICK_ABBREVS
+    return POWER_LAW_ABBREVS
+
+
+@dataclass
+class ExperimentResult:
+    """Rows plus a renderer, produced by every experiment module."""
+
+    experiment: str
+    rows: list[dict[str, Any]]
+    renderer: Callable[["ExperimentResult"], str]
+    summary: dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        return self.renderer(self)
+
+    def column(self, key: str) -> list:
+        return [r[key] for r in self.rows]

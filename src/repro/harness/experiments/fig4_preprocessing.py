@@ -1,0 +1,69 @@
+"""Figure 4: ratio of preprocessing overhead to one SpMV, per format.
+
+The paper reports (log scale) the PT/ST ratio of BCCOO, BRC, TCOO, HYB
+and ACSR on every matrix, with averages of roughly 161k, 87, 3k, 21 and 3
+respectively.  Ratios here are computed at paper scale (compile costs do
+not shrink with the analog matrices).  Single precision, GTX Titan, per
+the paper's setup.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...formats.convert import PAPER_COMPARISON_SET
+from ...gpu.device import GTX_TITAN, DeviceSpec, Precision
+from ..metrics import geometric_mean
+from ..report import render_table
+from ..runner import run_cell
+from .common import ExperimentResult, default_matrices
+
+#: Paper-reported average ratios, used by the benchmarks as shape targets.
+PAPER_AVG_RATIOS = {
+    "bccoo": 161_000.0,
+    "brc": 87.0,
+    "tcoo": 3_000.0,
+    "hyb": 21.0,
+    "acsr": 3.0,
+}
+
+
+def run(
+    matrices: Sequence[str] | None = None,
+    device: DeviceSpec = GTX_TITAN,
+) -> ExperimentResult:
+    """Compute each format's PT/ST ratio per matrix (paper scale)."""
+    formats = PAPER_COMPARISON_SET
+    rows = []
+    for key in default_matrices(matrices):
+        row: dict = {"matrix": key}
+        for fmt in formats:
+            cell = run_cell(key, fmt, device, Precision.SINGLE)
+            row[fmt] = (
+                cell.pt_paper_s() / cell.st_paper_s()
+                if cell.usable
+                else None
+            )
+        rows.append(row)
+
+    summary: dict = {}
+    for fmt in formats:
+        ratios = [r[fmt] for r in rows if r[fmt] is not None]
+        summary[fmt] = geometric_mean(ratios) if ratios else None
+
+    def renderer(res: ExperimentResult) -> str:
+        table = render_table(
+            "Figure 4 — preprocessing time / SpMV time (paper scale)",
+            ["matrix", *formats],
+            [[r["matrix"], *(r[f] for f in formats)] for r in res.rows],
+            col_width=12,
+        )
+        avg = "  ".join(
+            f"{f}={res.summary[f]:.1f}" if res.summary[f] else f"{f}=∅"
+            for f in formats
+        )
+        return table + f"\n(geo)mean ratios: {avg}"
+
+    return ExperimentResult(
+        experiment="fig4", rows=rows, renderer=renderer, summary=summary
+    )

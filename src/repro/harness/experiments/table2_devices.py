@@ -1,0 +1,48 @@
+"""Table II: the GPU testbed registry."""
+
+from __future__ import annotations
+
+from ...gpu.device import DEVICES
+from ..report import render_table
+from .common import ExperimentResult
+
+
+def run() -> ExperimentResult:
+    """Dump the Table II device registry."""
+    rows = []
+    for dev in DEVICES.values():
+        rows.append(
+            {
+                "device": dev.name,
+                "chip": dev.chip,
+                "cc": f"{dev.compute_capability[0]}.{dev.compute_capability[1]}",
+                "sms": dev.num_sms,
+                "cores": dev.total_cores,
+                "clock_ghz": dev.clock_ghz,
+                "bw_gbps": dev.dram_bandwidth_gbps,
+                "mem_gib": dev.memory_gib,
+                "dp": dev.supports_dynamic_parallelism,
+            }
+        )
+
+    def renderer(res: ExperimentResult) -> str:
+        return render_table(
+            "Table II — devices",
+            ["device", "cc", "SMs", "cores", "GHz", "GB/s", "GiB", "DP"],
+            [
+                [
+                    r["device"],
+                    r["cc"],
+                    r["sms"],
+                    r["cores"],
+                    r["clock_ghz"],
+                    r["bw_gbps"],
+                    r["mem_gib"],
+                    str(r["dp"]),
+                ]
+                for r in res.rows
+            ],
+            first_col_width=10,
+        )
+
+    return ExperimentResult(experiment="table2", rows=rows, renderer=renderer)

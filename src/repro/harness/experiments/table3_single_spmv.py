@@ -1,0 +1,62 @@
+"""Table III: speedup of ACSR over each format for a SINGLE SpMV.
+
+One invocation includes preprocessing, so the comparison is
+``(PT_other + ST_other) / (PT_ACSR + ST_ACSR)`` — dominated by the other
+formats' transformation bills, which is why the paper's numbers are "very
+high".  ∅ marks formats that cannot hold the matrix.  Single precision,
+GTX Titan, paper scale.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...gpu.device import GTX_TITAN, DeviceSpec, Precision
+from ..report import render_table
+from ..runner import run_cell
+from .common import ExperimentResult, default_matrices
+
+OTHER_FORMATS = ("bccoo", "brc", "tcoo", "hyb")
+
+
+def run(
+    matrices: Sequence[str] | None = None,
+    device: DeviceSpec = GTX_TITAN,
+) -> ExperimentResult:
+    """Speedup of ACSR for one SpMV including preprocessing."""
+    rows = []
+    for key in default_matrices(matrices):
+        acsr = run_cell(key, "acsr", device, Precision.SINGLE)
+        acsr_total = acsr.pt_paper_s() + acsr.st_paper_s()
+        row: dict = {"matrix": key}
+        for fmt in OTHER_FORMATS:
+            cell = run_cell(key, fmt, device, Precision.SINGLE)
+            row[fmt] = (
+                (cell.pt_paper_s() + cell.st_paper_s()) / acsr_total
+                if cell.usable
+                else None
+            )
+        rows.append(row)
+
+    summary = {
+        fmt: (
+            sum(r[fmt] for r in rows if r[fmt] is not None)
+            / max(1, sum(1 for r in rows if r[fmt] is not None))
+        )
+        for fmt in OTHER_FORMATS
+    }
+
+    def renderer(res: ExperimentResult) -> str:
+        return render_table(
+            "Table III — ACSR speedup for one SpMV (incl. preprocessing)",
+            ["matrix", *OTHER_FORMATS],
+            [
+                [r["matrix"], *(r[f] for f in OTHER_FORMATS)]
+                for r in res.rows
+            ],
+            col_width=12,
+        )
+
+    return ExperimentResult(
+        experiment="table3", rows=rows, renderer=renderer, summary=summary
+    )

@@ -1,0 +1,70 @@
+"""Table IV: SpMV times and break-even iteration counts (Equation 4).
+
+For each format the table reports its single-SpMV time and ``n`` — how
+many solver iterations it takes for that format's faster/slower SpMV to
+amortise its preprocessing against ACSR's.  ``∞`` = ACSR wins at any
+iteration count; ``∅`` = the format cannot hold the matrix.  Single
+precision, GTX Titan, paper scale.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...gpu.device import GTX_TITAN, DeviceSpec, Precision
+from ..metrics import break_even
+from ..report import render_table
+from ..runner import run_cell
+from .common import ExperimentResult, default_matrices
+
+OTHER_FORMATS = ("bccoo", "brc", "tcoo", "hyb")
+
+
+def run(
+    matrices: Sequence[str] | None = None,
+    device: DeviceSpec = GTX_TITAN,
+) -> ExperimentResult:
+    """Per-format SpMV time and Equation 4 break-even counts."""
+    rows = []
+    for key in default_matrices(matrices):
+        acsr = run_cell(key, "acsr", device, Precision.SINGLE)
+        row: dict = {
+            "matrix": key,
+            "acsr_st_ms": acsr.st_paper_s() * 1e3,
+        }
+        for fmt in OTHER_FORMATS:
+            cell = run_cell(key, fmt, device, Precision.SINGLE)
+            if not cell.usable:
+                row[f"{fmt}_st_ms"] = None
+                row[f"{fmt}_n"] = None
+                continue
+            row[f"{fmt}_st_ms"] = cell.st_paper_s() * 1e3
+            be = break_even(
+                cell.pt_paper_s(),
+                cell.st_paper_s(),
+                acsr.pt_paper_s(),
+                acsr.st_paper_s(),
+            )
+            row[f"{fmt}_n"] = float("inf") if be.never else be.iterations
+        rows.append(row)
+
+    def renderer(res: ExperimentResult) -> str:
+        headers = ["matrix", "acsr_ms"]
+        for f in OTHER_FORMATS:
+            headers += [f"{f}_ms", f"{f}_n"]
+        body = []
+        for r in res.rows:
+            line = [r["matrix"], r["acsr_st_ms"]]
+            for f in OTHER_FORMATS:
+                line += [r[f"{f}_st_ms"], r[f"{f}_n"]]
+            body.append(line)
+        return render_table(
+            "Table IV — SpMV time (ms, paper scale) and break-even n (Eq. 4)",
+            headers,
+            body,
+            col_width=11,
+        )
+
+    return ExperimentResult(
+        experiment="table4", rows=rows, renderer=renderer
+    )

@@ -1,0 +1,33 @@
+"""Table V: how many bin-specific (BS) and row-specific (RS) grids ACSR
+launches per matrix on the GTX Titan.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...gpu.device import GTX_TITAN, DeviceSpec, Precision
+from ..report import render_table
+from ..runner import get_format
+from .common import ExperimentResult, default_matrices
+
+
+def run(
+    matrices: Sequence[str] | None = None,
+    device: DeviceSpec = GTX_TITAN,
+) -> ExperimentResult:
+    """Count ACSR's bin-specific and row-specific grids per matrix."""
+    rows = []
+    for key in default_matrices(matrices):
+        acsr = get_format(key, "acsr", Precision.SINGLE)
+        bs, rs = acsr.grid_counts(device)
+        rows.append({"matrix": key, "BS": bs, "RS": rs})
+
+    def renderer(res: ExperimentResult) -> str:
+        return render_table(
+            f"Table V — grids launched by ACSR on {device.name}",
+            ["matrix", "BS", "RS"],
+            [[r["matrix"], r["BS"], r["RS"]] for r in res.rows],
+        )
+
+    return ExperimentResult(experiment="table5", rows=rows, renderer=renderer)

@@ -1,0 +1,97 @@
+"""Evaluation metrics: GFLOPs, speedups, and the break-even count.
+
+Implements the paper's Equations 2–4.  Total time of an iterative solver
+is ``T = PT + n * ST`` (Eq. 2); format A outperforms ACSR once
+
+    n >= (PT_A - PT_ACSR) / (ST_ACSR - ST_A)        (Eq. 4)
+
+A format that is slower *per SpMV* than ACSR never catches up (the
+``∞`` entries of Table IV); a format unable to represent the matrix at
+all gets ``∅``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Sentinel renderings used by the tables.
+INFINITY = "inf"
+UNAVAILABLE = "0"  # the paper's ∅ — rendered as a symbol by report.py
+
+
+def spmv_gflops(nnz: int, time_s: float) -> float:
+    """Computation rate: 2 flops per non-zero (multiply + add)."""
+    if nnz < 0:
+        raise ValueError("nnz must be non-negative")
+    if time_s <= 0:
+        raise ValueError("time must be positive")
+    return 2.0 * nnz / time_s / 1e9
+
+
+def speedup(baseline_s: float, target_s: float) -> float:
+    """How much faster ``target`` is than ``baseline`` (>1 = target wins)."""
+    if baseline_s <= 0 or target_s <= 0:
+        raise ValueError("times must be positive")
+    return baseline_s / target_s
+
+
+@dataclass(frozen=True)
+class BreakEven:
+    """Result of Equation 4 for one (format, matrix) pair."""
+
+    #: Iterations needed for the other format to beat ACSR; ``None`` for
+    #: never (∞).
+    iterations: float | None
+
+    @property
+    def never(self) -> bool:
+        return self.iterations is None
+
+    def render(self) -> str:
+        if self.never:
+            return "∞"
+        if self.iterations <= 0:
+            return "0"
+        if self.iterations >= 1e6:
+            return f"{self.iterations:.1e}"
+        return f"{self.iterations:.0f}"
+
+
+def break_even(
+    pt_other_s: float,
+    st_other_s: float,
+    pt_acsr_s: float,
+    st_acsr_s: float,
+) -> BreakEven:
+    """Equation 4: iterations for the other format to overtake ACSR."""
+    for v in (pt_other_s, st_other_s, pt_acsr_s, st_acsr_s):
+        if v < 0 or math.isnan(v):
+            raise ValueError("times must be non-negative numbers")
+    if st_other_s >= st_acsr_s:
+        # Slower (or equal) per iteration: catches up only if it starts
+        # ahead on preprocessing AND stays ahead — i.e. never, unless its
+        # total is always smaller.
+        if pt_other_s < pt_acsr_s and st_other_s == st_acsr_s:
+            return BreakEven(iterations=0.0)
+        return BreakEven(iterations=None)
+    n = (pt_other_s - pt_acsr_s) / (st_acsr_s - st_other_s)
+    return BreakEven(iterations=max(0.0, n))
+
+
+def arithmetic_mean(values) -> float:
+    """Plain mean (the paper reports arithmetic-mean speedups)."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("mean of empty sequence")
+    return sum(vals) / len(vals)
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean — the right average for ratio data (Figure 4)."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("mean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric mean needs positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

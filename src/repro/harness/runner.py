@@ -1,0 +1,178 @@
+"""Experiment runner: formats x matrices x devices x precisions, cached.
+
+``run_cell`` produces one measurement cell: preprocessing time, SpMV time,
+GFLOPs, and the OOM flag (evaluated against the *paper-scale* footprint,
+since the synthetic analogs are scaled down).  Cells are cached for the
+session so every experiment script can share builds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..data.corpus import corpus_matrix, get_spec, paper_scale_bytes
+from ..formats.base import FormatCapacityError
+from ..formats.convert import build_format
+from ..gpu.device import DeviceSpec, Precision
+from .metrics import spmv_gflops
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One (matrix, format, device, precision) measurement."""
+
+    matrix: str
+    format_name: str
+    device: str
+    precision: Precision
+    #: Modelled single-SpMV time at analog scale, seconds.
+    st_s: float
+    #: Preprocessing (Figure 4's PT): scalable part at analog scale.
+    pt_scalable_s: float
+    #: Size-independent preprocessing (compiles).
+    pt_fixed_s: float
+    #: Analog-scale device footprint, bytes.
+    device_bytes: int
+    nnz: int
+    scale: float
+    #: The format could not hold the paper-scale matrix (Table IV's ∅).
+    oom: bool
+    #: The format is unavailable at this precision (BCCOO/TCOO in DP).
+    unavailable: bool = False
+    notes: str = ""
+
+    @property
+    def gflops(self) -> float:
+        return spmv_gflops(self.nnz, self.st_s)
+
+    @property
+    def pt_s(self) -> float:
+        """Total analog-scale PT."""
+        return self.pt_scalable_s + self.pt_fixed_s
+
+    def st_paper_s(self) -> float:
+        """SpMV time extrapolated to the paper-scale matrix."""
+        return self.st_s / self.scale
+
+    def pt_paper_s(self) -> float:
+        """PT extrapolated to paper scale (compiles don't scale)."""
+        return self.pt_scalable_s / self.scale + self.pt_fixed_s
+
+    @property
+    def usable(self) -> bool:
+        return not (self.oom or self.unavailable)
+
+
+_CELLS: dict[tuple, CellResult] = {}
+_FORMATS: dict[tuple, object] = {}
+
+
+def clear_caches() -> None:
+    """Drop cached cells and format builds (tests / fresh sweeps)."""
+    _CELLS.clear()
+    _FORMATS.clear()
+
+
+def get_format(
+    matrix_key: str,
+    format_name: str,
+    precision: Precision = Precision.SINGLE,
+    scale: float | None = None,
+    **format_kwargs,
+):
+    """Build (or fetch) a format instance over a corpus matrix."""
+    spec = get_spec(matrix_key)
+    s = spec.default_scale if scale is None else scale
+    key = (spec.name, format_name, precision, round(s, 9), tuple(sorted(format_kwargs)))
+    fmt = _FORMATS.get(key)
+    if fmt is None:
+        csr = corpus_matrix(matrix_key, scale=s, precision=precision)
+        fmt = build_format(format_name, csr, **format_kwargs)
+        _FORMATS[key] = fmt
+    return fmt
+
+
+def run_cell(
+    matrix_key: str,
+    format_name: str,
+    device: DeviceSpec,
+    precision: Precision = Precision.SINGLE,
+    scale: float | None = None,
+    **format_kwargs,
+) -> CellResult:
+    """Measure one cell (cached)."""
+    spec = get_spec(matrix_key)
+    s = spec.default_scale if scale is None else scale
+    key = (
+        spec.name,
+        format_name,
+        device.name,
+        precision,
+        round(s, 9),
+        tuple(sorted(format_kwargs)),
+    )
+    cell = _CELLS.get(key)
+    if cell is not None:
+        return cell
+
+    try:
+        fmt = get_format(
+            matrix_key, format_name, precision, s, **format_kwargs
+        )
+    except FormatCapacityError as exc:
+        cell = CellResult(
+            matrix=spec.abbrev,
+            format_name=format_name,
+            device=device.name,
+            precision=precision,
+            st_s=float("nan"),
+            pt_scalable_s=float("nan"),
+            pt_fixed_s=0.0,
+            device_bytes=0,
+            nnz=0,
+            scale=s,
+            oom=True,
+            notes=str(exc),
+        )
+        _CELLS[key] = cell
+        return cell
+    except ValueError as exc:
+        if "single precision" in str(exc):
+            cell = CellResult(
+                matrix=spec.abbrev,
+                format_name=format_name,
+                device=device.name,
+                precision=precision,
+                st_s=float("nan"),
+                pt_scalable_s=float("nan"),
+                pt_fixed_s=0.0,
+                device_bytes=0,
+                nnz=0,
+                scale=s,
+                oom=False,
+                unavailable=True,
+                notes=str(exc),
+            )
+            _CELLS[key] = cell
+            return cell
+        raise
+
+    report = fmt.preprocess
+    footprint = fmt.device_bytes() or report.device_bytes
+    oom = not device.fits(paper_scale_bytes(footprint, s))
+    cell = CellResult(
+        matrix=spec.abbrev,
+        format_name=format_name,
+        device=device.name,
+        precision=precision,
+        st_s=fmt.spmv_time_s(device),
+        pt_scalable_s=report.scalable_s(),
+        pt_fixed_s=report.tuning_fixed_s,
+        device_bytes=footprint,
+        nnz=fmt.nnz,
+        scale=s,
+        oom=oom,
+        notes=report.notes,
+    )
+    _CELLS[key] = cell
+    return cell

@@ -1,0 +1,129 @@
+"""ACSR dynamic-parallelism kernels (Algorithms 3 and 4).
+
+For the long-tail bins (group G1), a *parent* kernel runs one control
+thread per long row; each control thread launches a row-specific *child*
+grid of ``nnz / ThreadLoad`` threads over its own stream.  Children stream
+the row with coalesced accesses, reduce intra-warp with shuffles, and
+combine across warps with one atomic per warp.
+
+Parent threads "are only used for control purposes and do not perform any
+actual computations" (Section III-B), so the parent work is pure
+instruction overhead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.csr import CSRMatrix
+from ..gpu.device import DeviceSpec, Precision, WARP_SIZE
+from ..gpu.kernel import KernelWork
+from ..gpu.memory import coalesced_bytes, gather_dram_bytes, scattered_bytes
+from .common import (
+    ATOMIC_INSTS,
+    INST_PER_ITER,
+    ROW_SETUP_INSTS,
+    SHUFFLE_INST,
+    launch_for_threads,
+    x_hit_rate,
+)
+
+#: Instructions a parent control thread spends preparing + launching one
+#: child grid (argument marshalling, stream setup, launch call).
+PARENT_CONTROL_INSTS = 40.0
+
+
+def execute(
+    csr: CSRMatrix, rows: np.ndarray, x: np.ndarray, y: np.ndarray
+) -> None:
+    """Numerically compute the G1 rows' results in place.
+
+    Each child grid computes one full row dot-product; arithmetic is
+    identical to the bin path, so reuse the same gather formulation.
+    """
+    from .acsr_bin import execute as bin_execute
+
+    bin_execute(csr, rows, x, y)
+
+
+def parent_work(n_children: int, precision: Precision) -> KernelWork:
+    """Cost of the parent (control-only) grid for ``n_children`` rows."""
+    if n_children < 0:
+        raise ValueError("child count must be non-negative")
+    if n_children == 0:
+        return KernelWork.empty("acsr-dp-parent", precision)
+    n_warps = -(-n_children // WARP_SIZE)
+    counts = np.full(n_warps, WARP_SIZE, dtype=np.float64)
+    rem = n_children % WARP_SIZE
+    if rem:
+        counts[-1] = rem
+    # Launch calls serialise within a warp (each lane launches its own
+    # grid), so charge per-thread control instructions.
+    compute = counts * PARENT_CONTROL_INSTS
+    # G1_Row list read + row_off pair per child.
+    dram = coalesced_bytes(counts * 4) + scattered_bytes(counts)
+    return KernelWork(
+        name="acsr-dp-parent",
+        compute_insts=compute,
+        dram_bytes=np.asarray(dram, dtype=np.float64),
+        mem_ops=np.ones(n_warps, dtype=np.float64),
+        flops=0.0,
+        precision=precision,
+        launch=launch_for_threads(n_children),
+    )
+
+
+def child_work(
+    csr: CSRMatrix,
+    row: int,
+    thread_load: int,
+    device: DeviceSpec,
+) -> KernelWork:
+    """Cost of one row-specific child grid (Algorithm 4).
+
+    The grid has ``ceil(nnz / thread_load)`` threads; every thread handles
+    ``thread_load`` elements with a grid-stride loop, so each warp performs
+    ``thread_load`` coalesced iterations, then an intra-warp shuffle
+    reduction and one atomic for the inter-warp combine.
+    """
+    if thread_load < 1:
+        raise ValueError("thread_load must be >= 1")
+    nnz = int(csr.nnz_per_row[row])
+    precision = csr.precision
+    if nnz == 0:
+        return KernelWork.empty(f"acsr-dp-child-r{row}", precision)
+    vb = precision.value_bytes
+    n_threads = max(1, -(-nnz // thread_load))
+    n_warps = -(-n_threads // WARP_SIZE)
+    # Elements per warp: the row split evenly across warps.
+    elems = np.full(n_warps, nnz / n_warps, dtype=np.float64)
+    iters = np.ceil(elems / WARP_SIZE)
+    compute = (
+        iters * INST_PER_ITER
+        + ROW_SETUP_INSTS
+        + 5 * SHUFFLE_INST
+        + ATOMIC_INSTS
+    )
+    hit = x_hit_rate(device, csr.n_cols, precision, csr.gather_profile)
+    matrix = coalesced_bytes(elems * vb) + coalesced_bytes(elems * 4)
+    gather = gather_dram_bytes(elems, vb, hit)
+    dram = matrix + gather + scattered_bytes(np.ones(n_warps))
+    return KernelWork(
+        name=f"acsr-dp-child-r{row}",
+        compute_insts=np.asarray(compute, dtype=np.float64),
+        dram_bytes=np.asarray(dram, dtype=np.float64),
+        mem_ops=iters * 2.0,  # col load -> dependent x gather per iteration
+        flops=2.0 * nnz,
+        precision=precision,
+        launch=launch_for_threads(n_threads),
+    )
+
+
+def children_works(
+    csr: CSRMatrix,
+    rows: np.ndarray,
+    thread_load: int,
+    device: DeviceSpec,
+) -> list[KernelWork]:
+    """One child grid per G1 row."""
+    return [child_work(csr, int(r), thread_load, device) for r in np.asarray(rows)]

@@ -1,0 +1,51 @@
+"""BRC kernel: blocked row-column SpMV (Ashari et al. [1]).
+
+BRC reorders rows by decreasing length and packs them into blocks whose
+rows have similar lengths, each block stored ELL-style with its own width.
+Padding is tiny (~1% space overhead, Section V) and warps are balanced,
+but the output permutation makes ``y`` writes scattered, and the heavy
+preprocessing (a full sort plus data reshuffle) is what Figure 4 charges
+it for.
+"""
+
+from __future__ import annotations
+
+from ..gpu.device import DeviceSpec, Precision
+from ..gpu.kernel import KernelWork
+from ..gpu.memory import GatherProfile
+from .ell_kernel import work as ell_work_fn
+
+
+def block_works(
+    blocks: list[tuple[int, int, int]],
+    *,
+    device: DeviceSpec,
+    n_cols: int,
+    precision: Precision,
+    profile: GatherProfile,
+) -> list[KernelWork]:
+    """Cost of one BRC SpMV: one balanced ELL-style launch per block.
+
+    ``blocks`` lists ``(n_rows, width, real_nnz)`` per block.  Blocks are
+    processed by a single fused kernel on hardware; modelling them as
+    back-to-back launches only adds launch overheads, so the caller merges
+    them when fusing.
+    """
+    works = []
+    for i, (n_rows, width, real_nnz) in enumerate(blocks):
+        if n_rows == 0 or width == 0:
+            continue
+        works.append(
+            ell_work_fn(
+                n_rows,
+                width,
+                real_nnz,
+                device=device,
+                n_cols=n_cols,
+                precision=precision,
+                profile=profile,
+                name=f"brc-block{i}",
+                scattered_y=True,
+            )
+        )
+    return works

@@ -1,0 +1,320 @@
+"""Shared kernel cost-model machinery.
+
+Every SpMV kernel in ``repro.kernels`` reduces to a handful of warp-level
+patterns; this module holds the instruction-count constants and the
+traffic builders they share.  The constants are per *warp-instruction
+slot* and were chosen once, globally — no per-experiment tuning — so the
+relative performance of kernels is an emergent property of their access
+patterns, not of fitted constants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.device import Precision, WARP_SIZE, DeviceSpec
+from ..gpu.kernel import KernelWork, LaunchConfig
+from ..gpu.memory import (
+    SECTOR_BYTES,
+    GatherProfile,
+    coalesced_bytes,
+    gather_dram_bytes,
+    scattered_bytes,
+    texture_hit_rate,
+)
+from ..gpu.warp import (
+    pack_rows_into_warps,
+    shuffle_reduction_steps,
+)
+
+#: Warp-instructions per SIMT inner-loop iteration of an SpMV kernel
+#: (value load, column load, texture fetch, FMA, index update, branch).
+INST_PER_ITER = 6.0
+
+#: One-time per-row instructions (row_off loads, bounds checks, y write).
+ROW_SETUP_INSTS = 8.0
+
+#: Instructions per shuffle reduction step.
+SHUFFLE_INST = 1.0
+
+#: Extra serialised instructions charged per atomic update.
+ATOMIC_INSTS = 12.0
+
+#: Default CUDA block size used by every kernel's launch geometry.
+BLOCK_THREADS = 128
+
+
+def x_hit_rate(
+    device: DeviceSpec,
+    n_cols: int,
+    precision: Precision,
+    profile: GatherProfile,
+) -> float:
+    """Texture hit rate for gathering the input vector on ``device``."""
+    return texture_hit_rate(
+        device, float(n_cols) * precision.value_bytes, profile
+    )
+
+
+def launch_for_threads(total_threads: int) -> LaunchConfig:
+    """Standard 128-thread-block launch covering ``total_threads``."""
+    blocks = max(1, -(-total_threads // BLOCK_THREADS))
+    return LaunchConfig(grid_blocks=blocks, threads_per_block=BLOCK_THREADS)
+
+
+def gang_row_work(
+    name: str,
+    nnz_per_row: np.ndarray,
+    vector_size: int,
+    *,
+    device: DeviceSpec,
+    n_cols: int,
+    precision: Precision,
+    profile: GatherProfile,
+    coalesced: bool = True,
+    indirect_rows: bool = False,
+    row_density: float = 1.0,
+    sector_sharing: float = 1.0,
+    flops: float | None = None,
+) -> KernelWork:
+    """Cost of the *thread-gang per row* pattern.
+
+    Covers CSR-scalar (``vector_size=1``, ``coalesced=False``), CSR-vector,
+    and the ACSR bin-specific kernels (``coalesced=True``).
+
+    **Matrix traffic (coalesced path).**  Gangs read contiguous row
+    segments, so a kernel that visits rows in storage order *streams* the
+    values/col_idx arrays: traffic is the exact byte span of the rows it
+    touches, plus boundary sectors where a touched row abuts an untouched
+    one.  ``row_density`` is the fraction of all rows this kernel covers
+    (1.0 for CSR kernels; ``bin_rows / n_rows`` for an ACSR bin): the
+    denser the coverage, the fewer boundary sectors are wasted.
+
+    **Matrix traffic (uncoalesced path).**  CSR-scalar's lanes walk 32
+    distant rows in lockstep, thrashing sectors: every element costs a
+    sector from each of the two arrays, attenuated by ``sector_sharing``.
+
+    ``indirect_rows`` models kernels that fetch their row ids through an
+    indirection array (ACSR's ``BIN#N_Rows``): the row-offset loads and the
+    ``y`` writes become scattered, and the indirection array itself is
+    streamed.
+    """
+    if not 0.0 < sector_sharing <= 1.0:
+        raise ValueError("sector_sharing must be in (0, 1]")
+    if not 0.0 < row_density <= 1.0:
+        raise ValueError("row_density must be in (0, 1]")
+    nnz_per_row = np.asarray(nnz_per_row, dtype=np.int64)
+    gang = pack_rows_into_warps(nnz_per_row, vector_size)
+    vb = precision.value_bytes
+    n_warps = gang.n_warps
+    if n_warps == 0:
+        return KernelWork.empty(name, precision)
+
+    # Row setup executes once per row-gang; when several rows share a warp
+    # the setups serialise (different lanes, same issue slots), so charge
+    # one setup per row covered by the warp.  The shuffle reduction runs
+    # once per warp (all gangs reduce in lockstep).
+    steps = shuffle_reduction_steps(min(vector_size, WARP_SIZE))
+    compute = (
+        gang.warp_iters.astype(np.float64) * INST_PER_ITER
+        + gang.warp_rows.astype(np.float64) * ROW_SETUP_INSTS
+        + steps * SHUFFLE_INST * np.minimum(gang.warp_rows, 1)
+    )
+
+    hit = x_hit_rate(device, n_cols, precision, profile)
+    gather = gather_dram_bytes(gang.warp_nnz, vb, hit)
+    if coalesced:
+        # Two traffic floors apply simultaneously:
+        # (1) byte span — the rows' data must move at least once;
+        # (2) transaction granularity — a gang-iteration's load costs at
+        #     least one 32-byte sector *unless* neighbouring gangs' row
+        #     segments merge into the same sector.  Merging happens when
+        #     gangs are small (several per warp instruction) AND the rows
+        #     they cover are adjacent in storage (``row_density``).  A
+        #     warp-per-row kernel (cuSPARSE csrmv) walking 3-nnz rows
+        #     pays a full sector per array per row; ACSR's bin-1 kernel
+        #     over a dense run of such rows streams them.
+        # Plus a boundary charge where a touched row abuts an untouched one.
+        nnzf = gang.warp_nnz.astype(np.float64)
+        itersf = gang.useful_iters.astype(np.float64)
+        gang_frac = min(vector_size, WARP_SIZE) / WARP_SIZE
+        floor = SECTOR_BYTES * (
+            gang_frac + (1.0 - gang_frac) * (1.0 - row_density)
+        )
+        boundary = (1.0 - row_density) * 2 * SECTOR_BYTES
+        matrix = (
+            np.maximum(nnzf * vb, itersf * floor)
+            + np.maximum(nnzf * 4, itersf * floor)
+            + gang.warp_rows.astype(np.float64) * boundary
+        )
+    else:
+        # Scalar pathology: every element load costs a sector, twice
+        # (values array and col_idx array), attenuated by sector sharing.
+        matrix = scattered_bytes(gang.warp_nnz) * 2.0 * sector_sharing
+    if indirect_rows:
+        # BIN_Rows stream (coalesced) + row_off pairs + y writes through the
+        # indirection: per-access sector cost shrinks as the bin's rows
+        # densify (8 int32 entries share a sector).
+        per_access = SECTOR_BYTES / max(1.0, row_density * 8.0)
+        row_meta = (
+            coalesced_bytes(gang.warp_rows * 4)
+            + gang.warp_rows.astype(np.float64) * 2.0 * per_access
+        )
+    else:
+        row_meta = coalesced_bytes((gang.warp_rows + 1) * 4) + coalesced_bytes(
+            gang.warp_rows * vb
+        )
+    dram = matrix + gather + row_meta
+
+    total_nnz = float(nnz_per_row.sum())
+    return KernelWork(
+        name=name,
+        compute_insts=compute,
+        dram_bytes=np.asarray(dram, dtype=np.float64),
+        # Each iteration's critical chain is two dependent loads: col_idx,
+        # then x[col] — the gather cannot issue before its index arrives.
+        mem_ops=gang.warp_iters.astype(np.float64) * 2.0,
+        flops=2.0 * total_nnz if flops is None else flops,
+        precision=precision,
+        launch=launch_for_threads(
+            int(nnz_per_row.shape[0]) * min(vector_size, WARP_SIZE)
+            if vector_size <= WARP_SIZE
+            else n_warps * WARP_SIZE
+        ),
+    )
+
+
+def elementwise_work(
+    name: str,
+    total_elements: int,
+    rows_spanned: int,
+    *,
+    device: DeviceSpec,
+    n_cols: int,
+    precision: Precision,
+    profile: GatherProfile,
+    index_bytes_per_elem: float = 8.0,
+    reduction: bool = True,
+    hit_rate_override: float | None = None,
+    flops: float | None = None,
+) -> KernelWork:
+    """Cost of the *thread per element* pattern (COO-family kernels).
+
+    ``index_bytes_per_elem`` is the contiguous index traffic per element
+    (plain COO reads row + col = 8 bytes; compressed layouts such as BCCOO
+    read far less).  Segmented reduction adds shuffle steps per warp plus
+    one atomic per row *boundary* crossed.
+    """
+    if total_elements < 0:
+        raise ValueError("element count must be non-negative")
+    if total_elements == 0:
+        return KernelWork.empty(name, precision)
+    vb = precision.value_bytes
+    n_warps = -(-total_elements // WARP_SIZE)
+    rem = total_elements % WARP_SIZE
+    # All full warps are identical: two weighted entries describe the
+    # whole launch, whatever its size.
+    if rem and n_warps > 1:
+        counts = np.array([float(WARP_SIZE), float(rem)])
+        weights = np.array([float(n_warps - 1), 1.0])
+    elif rem:
+        counts = np.array([float(rem)])
+        weights = np.array([1.0])
+    else:
+        counts = np.array([float(WARP_SIZE)])
+        weights = np.array([float(n_warps)])
+
+    # One SIMT iteration per warp over its 32 elements, plus the segmented
+    # scan (5 shuffle steps) and the expected atomics: a warp emits one
+    # carry atomic, plus extra atomics when many row boundaries fall inside
+    # it.
+    boundaries_per_warp = min(
+        float(WARP_SIZE), rows_spanned / max(1, n_warps) + 1.0
+    )
+    compute = (
+        counts / WARP_SIZE * INST_PER_ITER
+        + (5 * SHUFFLE_INST if reduction else 0.0)
+        + (ATOMIC_INSTS * boundaries_per_warp if reduction else 0.0)
+    )
+
+    hit = (
+        hit_rate_override
+        if hit_rate_override is not None
+        else x_hit_rate(device, n_cols, precision, profile)
+    )
+    matrix = coalesced_bytes(counts * vb) + coalesced_bytes(
+        counts * index_bytes_per_elem
+    )
+    gather = gather_dram_bytes(counts, vb, hit)
+    atomic_traffic = (
+        scattered_bytes(np.full(counts.shape[0], boundaries_per_warp))
+        if reduction
+        else 0.0
+    )
+    dram = matrix + gather + atomic_traffic
+
+    return KernelWork(
+        name=name,
+        compute_insts=np.asarray(compute, dtype=np.float64),
+        dram_bytes=np.asarray(dram, dtype=np.float64),
+        mem_ops=np.ceil(counts / WARP_SIZE) * 2.0,
+        flops=2.0 * float(total_elements) if flops is None else flops,
+        precision=precision,
+        launch=launch_for_threads(total_elements),
+        warp_weights=weights,
+    )
+
+
+def ell_work(
+    name: str,
+    n_rows: int,
+    width: int,
+    real_nnz: int,
+    *,
+    device: DeviceSpec,
+    n_cols: int,
+    precision: Precision,
+    profile: GatherProfile,
+    scattered_y: bool = False,
+) -> KernelWork:
+    """Cost of a column-major ELL kernel of ``width`` columns.
+
+    Fully coalesced (the point of ELL) but reads *all* padding: the
+    per-warp traffic is ``width`` full iterations whether the rows need
+    them or not.  ``scattered_y`` models permuted-output variants (BRC).
+    """
+    if n_rows < 0 or width < 0 or real_nnz < 0:
+        raise ValueError("sizes must be non-negative")
+    if n_rows == 0 or width == 0:
+        return KernelWork.empty(name, precision)
+    vb = precision.value_bytes
+    n_warps = -(-n_rows // WARP_SIZE)
+    compute = np.full(
+        n_warps, width * INST_PER_ITER + ROW_SETUP_INSTS, dtype=np.float64
+    )
+    per_iter_bytes = coalesced_bytes(WARP_SIZE * vb) + coalesced_bytes(
+        WARP_SIZE * 4
+    )
+    matrix = np.full(n_warps, width * per_iter_bytes, dtype=np.float64)
+    hit = x_hit_rate(device, n_cols, precision, profile)
+    gathers_per_warp = real_nnz / n_warps
+    gather = gather_dram_bytes(
+        np.full(n_warps, gathers_per_warp), vb, hit
+    )
+    if scattered_y:
+        # Permuted output (BRC): writes are scattered, but rows grouped
+        # into a block were adjacent in sorted order, so roughly half of
+        # each sector is co-written by blockmates.
+        y_bytes = scattered_bytes(np.full(n_warps, float(WARP_SIZE))) * 0.5
+    else:
+        y_bytes = coalesced_bytes(np.full(n_warps, WARP_SIZE * vb))
+    dram = matrix + gather + y_bytes
+    return KernelWork(
+        name=name,
+        compute_insts=compute,
+        dram_bytes=np.asarray(dram, dtype=np.float64),
+        mem_ops=np.full(n_warps, float(width) * 2.0, dtype=np.float64),
+        flops=2.0 * float(real_nnz),
+        precision=precision,
+        launch=launch_for_threads(n_rows),
+    )

@@ -1,0 +1,66 @@
+"""COO kernel with segmented reduction (CUSP's ``spmv_coo_flat``).
+
+One thread per non-zero; a warp-level segmented scan accumulates partial
+products that belong to the same row, and carries across warp boundaries
+are resolved with atomics.  Perfectly load balanced, but it pays
+reduction/atomic overhead per warp — the "excessive synchronization
+overhead" the paper cites for COO-family formats (Section I).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.device import DeviceSpec, Precision
+from ..gpu.kernel import KernelWork
+from ..gpu.memory import GatherProfile
+from .common import elementwise_work
+
+
+def execute(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    x: np.ndarray,
+    n_rows: int,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Numerical COO SpMV: scatter-add of per-element products.
+
+    ``out`` accumulates in place when provided (the HYB kernel adds the
+    COO part on top of the ELL part's result).
+    """
+    if rows.shape != cols.shape or rows.shape != vals.shape:
+        raise ValueError("COO arrays must have equal length")
+    y = out if out is not None else np.zeros(n_rows, dtype=x.dtype)
+    if rows.size:
+        prod = vals.astype(np.float64, copy=False) * x.astype(
+            np.float64, copy=False
+        )[cols]
+        acc = np.bincount(rows, weights=prod, minlength=n_rows)
+        y += acc.astype(y.dtype, copy=False)
+    return y
+
+
+def work(
+    nnz: int,
+    n_rows_spanned: int,
+    *,
+    device: DeviceSpec,
+    n_cols: int,
+    precision: Precision,
+    profile: GatherProfile,
+    name: str = "coo-segmented",
+) -> KernelWork:
+    """Cost model for the segmented-reduction COO launch."""
+    return elementwise_work(
+        name,
+        total_elements=nnz,
+        rows_spanned=n_rows_spanned,
+        device=device,
+        n_cols=n_cols,
+        precision=precision,
+        profile=profile,
+        index_bytes_per_elem=8.0,  # row index + column index
+        reduction=True,
+    )

@@ -1,0 +1,45 @@
+"""Scalar-CSR kernel: one thread per row.
+
+The straightforward CSR SpMV (Section II): thread ``i`` walks row ``i``.
+Two pathologies make it slow on power-law matrices, both captured by the
+cost model:
+
+* **thread divergence** — a warp runs for the *longest* of its 32 rows;
+* **uncoalesced access** — each lane streams a different region of the
+  values/col_idx arrays, so every load is its own 32-byte sector.
+
+This is the "CSR" baseline of Figure 5 and Figure 6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.csr import CSRMatrix, csr_matvec
+from ..gpu.device import DeviceSpec
+from ..gpu.kernel import KernelWork
+from .common import gang_row_work
+
+
+def execute(csr: CSRMatrix, x: np.ndarray) -> np.ndarray:
+    """Numerical result of the scalar-CSR kernel (exact SpMV)."""
+    return csr.matvec(x)
+
+
+def work(csr: CSRMatrix, device: DeviceSpec) -> KernelWork:
+    """Cost model for the scalar-CSR launch."""
+    return gang_row_work(
+        "csr-scalar",
+        csr.nnz_per_row,
+        vector_size=1,
+        device=device,
+        n_cols=csr.n_cols,
+        precision=csr.precision,
+        profile=csr.gather_profile,
+        coalesced=False,
+    )
+
+
+def spmv(csr: CSRMatrix, x: np.ndarray, device: DeviceSpec) -> tuple[np.ndarray, KernelWork]:
+    """Execute and cost in one call."""
+    return execute(csr, x), work(csr, device)

@@ -1,0 +1,75 @@
+"""ELLPACK kernel: one thread per row over a zero-padded dense slab.
+
+ELL stores the matrix as a dense ``n_rows x width`` array in column-major
+order, so a warp's 32 lanes always read 32 consecutive entries — perfect
+coalescing, zero divergence.  The price is padding: every row is read out
+to ``width`` whether it has data there or not, which is the "redundant
+computation and data transfer" cost the paper charges against
+padding-based formats (Section I).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.device import DeviceSpec, Precision
+from ..gpu.kernel import KernelWork
+from ..gpu.memory import GatherProfile
+from .common import ell_work
+
+#: Column index marking a padding slot.
+PAD_COL = -1
+
+
+def execute(
+    ell_cols: np.ndarray,
+    ell_vals: np.ndarray,
+    x: np.ndarray,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Numerical ELL SpMV over ``(n_rows, width)`` arrays.
+
+    Padding slots carry ``PAD_COL`` in ``ell_cols`` and are skipped, as in
+    the CUSP kernel's bounds check.
+    """
+    if ell_cols.shape != ell_vals.shape:
+        raise ValueError("ELL column and value slabs must match in shape")
+    n_rows = ell_cols.shape[0]
+    y = out if out is not None else np.zeros(n_rows, dtype=x.dtype)
+    if ell_cols.size:
+        valid = ell_cols != PAD_COL
+        safe_cols = np.where(valid, ell_cols, 0)
+        prod = np.where(
+            valid,
+            ell_vals.astype(np.float64, copy=False)
+            * x.astype(np.float64, copy=False)[safe_cols],
+            0.0,
+        )
+        y += prod.sum(axis=1).astype(y.dtype, copy=False)
+    return y
+
+
+def work(
+    n_rows: int,
+    width: int,
+    real_nnz: int,
+    *,
+    device: DeviceSpec,
+    n_cols: int,
+    precision: Precision,
+    profile: GatherProfile,
+    name: str = "ell",
+    scattered_y: bool = False,
+) -> KernelWork:
+    """Cost model for the ELL launch."""
+    return ell_work(
+        name,
+        n_rows=n_rows,
+        width=width,
+        real_nnz=real_nnz,
+        device=device,
+        n_cols=n_cols,
+        precision=precision,
+        profile=profile,
+        scattered_y=scattered_y,
+    )

@@ -1,0 +1,73 @@
+"""HYB kernel: ELL slab for the regular part, COO for the overflow.
+
+CUSP's HYB SpMV is two dependent launches — the ELL kernel writes ``y``
+and the COO kernel accumulates the long-row overflow on top (Section II,
+Figure 1-b).  Both component kernels live in their own modules; this one
+composes them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.device import DeviceSpec, Precision
+from ..gpu.kernel import KernelWork
+from ..gpu.memory import GatherProfile
+from . import coo_segmented, ell_kernel
+
+
+def execute(
+    ell_cols: np.ndarray,
+    ell_vals: np.ndarray,
+    coo_rows: np.ndarray,
+    coo_cols: np.ndarray,
+    coo_vals: np.ndarray,
+    x: np.ndarray,
+) -> np.ndarray:
+    """Numerical HYB SpMV: ELL part, then COO accumulation."""
+    y = ell_kernel.execute(ell_cols, ell_vals, x)
+    return coo_segmented.execute(
+        coo_rows, coo_cols, coo_vals, x, n_rows=y.shape[0], out=y
+    )
+
+
+def works(
+    n_rows: int,
+    ell_width: int,
+    ell_real_nnz: int,
+    coo_nnz: int,
+    coo_rows_spanned: int,
+    *,
+    device: DeviceSpec,
+    n_cols: int,
+    precision: Precision,
+    profile: GatherProfile,
+) -> list[KernelWork]:
+    """The two launches of one HYB SpMV (empty parts are skipped)."""
+    out: list[KernelWork] = []
+    if ell_width > 0 and n_rows > 0:
+        out.append(
+            ell_kernel.work(
+                n_rows,
+                ell_width,
+                ell_real_nnz,
+                device=device,
+                n_cols=n_cols,
+                precision=precision,
+                profile=profile,
+                name="hyb-ell",
+            )
+        )
+    if coo_nnz > 0:
+        out.append(
+            coo_segmented.work(
+                coo_nnz,
+                coo_rows_spanned,
+                device=device,
+                n_cols=n_cols,
+                precision=precision,
+                profile=profile,
+                name="hyb-coo",
+            )
+        )
+    return out

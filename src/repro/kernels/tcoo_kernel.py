@@ -1,0 +1,57 @@
+"""TCOO kernel: tile-COO SpMV (Yang et al. [28]).
+
+TCOO partitions the matrix into column tiles sized so each tile's slice of
+``x`` fits the texture cache, giving near-perfect gather hit rates at the
+cost of per-element row+col indices and a cross-tile accumulation pass.
+The best tile count is found by exhaustive search (Section V), which is
+where its ~3k-SpMV preprocessing bill comes from.
+"""
+
+from __future__ import annotations
+
+from ..gpu.device import DeviceSpec, Precision
+from ..gpu.kernel import KernelWork
+from ..gpu.memory import GatherProfile
+from .common import elementwise_work
+
+#: Gather hit rate inside a tile whose x-slice fits the texture cache.
+TILE_HIT_RATE = 0.97
+
+
+def work(
+    nnz: int,
+    n_rows: int,
+    n_tiles: int,
+    *,
+    device: DeviceSpec,
+    n_cols: int,
+    precision: Precision,
+    profile: GatherProfile,
+) -> KernelWork:
+    """Cost model for one tiled-COO SpMV (all tiles, one launch).
+
+    More tiles improve locality but re-touch ``y`` once per tile; the
+    extra accumulation traffic is charged per tile.
+    """
+    if n_tiles < 1:
+        raise ValueError("need at least one tile")
+    base = elementwise_work(
+        f"tcoo/{n_tiles}t",
+        total_elements=nnz,
+        rows_spanned=n_rows * n_tiles,
+        device=device,
+        n_cols=n_cols,
+        precision=precision,
+        profile=profile,
+        index_bytes_per_elem=8.0,
+        reduction=True,
+        hit_rate_override=TILE_HIT_RATE if n_tiles > 1 else None,
+    )
+    return base
+
+
+def tile_x_bytes(n_cols: int, n_tiles: int, precision: Precision) -> float:
+    """Bytes of the ``x`` slice one tile gathers from."""
+    if n_tiles < 1:
+        raise ValueError("need at least one tile")
+    return n_cols / n_tiles * precision.value_bytes

@@ -1,0 +1,66 @@
+"""In-device CSR row-update kernel (Section VII).
+
+For dynamic graphs, ACSR updates the CSR arrays *on the device* from a
+compact change list instead of re-copying the whole matrix.  The paper's
+kernel assigns a warp per updated row but only the warp's first thread
+performs the edit (avoiding intra-warp divergence): it deletes the listed
+columns, compacts the row leftward, then appends the insert list into the
+row's reserved slack.  Delete and insert lists are sorted.
+
+The numeric counterpart operates on :class:`repro.dynamic.dyncsr.DynCSR`;
+this module provides the cost model for the kernel launch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.device import DeviceSpec, Precision, WARP_SIZE
+from ..gpu.kernel import KernelWork
+from ..gpu.memory import coalesced_bytes, scattered_bytes
+from .common import ROW_SETUP_INSTS, launch_for_threads
+
+#: Serial instructions per element moved/compared by the single active lane.
+SERIAL_INSTS_PER_ELEM = 4.0
+
+
+def work(
+    row_lengths: np.ndarray,
+    n_deletes_per_row: np.ndarray,
+    n_inserts_per_row: np.ndarray,
+    precision: Precision,
+    device: DeviceSpec,
+) -> KernelWork:
+    """Cost of one update launch over the listed rows.
+
+    Each updated row costs a merge scan of its current length (delete +
+    compact), plus the insert append.  Work is serial within the single
+    active lane, so instruction counts are per-element, not per-warp —
+    exactly the trade-off the paper accepts to avoid divergence.
+    """
+    row_lengths = np.asarray(row_lengths, dtype=np.float64)
+    dels = np.asarray(n_deletes_per_row, dtype=np.float64)
+    ins = np.asarray(n_inserts_per_row, dtype=np.float64)
+    if row_lengths.shape != dels.shape or row_lengths.shape != ins.shape:
+        raise ValueError("per-row arrays must share a shape")
+    n_rows = row_lengths.shape[0]
+    if n_rows == 0:
+        return KernelWork.empty("csr-update", precision)
+    vb = precision.value_bytes
+
+    # One warp per row: per-warp cost is that row's serial edit.
+    touched = row_lengths + dels + ins
+    compute = touched * SERIAL_INSTS_PER_ELEM + ROW_SETUP_INSTS
+    # Row data is read and rewritten (compaction), plus the change lists.
+    row_bytes = coalesced_bytes(row_lengths * (vb + 4)) * 2.0
+    change_bytes = coalesced_bytes((dels + ins) * (vb + 4))
+    dram = row_bytes + change_bytes + scattered_bytes(np.ones(n_rows))
+    return KernelWork(
+        name="csr-update",
+        compute_insts=np.asarray(compute, dtype=np.float64),
+        dram_bytes=np.asarray(dram, dtype=np.float64),
+        mem_ops=np.maximum(1.0, np.ceil(touched * (vb + 4) / 128.0)),
+        flops=0.0,
+        precision=precision,
+        launch=launch_for_threads(n_rows * WARP_SIZE),
+    )

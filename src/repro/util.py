@@ -1,0 +1,20 @@
+"""Small shared numeric utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def count_unique(values: np.ndarray) -> int:
+    """Number of distinct values, via an explicit sort.
+
+    Equivalent to ``np.unique(values).shape[0]`` but avoids NumPy's
+    hash-based unique path, which is an order of magnitude slower on the
+    multi-million-entry int64 key arrays this package produces (block
+    ids, column indices).
+    """
+    arr = np.asarray(values)
+    if arr.size == 0:
+        return 0
+    s = np.sort(arr, kind="stable")
+    return int(np.count_nonzero(s[1:] != s[:-1])) + 1

@@ -1,0 +1,110 @@
+"""The shared iteration driver."""
+
+import numpy as np
+import pytest
+
+from repro.apps.power_method import (
+    euclidean_distance,
+    run_power_method,
+    vector_ops_work,
+)
+from repro.formats.csr_format import CSRFormat
+from repro.formats.csr import CSRMatrix
+from repro.gpu.device import GTX_TITAN, Precision
+
+
+def diagonal_halver(n=32):
+    """A = 0.5 I — every iterate halves, so convergence is analysable."""
+    idx = np.arange(n)
+    return CSRMatrix.from_coo(
+        idx, idx, np.full(n, 0.5), (n, n), precision=Precision.DOUBLE
+    )
+
+
+class TestDistance:
+    def test_zero_for_identical(self):
+        v = np.ones(10)
+        assert euclidean_distance(v, v) == 0.0
+
+    def test_known_value(self):
+        assert euclidean_distance(
+            np.array([3.0, 0.0]), np.array([0.0, 4.0])
+        ) == pytest.approx(5.0)
+
+
+class TestVectorOpsWork:
+    def test_scales_with_passes(self):
+        w1 = vector_ops_work(10_000, 2, Precision.SINGLE)
+        w2 = vector_ops_work(10_000, 4, Precision.SINGLE)
+        assert w2.total_dram_bytes == pytest.approx(
+            2 * w1.total_dram_bytes
+        )
+
+    def test_empty(self):
+        assert vector_ops_work(0, 3, Precision.SINGLE).n_warps == 0
+
+
+class TestDriver:
+    def test_geometric_convergence(self):
+        fmt = CSRFormat.from_csr(diagonal_halver())
+        res = run_power_method(
+            fmt,
+            GTX_TITAN,
+            x0=np.ones(32),
+            step=lambda x, ax: ax,
+            epsilon=1e-6,
+        )
+        assert res.converged
+        # ||x_k - x_{k+1}|| = 0.5^k * ||x0|| / 2... about 25 iterations
+        assert 15 <= res.iterations <= 35
+        assert np.all(np.abs(res.vector) < 1e-4)
+
+    def test_iteration_cap(self):
+        fmt = CSRFormat.from_csr(diagonal_halver())
+        res = run_power_method(
+            fmt,
+            GTX_TITAN,
+            x0=np.ones(32),
+            step=lambda x, ax: ax,
+            epsilon=1e-300,
+            max_iterations=7,
+        )
+        assert not res.converged
+        assert res.iterations == 7
+
+    def test_divergence_detected(self):
+        """A doubling operator overflows; the driver must stop."""
+        n = 16
+        idx = np.arange(n)
+        doubler = CSRMatrix.from_coo(
+            idx, idx, np.full(n, 1e30), (n, n), precision=Precision.SINGLE
+        )
+        fmt = CSRFormat.from_csr(doubler)
+        with np.errstate(over="ignore", invalid="ignore"):
+            res = run_power_method(
+                fmt,
+                GTX_TITAN,
+                x0=np.full(n, 1e30, dtype=np.float32),
+                step=lambda x, ax: ax,
+                epsilon=1e-9,
+            )
+        assert not res.converged
+        assert res.iterations < 50
+
+    def test_rejects_bad_epsilon(self):
+        fmt = CSRFormat.from_csr(diagonal_halver())
+        with pytest.raises(ValueError):
+            run_power_method(
+                fmt, GTX_TITAN, np.ones(32), lambda x, ax: ax, epsilon=0.0
+            )
+
+    def test_time_includes_vector_ops(self):
+        fmt = CSRFormat.from_csr(diagonal_halver())
+        res = run_power_method(
+            fmt,
+            GTX_TITAN,
+            x0=np.ones(32),
+            step=lambda x, ax: ax,
+            epsilon=1e-6,
+        )
+        assert res.modeled_time_s > res.iterations * res.spmv_time_s

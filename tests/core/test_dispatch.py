@@ -1,0 +1,124 @@
+"""The Algorithm 1 driver: planning, numeric execution, timing."""
+
+import numpy as np
+import pytest
+
+from repro.core.binning import compute_binning
+from repro.core.dispatch import build_plan, execute, time_spmv
+from repro.core.parameters import ACSRParams
+from repro.gpu.device import GTX_580, GTX_TITAN
+from repro.gpu.dynamic_parallelism import DynamicParallelismUnsupported
+
+from ..conftest import (
+    assert_spmv_close,
+    make_csr_with_empty_rows,
+    make_powerlaw_csr,
+    reference_matvec,
+)
+from repro.gpu.device import Precision
+
+
+@pytest.fixture(scope="module")
+def csr():
+    return make_powerlaw_csr(n_rows=3000, seed=21, max_degree=800)
+
+
+@pytest.fixture(scope="module")
+def titan_plan(csr):
+    return build_plan(
+        compute_binning(csr.nnz_per_row), ACSRParams(), GTX_TITAN, mu=csr.mu
+    )
+
+
+class TestPlan:
+    def test_g1_g2_partition_complete(self, csr, titan_plan):
+        g2_rows = (
+            np.concatenate([r for _, r in titan_plan.g2])
+            if titan_plan.g2
+            else np.array([], dtype=np.int64)
+        )
+        covered = np.sort(np.concatenate([g2_rows, titan_plan.g1_rows]))
+        nonempty = np.nonzero(csr.nnz_per_row > 0)[0]
+        np.testing.assert_array_equal(covered, nonempty)
+
+    def test_g1_respects_rowmax(self, titan_plan):
+        assert titan_plan.n_row_grids <= titan_plan.resolved.row_max
+
+    def test_g1_rows_are_tail(self, csr, titan_plan):
+        if titan_plan.g1_rows.size:
+            assert csr.nnz_per_row[titan_plan.g1_rows].min() > 16 * csr.mu
+
+    def test_binning_only_plan_has_no_g1(self, csr):
+        plan = build_plan(
+            compute_binning(csr.nnz_per_row),
+            ACSRParams(),
+            GTX_580,
+            mu=csr.mu,
+        )
+        assert plan.g1_rows.size == 0
+        assert plan.n_row_grids == 0
+
+
+class TestExecute:
+    def test_matches_reference(self, csr, titan_plan, rng):
+        x = rng.standard_normal(csr.n_cols).astype(np.float32)
+        y = execute(csr, titan_plan, x)
+        assert_spmv_close(y, reference_matvec(csr, x), Precision.SINGLE)
+
+    def test_empty_rows_stay_zero(self, rng):
+        m = make_csr_with_empty_rows()
+        plan = build_plan(
+            compute_binning(m.nnz_per_row), ACSRParams(), GTX_TITAN, mu=m.mu
+        )
+        x = rng.standard_normal(m.n_cols).astype(np.float32)
+        y = execute(m, plan, x)
+        assert np.all(y[::3] == 0)
+        assert_spmv_close(y, reference_matvec(m, x), Precision.SINGLE)
+
+    def test_binning_only_execution_identical(self, csr, rng):
+        x = rng.standard_normal(csr.n_cols).astype(np.float32)
+        plan_580 = build_plan(
+            compute_binning(csr.nnz_per_row),
+            ACSRParams(),
+            GTX_580,
+            mu=csr.mu,
+        )
+        titan_plan = build_plan(
+            compute_binning(csr.nnz_per_row),
+            ACSRParams(),
+            GTX_TITAN,
+            mu=csr.mu,
+        )
+        np.testing.assert_allclose(
+            execute(csr, plan_580, x), execute(csr, titan_plan, x)
+        )
+
+
+class TestTiming:
+    def test_structure(self, csr, titan_plan):
+        t = time_spmv(csr, titan_plan, GTX_TITAN)
+        assert t.time_s > 0
+        assert t.n_bin_grids == len(titan_plan.g2)
+        assert t.n_row_grids == titan_plan.g1_rows.shape[0]
+        assert t.launch_s >= GTX_TITAN.kernel_launch_overhead_s
+
+    def test_dp_plan_rejected_on_fermi(self, csr, titan_plan):
+        if titan_plan.g1_rows.size == 0:
+            pytest.skip("plan has no DP group")
+        with pytest.raises(DynamicParallelismUnsupported):
+            time_spmv(csr, titan_plan, GTX_580)
+
+    def test_binning_only_timing_on_fermi(self, csr):
+        plan = build_plan(
+            compute_binning(csr.nnz_per_row),
+            ACSRParams(),
+            GTX_580,
+            mu=csr.mu,
+        )
+        t = time_spmv(csr, plan, GTX_580)
+        assert t.time_s > 0
+        assert t.enqueue_s == 0.0
+
+    def test_pool_flops_cover_matrix(self, csr, titan_plan):
+        t = time_spmv(csr, titan_plan, GTX_TITAN)
+        assert t.pool.dram_bytes > 0

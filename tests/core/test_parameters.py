@@ -1,0 +1,110 @@
+"""ACSR parameter resolution: RowMax, BinMax, the auto tail heuristic."""
+
+import numpy as np
+import pytest
+
+from repro.core.binning import compute_binning
+from repro.core.parameters import (
+    ACSRParams,
+    MIN_DP_CHILDREN,
+    resolve,
+)
+from repro.gpu.device import GTX_580, GTX_TITAN, TESLA_K10
+
+
+def binning_with_tail(n_small=5000, n_tail=100, tail_nnz=4096):
+    nnz = np.full(n_small + n_tail, 3, dtype=np.int64)
+    nnz[:n_tail] = tail_nnz
+    return compute_binning(nnz)
+
+
+class TestDefaults:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ACSRParams(thread_load=0)
+        with pytest.raises(ValueError):
+            ACSRParams(bin_max=-1)
+        with pytest.raises(ValueError):
+            ACSRParams(row_max=-2)
+
+    def test_dp_devices_get_pending_limit(self):
+        b = binning_with_tail()
+        r = resolve(ACSRParams(), b, GTX_TITAN, mu=3.0)
+        assert r.row_max == GTX_TITAN.pending_launch_limit
+
+    def test_non_dp_devices_get_zero(self):
+        b = binning_with_tail()
+        for dev in (GTX_580, TESLA_K10):
+            r = resolve(ACSRParams(), b, dev, mu=3.0)
+            assert r.row_max == 0
+            assert not r.dp_enabled
+
+    def test_explicit_disable(self):
+        b = binning_with_tail()
+        r = resolve(ACSRParams(enable_dp=False), b, GTX_TITAN, mu=3.0)
+        assert r.row_max == 0
+
+    def test_row_max_cannot_exceed_on_non_dp_device(self):
+        b = binning_with_tail()
+        r = resolve(ACSRParams(row_max=500), b, GTX_580, mu=3.0)
+        assert r.row_max == 0  # device overrides
+
+
+class TestAutoHeuristic:
+    def test_tail_goes_to_g1(self):
+        b = binning_with_tail(tail_nnz=4096)
+        r = resolve(ACSRParams(), b, GTX_TITAN, mu=3.0)
+        # tail bin (4096 -> bin 12) should be above bin_max
+        assert r.bin_max < 12
+        assert b.rows_in_bins_above(r.bin_max) == 100
+
+    def test_too_many_tail_rows_stay_in_g2(self):
+        b = binning_with_tail(n_tail=5000, tail_nnz=4096)
+        r = resolve(ACSRParams(), b, GTX_TITAN, mu=3.0)
+        # 5000 > RowMax=2048: the bin cannot be DP'd
+        assert b.rows_in_bins_above(r.bin_max) == 0
+
+    def test_short_tail_not_dp_worthy(self):
+        # tail rows of 64 nnz are way below 32*thread_load
+        b = binning_with_tail(tail_nnz=64)
+        r = resolve(ACSRParams(), b, GTX_TITAN, mu=3.0)
+        assert b.rows_in_bins_above(r.bin_max) == 0
+
+    def test_min_children_rule(self):
+        b = binning_with_tail(n_tail=MIN_DP_CHILDREN - 1, tail_nnz=8192)
+        r = resolve(ACSRParams(), b, GTX_TITAN, mu=3.0)
+        assert b.rows_in_bins_above(r.bin_max) == 0
+
+    def test_mu_relative_threshold(self):
+        """Rows of 1024 nnz are tail for mu=3 but ordinary for mu=500."""
+        b = binning_with_tail(tail_nnz=1024)
+        tail_for_sparse = resolve(ACSRParams(), b, GTX_TITAN, mu=3.0)
+        assert b.rows_in_bins_above(tail_for_sparse.bin_max) == 100
+        tail_for_dense = resolve(ACSRParams(), b, GTX_TITAN, mu=500.0)
+        assert b.rows_in_bins_above(tail_for_dense.bin_max) == 0
+
+    def test_explicit_min_dp_nnz(self):
+        b = binning_with_tail(tail_nnz=1024)
+        r = resolve(
+            ACSRParams(min_dp_nnz=2048), b, GTX_TITAN, mu=3.0
+        )
+        assert b.rows_in_bins_above(r.bin_max) == 0
+
+
+class TestExplicitBinMax:
+    def test_accepted_when_within_rowmax(self):
+        b = binning_with_tail()
+        r = resolve(ACSRParams(bin_max=11), b, GTX_TITAN, mu=3.0)
+        assert r.bin_max == 11
+
+    def test_rejected_when_overflowing_rowmax(self):
+        b = binning_with_tail(n_tail=3000)
+        with pytest.raises(ValueError, match="RowMax"):
+            resolve(ACSRParams(bin_max=5), b, GTX_TITAN, mu=3.0)
+
+    def test_binning_only_overrides_binmax(self):
+        """Without DP, every bin is in G2 regardless of the request."""
+        b = binning_with_tail(n_tail=3000)
+        r = resolve(ACSRParams(bin_max=5), b, GTX_580, mu=3.0)
+        assert r.bin_max == b.max_bin
+        assert b.rows_in_bins_above(r.bin_max) == 0

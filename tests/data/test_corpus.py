@@ -1,0 +1,124 @@
+"""The Table I corpus registry and synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.data.corpus import (
+    MatrixSpec,
+    POWER_LAW_ABBREVS,
+    TABLE_I,
+    clear_cache,
+    corpus_matrix,
+    get_spec,
+    paper_scale_bytes,
+    paper_scale_time_s,
+    synthesize,
+)
+from repro.gpu.device import Precision
+
+
+class TestRegistry:
+    def test_seventeen_matrices(self):
+        assert len(TABLE_I) == 17
+
+    def test_sixteen_power_law(self):
+        assert len(POWER_LAW_ABBREVS) == 16
+        assert "RAL" not in POWER_LAW_ABBREVS
+
+    def test_lookup_by_name_and_abbrev(self):
+        assert get_spec("hollywood-2009") is get_spec("HOL")
+        assert get_spec("hol").abbrev == "HOL"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            get_spec("netflix")
+
+    def test_rail_is_rectangular(self):
+        ral = get_spec("RAL")
+        assert ral.rectangular
+        assert not ral.power_law
+
+    def test_mu_derived_from_counts(self):
+        for spec in TABLE_I:
+            assert spec.mu == pytest.approx(spec.nnz / spec.rows)
+
+    def test_default_scale_bounds_size(self):
+        for spec in TABLE_I:
+            assert 0 < spec.default_scale <= 1.0
+            assert spec.nnz * spec.default_scale <= 4.2e6
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            MatrixSpec(
+                name="x", abbrev="X", rows=0, cols=1, nnz=1, sigma=1.0, max_nnz=1
+            )
+
+
+class TestSynthesis:
+    @pytest.mark.parametrize("key", ["ENR", "INT", "DBL"])
+    def test_statistics_near_targets(self, key):
+        spec = get_spec(key)
+        m = corpus_matrix(key)
+        assert m.mu == pytest.approx(spec.mu, rel=0.35)
+        assert m.sigma == pytest.approx(spec.sigma, rel=0.6)
+
+    def test_small_scale_override(self):
+        m = synthesize(get_spec("HOL"), scale=0.001)
+        assert m.n_rows == pytest.approx(1000, rel=0.05)
+
+    def test_rectangular_synthesis(self):
+        m = synthesize(get_spec("RAL"), scale=0.02)
+        assert m.n_cols > 5 * m.n_rows
+
+    def test_deterministic_given_seed(self):
+        a = synthesize(get_spec("ENR"), scale=0.2, seed=9)
+        b = synthesize(get_spec("ENR"), scale=0.2, seed=9)
+        np.testing.assert_array_equal(a.col_idx, b.col_idx)
+        np.testing.assert_array_equal(a.row_off, b.row_off)
+
+    def test_different_seeds_differ(self):
+        a = synthesize(get_spec("ENR"), scale=0.2, seed=1)
+        b = synthesize(get_spec("ENR"), scale=0.2, seed=2)
+        assert a.nnz != b.nnz or not np.array_equal(a.col_idx, b.col_idx)
+
+    def test_precision_respected(self):
+        m = synthesize(get_spec("INT"), scale=0.5, precision=Precision.DOUBLE)
+        assert m.precision is Precision.DOUBLE
+
+    def test_scale_validated(self):
+        with pytest.raises(ValueError):
+            synthesize(get_spec("ENR"), scale=0.0)
+
+    def test_hub_planted(self):
+        spec = get_spec("WIK")
+        m = corpus_matrix("WIK")
+        # hub scales as max_nnz * scale^0.25
+        expected = spec.max_nnz * spec.default_scale**0.25
+        assert m.max_nnz_row >= 0.5 * expected
+
+
+class TestCache:
+    def test_cache_returns_same_object(self):
+        clear_cache()
+        a = corpus_matrix("INT")
+        b = corpus_matrix("INT")
+        assert a is b
+
+    def test_cache_distinguishes_precision(self):
+        a = corpus_matrix("INT", precision=Precision.SINGLE)
+        b = corpus_matrix("INT", precision=Precision.DOUBLE)
+        assert a is not b
+
+
+class TestPaperScale:
+    def test_bytes_extrapolation(self):
+        assert paper_scale_bytes(100, 0.01) == pytest.approx(10_000)
+
+    def test_time_extrapolation(self):
+        assert paper_scale_time_s(1e-6, 0.5) == pytest.approx(2e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paper_scale_bytes(1, 0.0)
+        with pytest.raises(ValueError):
+            paper_scale_time_s(1.0, 1.5)

@@ -1,0 +1,95 @@
+"""MatrixMarket reader/writer."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.data.io import (
+    MatrixMarketError,
+    read_matrix_market,
+    write_matrix_market,
+)
+from repro.gpu.device import Precision
+
+from ..conftest import make_powerlaw_csr
+
+
+class TestRoundtrip:
+    def test_write_then_read(self, tmp_path):
+        m = make_powerlaw_csr(n_rows=60, seed=17, max_degree=20)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(m, path)
+        back = read_matrix_market(path, precision=Precision.SINGLE)
+        assert back.shape == m.shape
+        np.testing.assert_array_equal(back.col_idx, m.col_idx)
+        np.testing.assert_allclose(back.values, m.values, rtol=1e-6)
+
+    def test_stringio(self):
+        m = make_powerlaw_csr(n_rows=10, seed=18, max_degree=5)
+        buf = io.StringIO()
+        write_matrix_market(m, buf)
+        buf.seek(0)
+        back = read_matrix_market(buf)
+        assert back.nnz == m.nnz
+
+
+class TestParsing:
+    def test_pattern_matrix(self):
+        text = (
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "3 3 2\n"
+            "1 2\n"
+            "3 1\n"
+        )
+        m = read_matrix_market(io.StringIO(text))
+        assert m.nnz == 2
+        assert np.all(m.values == 1.0)
+
+    def test_symmetric_mirrors_off_diagonal(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 3\n"
+            "1 1 5.0\n"
+            "2 1 2.0\n"
+            "3 2 7.0\n"
+        )
+        m = read_matrix_market(io.StringIO(text))
+        assert m.nnz == 5  # diagonal entry not mirrored
+        s = m.to_scipy().toarray()
+        np.testing.assert_allclose(s, s.T)
+
+    def test_comments_skipped(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n"
+            "% another\n"
+            "2 2 1\n"
+            "1 1 3.0\n"
+        )
+        m = read_matrix_market(io.StringIO(text))
+        assert m.nnz == 1
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(MatrixMarketError):
+            read_matrix_market(io.StringIO("1 1 1\n1 1 1.0\n"))
+
+    def test_array_format_rejected(self):
+        with pytest.raises(MatrixMarketError):
+            read_matrix_market(
+                io.StringIO("%%MatrixMarket matrix array real general\n")
+            )
+
+    def test_wrong_entry_count_rejected(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 3\n"
+            "1 1 1.0\n"
+        )
+        with pytest.raises(MatrixMarketError):
+            read_matrix_market(io.StringIO(text))
+
+    def test_bad_size_line_rejected(self):
+        text = "%%MatrixMarket matrix coordinate real general\nfoo bar\n"
+        with pytest.raises(MatrixMarketError):
+            read_matrix_market(io.StringIO(text))

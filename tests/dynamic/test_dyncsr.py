@@ -1,0 +1,146 @@
+"""DynCSR: the slack-CSR layout and the row-update semantics."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic.dyncsr import DynCSR, RowOverflowError
+from repro.formats.csr import CSRMatrix
+from repro.gpu.device import Precision
+
+from ..conftest import make_csr_with_empty_rows, make_powerlaw_csr
+
+
+@pytest.fixture()
+def dyn():
+    return DynCSR.from_csr(make_powerlaw_csr(n_rows=400, seed=55))
+
+
+class TestLayout:
+    def test_roundtrip(self, dyn):
+        src = make_powerlaw_csr(n_rows=400, seed=55)
+        back = dyn.to_csr()
+        np.testing.assert_array_equal(back.row_off, src.row_off)
+        np.testing.assert_array_equal(back.col_idx, src.col_idx)
+        np.testing.assert_allclose(back.values, src.values)
+
+    def test_capacity_exceeds_length(self, dyn):
+        assert np.all(dyn.row_cap >= dyn.row_len)
+        assert dyn.capacity > dyn.nnz
+
+    def test_min_slack_respected(self):
+        src = make_powerlaw_csr(n_rows=100, seed=1)
+        d = DynCSR.from_csr(src, slack=0.0, min_slack=6)
+        assert np.all(d.row_cap - d.row_len >= 6)
+
+    def test_empty_rows_get_slack(self):
+        src = make_csr_with_empty_rows()
+        d = DynCSR.from_csr(src)
+        assert np.all(d.row_cap[src.nnz_per_row == 0] >= 4)
+
+    def test_matvec_matches(self, dyn, rng):
+        src = make_powerlaw_csr(n_rows=400, seed=55)
+        x = rng.standard_normal(src.n_cols).astype(np.float32)
+        np.testing.assert_allclose(
+            dyn.matvec(x), src.matvec(x), rtol=1e-5, atol=1e-5
+        )
+
+    def test_rejects_negative_slack(self):
+        src = make_powerlaw_csr(n_rows=10, seed=1)
+        with pytest.raises(ValueError):
+            DynCSR.from_csr(src, slack=-0.1)
+
+
+class TestRowUpdate:
+    def test_delete_compacts(self, dyn):
+        row = int(np.argmax(dyn.row_len))
+        cols = dyn.row_cols(row).copy()
+        kill = np.sort(cols[:2])
+        before = int(dyn.row_len[row])
+        dyn.update_row(row, kill, np.array([], dtype=np.int32), np.array([], dtype=np.float32))
+        assert dyn.row_len[row] == before - 2
+        assert not np.isin(kill, dyn.row_cols(row)).any()
+
+    def test_insert_appends_sorted(self, dyn):
+        row = 0
+        existing = set(dyn.row_cols(row).tolist())
+        new_cols = np.array(
+            sorted({5, 17, 23} - existing), dtype=np.int32
+        )
+        vals = np.arange(1.0, 1.0 + len(new_cols), dtype=np.float32)
+        dyn.update_row(row, np.array([], dtype=np.int32), new_cols, vals)
+        cols = dyn.row_cols(row)
+        assert np.all(np.diff(cols) > 0)
+        assert np.isin(new_cols, cols).all()
+
+    def test_insert_overwrites_duplicate(self, dyn):
+        row = int(np.argmax(dyn.row_len))
+        target = dyn.row_cols(row)[0:1].copy()
+        dyn.update_row(
+            row,
+            np.array([], dtype=np.int32),
+            target.astype(np.int32),
+            np.array([42.0], dtype=np.float32),
+        )
+        cols = dyn.row_cols(row)
+        vals = dyn.row_values(row)
+        assert vals[np.searchsorted(cols, target[0])] == 42.0
+
+    def test_overflow_reallocates(self):
+        src = make_powerlaw_csr(n_rows=50, seed=2)
+        d = DynCSR.from_csr(src, slack=0.0, min_slack=1)
+        row = 0
+        taken = set(d.row_cols(row).tolist())
+        new_cols = np.array(
+            sorted(set(range(30)) - taken), dtype=np.int32
+        )
+        d.update_row(
+            row,
+            np.array([], dtype=np.int32),
+            new_cols,
+            np.ones(len(new_cols), dtype=np.float32),
+        )
+        assert d.row_len[row] == len(taken) + len(new_cols)
+
+    def test_overflow_without_realloc_raises(self):
+        src = make_powerlaw_csr(n_rows=50, seed=2)
+        d = DynCSR.from_csr(src, slack=0.0, min_slack=1)
+        taken = set(d.row_cols(0).tolist())
+        new_cols = np.array(sorted(set(range(30)) - taken), dtype=np.int32)
+        with pytest.raises(RowOverflowError):
+            d.update_row(
+                0,
+                np.array([], dtype=np.int32),
+                new_cols,
+                np.ones(len(new_cols), dtype=np.float32),
+                allow_realloc=False,
+            )
+
+    def test_update_then_matvec_consistent(self, dyn, rng):
+        """After arbitrary edits the matrix still multiplies correctly."""
+        row = 3
+        dyn.update_row(
+            row,
+            dyn.row_cols(row)[:1].copy(),
+            np.array([7], dtype=np.int32),
+            np.array([2.5], dtype=np.float32),
+        )
+        snap = dyn.to_csr()
+        x = rng.standard_normal(snap.n_cols).astype(np.float32)
+        np.testing.assert_allclose(
+            dyn.matvec(x), snap.matvec(x), rtol=1e-6
+        )
+
+    def test_mismatched_insert_arrays_rejected(self, dyn):
+        with pytest.raises(ValueError):
+            dyn.update_row(
+                0,
+                np.array([], dtype=np.int32),
+                np.array([1, 2], dtype=np.int32),
+                np.array([1.0], dtype=np.float32),
+            )
+
+    def test_precision_property(self, dyn):
+        assert dyn.precision is Precision.SINGLE
+
+    def test_device_bytes_positive(self, dyn):
+        assert dyn.device_bytes() > 0

@@ -1,0 +1,102 @@
+"""The Figure 7 epoch loop."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic.pipeline import epoch_speedups, run_dynamic_pagerank
+from repro.gpu.device import GTX_TITAN
+
+from ..conftest import make_powerlaw_csr
+
+
+@pytest.fixture(scope="module")
+def results():
+    # Large enough that per-iteration kernel time dominates the fixed
+    # launch overheads (the regime the paper's Figure 7 operates in).
+    adjacency = make_powerlaw_csr(
+        n_rows=30_000, seed=71, max_degree=1200
+    ).binarized()
+    return run_dynamic_pagerank(
+        adjacency, GTX_TITAN, n_epochs=4, seed=5
+    )
+
+
+class TestStructure:
+    def test_all_backends_present(self, results):
+        assert set(results) == {"acsr", "csr", "hyb"}
+
+    def test_epoch_counts_align(self, results):
+        lengths = {len(r.epochs) for r in results.values()}
+        assert lengths == {4}
+
+    def test_iteration_counts_identical_across_backends(self, results):
+        """Same graph states + same warm starts => same iteration counts."""
+        per_epoch = [
+            {b: results[b].epochs[e].iterations for b in results}
+            for e in range(4)
+        ]
+        for counts in per_epoch:
+            assert len(set(counts.values())) == 1, counts
+
+    def test_warm_restart_reduces_iterations(self, results):
+        """Warm starts shrink the iteration count as the rank vector
+        stabilises across epochs (a single 10% update can perturb enough
+        that the very next epoch is no cheaper, so compare the ends)."""
+        acsr = results["acsr"].epochs
+        assert acsr[-1].iterations < acsr[0].iterations
+
+    def test_totals(self, results):
+        for res in results.values():
+            assert res.total_s == pytest.approx(
+                sum(e.total_s for e in res.epochs)
+            )
+            assert res.cumulative_s()[-1] == pytest.approx(res.total_s)
+
+
+class TestCosts:
+    def test_acsr_first_epoch_pays_full_copy(self, results):
+        acsr = results["acsr"].epochs
+        assert acsr[0].maintenance_s > acsr[1].maintenance_s
+
+    def test_csr_pays_copy_every_epoch(self, results):
+        csr = results["csr"].epochs
+        for rec in csr:
+            assert rec.maintenance_s > 0
+
+    def test_hyb_pays_most_maintenance(self, results):
+        """HYB re-transforms AND re-copies each epoch."""
+        for e in range(1, 4):
+            assert (
+                results["hyb"].epochs[e].maintenance_s
+                > results["csr"].epochs[e].maintenance_s
+            )
+            assert (
+                results["hyb"].epochs[e].maintenance_s
+                > results["acsr"].epochs[e].maintenance_s
+            )
+
+
+class TestSpeedups:
+    def test_acsr_wins_after_first_epoch(self, results):
+        vs_csr = epoch_speedups(results, "csr")
+        vs_hyb = epoch_speedups(results, "hyb")
+        assert np.all(vs_csr[1:] > 1.0)
+        assert np.all(vs_hyb[1:] > 1.0)
+
+    def test_later_epochs_speed_up_more_than_first(self, results):
+        """Figure 7's trend: the full-copy amortisation shows up after
+        epoch 0."""
+        vs_csr = epoch_speedups(results, "csr")
+        assert vs_csr[1:].mean() > vs_csr[0]
+
+    def test_unknown_backend_rejected(self, results):
+        with pytest.raises(KeyError):
+            epoch_speedups(results, "ellpack")
+
+    def test_epoch_validation(self):
+        with pytest.raises(ValueError):
+            run_dynamic_pagerank(
+                make_powerlaw_csr(n_rows=100, seed=1).binarized(),
+                GTX_TITAN,
+                n_epochs=0,
+            )

@@ -1,0 +1,122 @@
+"""Incremental bin maintenance under row updates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.binning import compute_binning
+from repro.dynamic.rebin import IncrementalBinning, rebin_work
+from repro.gpu.device import GTX_TITAN, Precision
+from repro.gpu.simulator import simulate_kernel
+from repro.core.binning import binning_scan_work
+
+
+def assert_binnings_equal(a, b):
+    np.testing.assert_array_equal(a.bin_of, b.bin_of)
+    assert a.bin_ids == b.bin_ids
+    for x, y in zip(a.rows_by_bin, b.rows_by_bin):
+        np.testing.assert_array_equal(x, y)
+
+
+class TestIncremental:
+    def test_no_change_is_noop(self):
+        lengths = np.array([1, 3, 5, 9, 100], dtype=np.int64)
+        inc = IncrementalBinning.from_lengths(lengths)
+        before = inc.snapshot()
+        res = inc.apply(np.array([0, 2]), lengths[[0, 2]])
+        assert res.n_migrated == 0
+        assert_binnings_equal(res.binning, before)
+
+    def test_migration_matches_full_rebuild(self):
+        rng = np.random.default_rng(5)
+        lengths = rng.integers(1, 500, 400).astype(np.int64)
+        inc = IncrementalBinning.from_lengths(lengths)
+        rows = np.sort(rng.choice(400, 60, replace=False))
+        new_lengths = lengths.copy()
+        new_lengths[rows] = rng.integers(1, 500, 60)
+        res = inc.apply(rows, new_lengths[rows])
+        assert_binnings_equal(res.binning, compute_binning(new_lengths))
+
+    def test_row_emptied_leaves_all_bins(self):
+        lengths = np.array([4, 4, 4], dtype=np.int64)
+        inc = IncrementalBinning.from_lengths(lengths)
+        res = inc.apply(np.array([1]), np.array([0]))
+        assert res.binning.bin_of[1] == 0
+        assert 1 not in np.concatenate(res.binning.rows_by_bin)
+
+    def test_empty_row_becomes_populated(self):
+        lengths = np.array([0, 4], dtype=np.int64)
+        inc = IncrementalBinning.from_lengths(lengths)
+        res = inc.apply(np.array([0]), np.array([7]))
+        assert res.binning.bin_of[0] == 3
+        assert inc.bin_of(0) == 3
+
+    def test_within_bin_growth_no_migration(self):
+        """Powers-of-two bins absorb small changes — the cheap case the
+        paper's 'low overhead' claim rests on."""
+        lengths = np.full(100, 5, dtype=np.int64)  # bin 3 covers 5-8
+        inc = IncrementalBinning.from_lengths(lengths)
+        res = inc.apply(np.arange(100), np.full(100, 8))
+        assert res.n_migrated == 0
+
+    def test_lists_stay_sorted(self):
+        rng = np.random.default_rng(9)
+        lengths = rng.integers(1, 64, 300).astype(np.int64)
+        inc = IncrementalBinning.from_lengths(lengths)
+        for _ in range(5):
+            rows = np.sort(rng.choice(300, 40, replace=False))
+            inc.apply(rows, rng.integers(1, 64, 40))
+        snap = inc.snapshot()
+        for bucket in snap.rows_by_bin:
+            assert np.all(np.diff(bucket) > 0)
+
+    def test_shape_mismatch_rejected(self):
+        inc = IncrementalBinning.from_lengths(np.array([1, 2]))
+        with pytest.raises(ValueError):
+            inc.apply(np.array([0]), np.array([1, 2]))
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=2, max_value=120),
+        epochs=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_incremental_equals_rebuild(self, seed, n, epochs):
+        rng = np.random.default_rng(seed)
+        lengths = rng.integers(0, 200, n).astype(np.int64)
+        inc = IncrementalBinning.from_lengths(lengths)
+        for _ in range(epochs):
+            k = int(rng.integers(1, n + 1))
+            rows = np.sort(rng.choice(n, k, replace=False))
+            lengths[rows] = rng.integers(0, 200, k)
+            inc.apply(rows, lengths[rows])
+        assert_binnings_equal(inc.snapshot(), compute_binning(lengths))
+
+
+class TestRebinWork:
+    def test_cheaper_than_full_scan(self):
+        """The point: rebinning 10% of rows beats rescanning all rows."""
+        n_rows = 500_000
+        full = simulate_kernel(
+            GTX_TITAN, binning_scan_work(n_rows, Precision.SINGLE)
+        )
+        inc = simulate_kernel(
+            GTX_TITAN,
+            rebin_work(n_rows // 10, n_rows // 100, Precision.SINGLE),
+        )
+        assert inc.time_s < full.time_s
+
+    def test_empty(self):
+        assert rebin_work(0, 0, Precision.SINGLE).n_warps == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rebin_work(5, 6, Precision.SINGLE)
+        with pytest.raises(ValueError):
+            rebin_work(-1, 0, Precision.SINGLE)
+
+    def test_migration_adds_cost(self):
+        calm = rebin_work(10_000, 0, Precision.SINGLE)
+        churn = rebin_work(10_000, 10_000, Precision.SINGLE)
+        assert churn.total_insts > calm.total_insts
+        assert churn.total_dram_bytes > calm.total_dram_bytes

@@ -1,0 +1,127 @@
+"""The synthetic update generator and the two application paths."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic.dyncsr import DynCSR
+from repro.dynamic.updates import (
+    UpdateBatch,
+    apply_update,
+    apply_update_to_csr,
+    generate_update,
+)
+
+from ..conftest import make_csr_with_empty_rows, make_powerlaw_csr
+
+
+@pytest.fixture()
+def csr():
+    return make_powerlaw_csr(n_rows=500, seed=61)
+
+
+class TestGenerator:
+    def test_ten_percent_of_rows(self, csr, rng):
+        b = generate_update(csr, rng, row_fraction=0.1)
+        assert b.n_rows == 50
+        assert np.all(np.diff(b.rows) > 0)
+
+    def test_lists_sorted_per_row(self, csr, rng):
+        b = generate_update(csr, rng)
+        for i in range(b.n_rows):
+            _, dels, ins_c, _ = b.row_slices(i)
+            assert np.all(np.diff(dels.astype(np.int64)) > 0) or dels.size <= 1
+            assert np.all(np.diff(ins_c.astype(np.int64)) > 0) or ins_c.size <= 1
+
+    def test_deletes_reference_existing_columns(self, csr, rng):
+        b = generate_update(csr, rng)
+        for i in range(min(b.n_rows, 20)):
+            row, dels, _, _ = b.row_slices(i)
+            assert np.isin(dels, csr.col_idx[csr.row_off[row]:csr.row_off[row + 1]]).all()
+
+    def test_nnz_roughly_conserved(self, csr, rng):
+        """Equal-probability delete/insert keeps total nnz near constant."""
+        b = generate_update(csr, rng)
+        after = apply_update_to_csr(csr, b)
+        assert abs(after.nnz - csr.nnz) < 0.25 * csr.nnz
+
+    def test_fraction_validated(self, csr, rng):
+        with pytest.raises(ValueError):
+            generate_update(csr, rng, row_fraction=0.0)
+
+    def test_payload_smaller_than_matrix(self, csr, rng):
+        b = generate_update(csr, rng)
+        assert b.payload_bytes(4) < csr.device_bytes() / 2
+
+    def test_deterministic_given_rng_state(self, csr):
+        a = generate_update(csr, np.random.default_rng(5))
+        b = generate_update(csr, np.random.default_rng(5))
+        np.testing.assert_array_equal(a.rows, b.rows)
+        np.testing.assert_array_equal(a.del_cols, b.del_cols)
+        np.testing.assert_array_equal(a.ins_cols, b.ins_cols)
+
+
+class TestBatchValidation:
+    def test_inconsistent_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            UpdateBatch(
+                rows=np.array([0]),
+                del_off=np.array([0, 2]),
+                del_cols=np.array([1], dtype=np.int32),
+                ins_off=np.array([0, 0]),
+                ins_cols=np.zeros(0, dtype=np.int32),
+                ins_vals=np.zeros(0, dtype=np.float32),
+            )
+
+    def test_offsets_length_checked(self):
+        with pytest.raises(ValueError):
+            UpdateBatch(
+                rows=np.array([0, 1]),
+                del_off=np.array([0, 0]),
+                del_cols=np.zeros(0, dtype=np.int32),
+                ins_off=np.array([0, 0, 0]),
+                ins_cols=np.zeros(0, dtype=np.int32),
+                ins_vals=np.zeros(0, dtype=np.float32),
+            )
+
+
+class TestEquivalence:
+    """The device path (DynCSR) and the host path (rebuild) must agree —
+    this is what guarantees ACSR's incremental update computes the same
+    matrix the full-copy backends use."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_paths_agree(self, seed):
+        csr = make_powerlaw_csr(n_rows=300, seed=seed)
+        rngs = np.random.default_rng(seed + 100)
+        batch = generate_update(csr, rngs)
+        dyn = DynCSR.from_csr(csr)
+        apply_update(dyn, batch)
+        via_device = dyn.to_csr()
+        via_host = apply_update_to_csr(csr, batch)
+        np.testing.assert_array_equal(via_device.row_off, via_host.row_off)
+        np.testing.assert_array_equal(via_device.col_idx, via_host.col_idx)
+        np.testing.assert_allclose(
+            via_device.values, via_host.values, rtol=1e-6
+        )
+
+    def test_agree_with_empty_rows(self):
+        csr = make_csr_with_empty_rows(seed=9)
+        batch = generate_update(csr, np.random.default_rng(7))
+        dyn = DynCSR.from_csr(csr)
+        apply_update(dyn, batch)
+        via_host = apply_update_to_csr(csr, batch)
+        got = dyn.to_csr()
+        np.testing.assert_array_equal(got.col_idx, via_host.col_idx)
+
+    def test_repeated_epochs_stay_consistent(self):
+        csr = make_powerlaw_csr(n_rows=200, seed=13)
+        dyn = DynCSR.from_csr(csr)
+        current = csr
+        rng = np.random.default_rng(77)
+        for _ in range(4):
+            batch = generate_update(current, rng)
+            apply_update(dyn, batch)
+            current = apply_update_to_csr(current, batch)
+        got = dyn.to_csr()
+        np.testing.assert_array_equal(got.row_off, current.row_off)
+        np.testing.assert_array_equal(got.col_idx, current.col_idx)

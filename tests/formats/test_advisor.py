@@ -1,0 +1,86 @@
+"""Format advisor: the Section IX decision procedure."""
+
+import numpy as np
+import pytest
+
+from repro.formats.advisor import (
+    Recommendation,
+    Workload,
+    matrix_traits,
+    recommend,
+)
+from repro.formats.csr import CSRMatrix
+
+from ..conftest import make_powerlaw_csr, make_uniform_csr
+
+
+def tridiagonal(n=300):
+    rows, cols = [], []
+    for i in range(n):
+        for j in (i - 1, i, i + 1):
+            if 0 <= j < n:
+                rows.append(i)
+                cols.append(j)
+    return CSRMatrix.from_coo(
+        np.array(rows), np.array(cols), np.ones(len(rows)), (n, n)
+    )
+
+
+class TestTraits:
+    def test_tridiagonal_traits(self):
+        t = matrix_traits(tridiagonal())
+        assert t["n_diags"] == 3
+        assert t["cv"] < 0.3
+
+    def test_powerlaw_traits(self):
+        t = matrix_traits(make_powerlaw_csr(seed=3))
+        assert t["cv"] > 1.0
+        assert t["max_over_mu"] > 10
+
+
+class TestRecommendations:
+    def test_dynamic_always_acsr(self):
+        rec = recommend(
+            make_powerlaw_csr(seed=1), Workload(dynamic=True)
+        )
+        assert rec.format_name == "acsr"
+        assert "changes" in rec.rationale
+
+    def test_banded_gets_dia(self):
+        rec = recommend(tridiagonal())
+        assert rec.format_name == "dia"
+
+    def test_uniform_gets_ell(self):
+        m = make_uniform_csr(n_rows=400, row_len=8, seed=7)
+        rec = recommend(m)
+        assert rec.format_name == "ell"
+
+    def test_powerlaw_short_run_gets_acsr(self):
+        rec = recommend(
+            make_powerlaw_csr(seed=2), Workload(spmv_per_structure=30)
+        )
+        assert rec.format_name == "acsr"
+
+    def test_powerlaw_medium_run_gets_brc(self):
+        rec = recommend(
+            make_powerlaw_csr(seed=2), Workload(spmv_per_structure=5_000)
+        )
+        assert rec.format_name == "brc"
+
+    def test_powerlaw_marathon_gets_bccoo(self):
+        rec = recommend(
+            make_powerlaw_csr(seed=2),
+            Workload(spmv_per_structure=1_000_000),
+        )
+        assert rec.format_name == "bccoo"
+
+    def test_alternatives_are_known_formats(self):
+        from repro.formats.convert import available_formats
+
+        rec = recommend(make_powerlaw_csr(seed=2))
+        for alt in rec.alternatives:
+            assert alt in available_formats()
+
+    def test_workload_validated(self):
+        with pytest.raises(ValueError):
+            Workload(spmv_per_structure=0)

@@ -1,0 +1,82 @@
+"""Format base classes: report validation and registry."""
+
+import numpy as np
+import pytest
+
+from repro.formats.base import PreprocessReport, SpMVResult
+from repro.formats.convert import (
+    PAPER_COMPARISON_SET,
+    available_formats,
+    build_format,
+)
+from repro.gpu.simulator import KernelTiming
+
+from ..conftest import make_uniform_csr
+
+
+class TestPreprocessReport:
+    def _report(self, **kw):
+        base = dict(format_name="x", host_s=1.0, transfer_s=0.5)
+        base.update(kw)
+        return PreprocessReport(**base)
+
+    def test_total_excludes_transfer(self):
+        rep = self._report(tuning_s=2.0, tuning_fixed_s=3.0, device_s=4.0)
+        assert rep.total_s == 1.0 + 2.0 + 3.0 + 4.0
+        assert rep.scalable_s() == 1.0 + 2.0 + 4.0
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ValueError):
+            self._report(host_s=-1.0)
+        with pytest.raises(ValueError):
+            self._report(tuning_fixed_s=-0.1)
+
+    def test_padding_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            self._report(padding_fraction=1.5)
+        assert self._report(padding_fraction=0.33).padding_fraction == 0.33
+
+
+class TestSpMVResult:
+    def test_gflops(self):
+        res = SpMVResult(
+            y=np.zeros(3), time_s=1e-3, timings=(), flops=2e6
+        )
+        assert res.gflops == pytest.approx(2.0)
+
+    def test_zero_time_gflops(self):
+        res = SpMVResult(y=np.zeros(3), time_s=0.0, timings=(), flops=1.0)
+        assert res.gflops == 0.0
+
+
+class TestRegistry:
+    def test_all_expected_formats(self):
+        expected = {
+            "acsr",
+            "bccoo",
+            "brc",
+            "coo",
+            "csr",
+            "csr-scalar",
+            "csr-vector",
+            "dia",
+            "ell",
+            "hyb",
+            "sic",
+            "tcoo",
+        }
+        assert set(available_formats()) == expected
+
+    def test_paper_comparison_set(self):
+        assert PAPER_COMPARISON_SET == ("bccoo", "brc", "tcoo", "hyb", "acsr")
+
+    def test_builders_produce_named_formats(self):
+        csr = make_uniform_csr(n_rows=64, row_len=4, seed=3)
+        for name in ("csr", "coo", "hyb"):
+            fmt = build_format(name, csr)
+            assert fmt.name in (name, "csr")
+
+    def test_kwargs_forwarded(self):
+        csr = make_uniform_csr(n_rows=64, row_len=4, seed=3)
+        fmt = build_format("hyb", csr, width=2)
+        assert fmt.ell_width == 2

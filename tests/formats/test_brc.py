@@ -1,0 +1,94 @@
+"""BRC: row splitting, block structure, preprocessing accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.formats.brc import (
+    BLOCK_ROWS,
+    BRCFormat,
+    MAX_BLOCK_WIDTH,
+    split_row_lengths,
+)
+from repro.gpu.device import GTX_TITAN
+
+from ..conftest import make_powerlaw_csr
+
+
+class TestSplit:
+    def test_short_rows_untouched(self):
+        lengths = np.array([1, 5, 100], dtype=np.int64)
+        vlen, owner = split_row_lengths(lengths, max_width=256)
+        np.testing.assert_array_equal(vlen, lengths)
+        np.testing.assert_array_equal(owner, [0, 1, 2])
+
+    def test_long_row_splits(self):
+        vlen, owner = split_row_lengths(np.array([600]), max_width=256)
+        np.testing.assert_array_equal(vlen, [256, 256, 88])
+        np.testing.assert_array_equal(owner, [0, 0, 0])
+
+    def test_exact_multiple(self):
+        vlen, owner = split_row_lengths(np.array([512]), max_width=256)
+        np.testing.assert_array_equal(vlen, [256, 256])
+
+    def test_zero_row_kept(self):
+        vlen, owner = split_row_lengths(np.array([0, 3]), max_width=4)
+        np.testing.assert_array_equal(vlen, [0, 3])
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            split_row_lengths(np.array([1]), max_width=0)
+
+    @given(
+        lengths=st.lists(
+            st.integers(min_value=0, max_value=5000),
+            min_size=1,
+            max_size=100,
+        ),
+        width=st.integers(min_value=1, max_value=512),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_properties(self, lengths, width):
+        arr = np.array(lengths, dtype=np.int64)
+        vlen, owner = split_row_lengths(arr, max_width=width)
+        # conservation: each row's pieces sum back to its length
+        np.testing.assert_array_equal(
+            np.bincount(owner, weights=vlen, minlength=arr.shape[0]),
+            arr.astype(np.float64),
+        )
+        # bound: no virtual row exceeds the cap
+        assert vlen.max(initial=0) <= width
+
+
+class TestFormat:
+    def test_blocks_bounded_and_sorted(self, powerlaw_csr):
+        b = BRCFormat.from_csr(powerlaw_csr)
+        widths = [w for _, w, _ in b.blocks]
+        assert max(widths) <= MAX_BLOCK_WIDTH
+        assert widths == sorted(widths, reverse=True)
+
+    def test_block_sizes(self, powerlaw_csr):
+        b = BRCFormat.from_csr(powerlaw_csr)
+        for n_rows, _, _ in b.blocks[:-1]:
+            assert n_rows == BLOCK_ROWS
+
+    def test_low_padding_on_powerlaw(self):
+        # the point of BRC: sorting + splitting keeps padding tiny
+        # (the paper quotes ~1% space overhead at real sizes)
+        m = make_powerlaw_csr(n_rows=60_000, seed=41, max_degree=1500)
+        b = BRCFormat.from_csr(m)
+        assert b.preprocess.padding_fraction < 0.05
+
+    def test_stored_covers_all_entries(self, powerlaw_csr):
+        b = BRCFormat.from_csr(powerlaw_csr)
+        assert b.stored_slots >= powerlaw_csr.nnz
+
+    def test_single_fused_launch(self, powerlaw_csr):
+        b = BRCFormat.from_csr(powerlaw_csr)
+        works = b.kernel_works(GTX_TITAN)
+        assert len(works) == 1
+        assert works[0].flops == pytest.approx(2.0 * powerlaw_csr.nnz)
+
+    def test_preprocessing_includes_sort(self, powerlaw_csr):
+        b = BRCFormat.from_csr(powerlaw_csr)
+        assert b.preprocess.host_s > 0

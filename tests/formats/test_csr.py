@@ -1,0 +1,204 @@
+"""CSRMatrix container: construction, stats, matvec oracle equality."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.formats.csr import CSRMatrix, csr_matvec
+from repro.gpu.device import Precision
+
+from ..conftest import (
+    assert_spmv_close,
+    make_csr_with_empty_rows,
+    make_powerlaw_csr,
+    reference_matvec,
+)
+
+
+class TestConstruction:
+    def test_from_coo_sorts_and_sums_duplicates(self):
+        rows = np.array([1, 0, 1, 1])
+        cols = np.array([0, 1, 0, 2])
+        vals = np.array([2.0, 3.0, 5.0, 1.0])
+        m = CSRMatrix.from_coo(rows, cols, vals, (2, 3))
+        assert m.nnz == 3  # (1,0) summed
+        np.testing.assert_array_equal(m.row_off, [0, 1, 3])
+        np.testing.assert_array_equal(m.col_idx, [1, 0, 2])
+        np.testing.assert_allclose(m.values, [3.0, 7.0, 1.0])
+
+    def test_from_coo_without_dedup_keeps_entries(self):
+        rows = np.array([0, 0])
+        cols = np.array([1, 1])
+        vals = np.array([1.0, 1.0])
+        m = CSRMatrix.from_coo(
+            rows, cols, vals, (1, 2), sum_duplicates=False
+        )
+        assert m.nnz == 2
+
+    def test_from_scipy_roundtrip(self, powerlaw_csr):
+        again = CSRMatrix.from_scipy(
+            powerlaw_csr.to_scipy(), precision=Precision.SINGLE
+        )
+        np.testing.assert_array_equal(again.row_off, powerlaw_csr.row_off)
+        np.testing.assert_array_equal(again.col_idx, powerlaw_csr.col_idx)
+        np.testing.assert_allclose(again.values, powerlaw_csr.values)
+
+    def test_rejects_out_of_range_columns(self):
+        with pytest.raises(ValueError):
+            CSRMatrix.from_coo(
+                np.array([0]), np.array([5]), np.array([1.0]), (1, 3)
+            )
+
+    def test_rejects_out_of_range_rows(self):
+        with pytest.raises(ValueError):
+            CSRMatrix.from_coo(
+                np.array([7]), np.array([0]), np.array([1.0]), (2, 3)
+            )
+
+    def test_rejects_bad_row_off(self):
+        with pytest.raises(ValueError):
+            CSRMatrix.from_arrays(
+                np.array([1.0]), np.array([0]), np.array([0, 2]), 1
+            )
+
+    def test_rejects_decreasing_row_off(self):
+        with pytest.raises(ValueError):
+            CSRMatrix.from_arrays(
+                np.array([1.0, 2.0]),
+                np.array([0, 0]),
+                np.array([0, 2, 1, 2]),
+                1,
+            )
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            CSRMatrix.from_arrays(
+                np.array([1.0, 2.0]), np.array([0]), np.array([0, 2]), 1
+            )
+
+    def test_astype(self, powerlaw_csr):
+        d = powerlaw_csr.astype(Precision.DOUBLE)
+        assert d.precision is Precision.DOUBLE
+        assert d.values.dtype == np.float64
+
+
+class TestStats:
+    def test_basic_stats(self, powerlaw_csr):
+        deg = powerlaw_csr.nnz_per_row
+        assert powerlaw_csr.mu == pytest.approx(deg.mean())
+        assert powerlaw_csr.sigma == pytest.approx(deg.std())
+        assert powerlaw_csr.max_nnz_row == deg.max()
+
+    def test_empty_matrix_stats(self):
+        m = CSRMatrix.from_arrays(
+            np.zeros(0), np.zeros(0, dtype=np.int32), np.zeros(1, dtype=np.int64), 0
+        )
+        assert m.mu == 0.0
+        assert m.sigma == 0.0
+        assert m.max_nnz_row == 0
+
+    def test_gather_profile_sane(self, powerlaw_csr):
+        p = powerlaw_csr.gather_profile
+        assert p.reuse >= 1.0
+        assert 0.0 <= p.clustering <= 1.0
+
+    def test_device_bytes_positive(self, powerlaw_csr):
+        assert powerlaw_csr.device_bytes() > powerlaw_csr.nnz * 8
+
+
+class TestMatvec:
+    def test_matches_scipy(self, powerlaw_csr, rng):
+        x = rng.standard_normal(powerlaw_csr.n_cols).astype(np.float32)
+        assert_spmv_close(
+            powerlaw_csr.matvec(x),
+            reference_matvec(powerlaw_csr, x),
+            Precision.SINGLE,
+        )
+
+    def test_empty_rows_exact(self, empty_rows_csr, rng):
+        x = rng.standard_normal(empty_rows_csr.n_cols).astype(np.float32)
+        y = empty_rows_csr.matvec(x)
+        ref = reference_matvec(empty_rows_csr, x)
+        assert_spmv_close(y, ref, Precision.SINGLE)
+        # empty rows are exactly zero
+        assert np.all(y[::3] == 0)
+
+    def test_all_empty_matrix(self):
+        m = CSRMatrix.from_arrays(
+            np.zeros(0),
+            np.zeros(0, dtype=np.int32),
+            np.zeros(5, dtype=np.int64),
+            3,
+        )
+        y = m.matvec(np.ones(3))
+        np.testing.assert_array_equal(y, np.zeros(4))
+
+    def test_rejects_wrong_x_shape(self, powerlaw_csr):
+        with pytest.raises(ValueError):
+            powerlaw_csr.matvec(np.ones(powerlaw_csr.n_cols + 1))
+
+    def test_rectangular(self, rng):
+        m = make_powerlaw_csr(n_rows=100, n_cols=300, seed=5)
+        x = rng.standard_normal(300).astype(np.float32)
+        assert_spmv_close(
+            m.matvec(x), reference_matvec(m, x), Precision.SINGLE
+        )
+
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        m=st.integers(min_value=1, max_value=40),
+        density=st.floats(min_value=0.0, max_value=0.5),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_scipy(self, n, m, density, seed):
+        rng = np.random.default_rng(seed)
+        mat = sp.random(
+            n, m, density=density, format="csr", random_state=seed
+        )
+        csr = CSRMatrix.from_scipy(mat, precision=Precision.DOUBLE)
+        x = rng.standard_normal(m)
+        np.testing.assert_allclose(
+            csr.matvec(x), mat @ x, rtol=1e-10, atol=1e-12
+        )
+
+
+class TestTranspose:
+    def test_transpose_matches_scipy(self, powerlaw_csr, rng):
+        t = powerlaw_csr.transpose()
+        x = rng.standard_normal(t.n_cols).astype(np.float32)
+        assert_spmv_close(
+            t.matvec(x),
+            powerlaw_csr.to_scipy().T @ x,
+            Precision.SINGLE,
+        )
+
+    def test_double_transpose_identity(self, empty_rows_csr):
+        tt = empty_rows_csr.transpose().transpose()
+        np.testing.assert_array_equal(tt.row_off, empty_rows_csr.row_off)
+        np.testing.assert_array_equal(tt.col_idx, empty_rows_csr.col_idx)
+        np.testing.assert_allclose(tt.values, empty_rows_csr.values)
+
+
+class TestBinarized:
+    def test_unit_values(self, powerlaw_csr):
+        b = powerlaw_csr.binarized()
+        assert np.all(b.values == 1.0)
+        np.testing.assert_array_equal(b.col_idx, powerlaw_csr.col_idx)
+
+
+class TestRawMatvec:
+    def test_csr_matvec_function(self):
+        values = np.array([1.0, 2.0, 3.0])
+        col_idx = np.array([0, 2, 1], dtype=np.int32)
+        row_off = np.array([0, 2, 2, 3], dtype=np.int64)
+        x = np.array([1.0, 10.0, 100.0])
+        y = csr_matvec(values, col_idx, row_off, x)
+        np.testing.assert_allclose(y, [201.0, 0.0, 30.0])
+
+    def test_rejects_empty_row_off(self):
+        with pytest.raises(ValueError):
+            csr_matvec(
+                np.zeros(0), np.zeros(0, dtype=np.int32), np.zeros(0), np.zeros(1)
+            )

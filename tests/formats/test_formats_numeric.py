@@ -1,0 +1,114 @@
+"""Every format's multiply must equal the SciPy oracle.
+
+Parametrised across the full registry and several matrix shapes; this is
+the backbone numeric guarantee — format layouts may differ wildly, but
+the product never does.
+"""
+
+import numpy as np
+import pytest
+
+from repro.formats import available_formats, build_format
+from repro.formats.bccoo import BCCOOConfig
+from repro.gpu.device import GTX_TITAN, Precision
+
+from ..conftest import (
+    assert_spmv_close,
+    make_csr_with_empty_rows,
+    make_powerlaw_csr,
+    make_uniform_csr,
+    reference_matvec,
+)
+
+#: Cheap tuning spaces so tests stay fast.
+FAST_KWARGS = {
+    "bccoo": {"configs": [BCCOOConfig(2, 2, 128, 2, True)]},
+    "tcoo": {"candidates": (1, 4)},
+}
+
+MATRICES = {
+    "powerlaw": make_powerlaw_csr(seed=1),
+    "uniform": make_uniform_csr(seed=2),
+    "empty_rows": make_csr_with_empty_rows(seed=3),
+    "tiny": make_powerlaw_csr(n_rows=40, seed=4, max_degree=30),
+}
+
+
+@pytest.mark.parametrize("fmt_name", available_formats())
+@pytest.mark.parametrize("matrix_name", sorted(MATRICES))
+def test_multiply_matches_scipy(fmt_name, matrix_name):
+    csr = MATRICES[matrix_name]
+    if fmt_name in ("ell", "dia") and matrix_name == "powerlaw":
+        pytest.skip("padding formats guard against power-law slabs")
+    fmt = build_format(fmt_name, csr, **FAST_KWARGS.get(fmt_name, {}))
+    rng = np.random.default_rng(99)
+    x = rng.standard_normal(csr.n_cols).astype(np.float32)
+    y = fmt.multiply(x)
+    assert_spmv_close(y, reference_matvec(csr, x), Precision.SINGLE)
+
+
+@pytest.mark.parametrize("fmt_name", available_formats())
+def test_run_spmv_returns_consistent_result(fmt_name):
+    csr = MATRICES["empty_rows"]
+    fmt = build_format(fmt_name, csr, **FAST_KWARGS.get(fmt_name, {}))
+    x = np.ones(csr.n_cols, dtype=np.float32)
+    res = fmt.run_spmv(x, GTX_TITAN)
+    assert res.time_s > 0
+    assert res.flops >= 0
+    assert res.gflops >= 0
+    assert_spmv_close(res.y, reference_matvec(csr, x), Precision.SINGLE)
+
+
+@pytest.mark.parametrize(
+    "fmt_name",
+    [f for f in available_formats() if f not in ("bccoo", "tcoo")],
+)
+def test_double_precision_supported(fmt_name):
+    csr = MATRICES["uniform"].astype(Precision.DOUBLE)
+    fmt = build_format(fmt_name, csr)
+    assert fmt.precision is Precision.DOUBLE
+    x = np.ones(csr.n_cols)
+    y = fmt.multiply(x)
+    assert_spmv_close(y, reference_matvec(csr, x), Precision.DOUBLE)
+
+
+@pytest.mark.parametrize("fmt_name", ["bccoo", "tcoo"])
+def test_single_precision_only_formats(fmt_name):
+    csr = MATRICES["uniform"].astype(Precision.DOUBLE)
+    with pytest.raises(ValueError, match="single precision"):
+        build_format(fmt_name, csr, **FAST_KWARGS.get(fmt_name, {}))
+
+
+@pytest.mark.parametrize("fmt_name", available_formats())
+def test_kernel_works_nonempty(fmt_name):
+    csr = MATRICES["uniform"]
+    fmt = build_format(fmt_name, csr, **FAST_KWARGS.get(fmt_name, {}))
+    works = fmt.kernel_works(GTX_TITAN)
+    assert len(works) >= 1
+    total_flops = sum(w.flops for w in works)
+    # every format performs 2*nnz useful flops (DIA/ELL padding is not
+    # counted as useful)
+    assert total_flops == pytest.approx(2.0 * csr.nnz)
+
+
+@pytest.mark.parametrize("fmt_name", available_formats())
+def test_preprocess_report_present(fmt_name):
+    csr = MATRICES["uniform"]
+    fmt = build_format(fmt_name, csr, **FAST_KWARGS.get(fmt_name, {}))
+    rep = fmt.preprocess
+    assert rep.total_s >= 0.0
+    assert rep.device_bytes > 0
+    # CSR needs no transformation; every other format pays something.
+    if fmt_name not in ("csr", "csr-scalar", "csr-vector"):
+        assert rep.total_s > 0.0
+
+
+def test_unknown_format_rejected():
+    with pytest.raises(KeyError, match="unknown format"):
+        build_format("csr5", MATRICES["uniform"])
+
+
+def test_x_shape_validated():
+    fmt = build_format("csr", MATRICES["uniform"])
+    with pytest.raises(ValueError, match="shape"):
+        fmt.run_spmv(np.ones(3, dtype=np.float32), GTX_TITAN)

@@ -1,0 +1,115 @@
+"""HYB: the CUSP k heuristic and the ELL/COO split."""
+
+import numpy as np
+import pytest
+
+from repro.formats.csr import CSRMatrix
+from repro.formats.hyb import HYBFormat, hyb_ell_width
+from repro.gpu.device import GTX_TITAN, Precision
+
+from ..conftest import make_powerlaw_csr, make_uniform_csr
+
+
+class TestWidthHeuristic:
+    def test_uniform_matrix_takes_full_width(self):
+        # 9000 rows of exactly 8 nnz: all rows have >= 8, so k = 8.
+        nnz = np.full(9000, 8, dtype=np.int64)
+        assert hyb_ell_width(nnz, 9000) == 8
+
+    def test_power_law_truncates_tail(self):
+        nnz = np.full(20_000, 2, dtype=np.int64)
+        nnz[:10] = 5000  # ten hubs
+        k = hyb_ell_width(nnz, 20_000)
+        assert k == 2  # only 10 rows have more than 2
+
+    def test_empty(self):
+        assert hyb_ell_width(np.zeros(0, dtype=np.int64), 0) == 0
+
+    def test_requires_4096_rows_when_large(self):
+        # 100k rows: 5000 rows of width 10, rest width 1.
+        nnz = np.ones(100_000, dtype=np.int64)
+        nnz[:5000] = 10
+        # need max(4096, 33k) = 33k rows of >= k, so k = 1
+        assert hyb_ell_width(nnz, 100_000) == 1
+
+
+class TestSplit:
+    def test_every_entry_lands_exactly_once(self, powerlaw_csr):
+        h = HYBFormat.from_csr(powerlaw_csr)
+        assert h.ell_real_nnz + h.coo_nnz == powerlaw_csr.nnz
+
+    def test_overflow_rows_only_beyond_k(self, powerlaw_csr):
+        h = HYBFormat.from_csr(powerlaw_csr)
+        k = h.ell_width
+        lengths = powerlaw_csr.nnz_per_row
+        expected_coo = int(np.maximum(lengths - k, 0).sum())
+        assert h.coo_nnz == expected_coo
+
+    def test_explicit_width(self, powerlaw_csr):
+        h = HYBFormat.from_csr(powerlaw_csr, width=1)
+        assert h.ell_width == 1
+        assert h.coo_nnz == int(
+            np.maximum(powerlaw_csr.nnz_per_row - 1, 0).sum()
+        )
+
+    def test_zero_width_pure_coo(self, powerlaw_csr):
+        h = HYBFormat.from_csr(powerlaw_csr, width=0)
+        assert h.ell_width == 0
+        assert h.coo_nnz == powerlaw_csr.nnz
+        x = np.ones(powerlaw_csr.n_cols, dtype=np.float32)
+        np.testing.assert_allclose(
+            h.multiply(x),
+            powerlaw_csr.matvec(x),
+            rtol=1e-4,
+            atol=1e-4,
+        )
+
+    def test_padding_fraction_reported(self, powerlaw_csr):
+        h = HYBFormat.from_csr(powerlaw_csr)
+        rep = h.preprocess
+        stored = h.n_rows * h.ell_width + h.coo_nnz
+        expected = 1.0 - powerlaw_csr.nnz / stored if stored else 0.0
+        assert rep.padding_fraction == pytest.approx(expected)
+
+    def test_uniform_matrix_has_no_coo_part(self, uniform_csr):
+        h = HYBFormat.from_csr(uniform_csr)
+        assert h.coo_nnz == 0
+        assert h.ell_width == 8
+
+
+class TestKernelWorks:
+    def test_two_launches_when_both_parts(self, powerlaw_csr):
+        h = HYBFormat.from_csr(powerlaw_csr)
+        works = h.kernel_works(GTX_TITAN)
+        names = [w.name for w in works]
+        assert names == ["hyb-ell", "hyb-coo"]
+
+    def test_one_launch_when_coo_empty(self, uniform_csr):
+        h = HYBFormat.from_csr(uniform_csr)
+        works = h.kernel_works(GTX_TITAN)
+        assert [w.name for w in works] == ["hyb-ell"]
+
+    def test_padding_costs_traffic(self):
+        """The ELL part reads padding: sparser rows, same width, more
+        bytes per useful element."""
+        dense = make_uniform_csr(n_rows=2048, row_len=8, seed=1)
+        h_dense = HYBFormat.from_csr(dense, width=8)
+        # same shape but half the rows only have 2 entries
+        rng = np.random.default_rng(2)
+        deg = np.full(2048, 8)
+        deg[::2] = 2
+        rows = np.repeat(np.arange(2048), deg)
+        cols = rng.integers(0, 2048, rows.shape[0])
+        sparse = CSRMatrix.from_coo(
+            rows,
+            cols,
+            np.ones(rows.shape[0]),
+            (2048, 2048),
+            precision=Precision.SINGLE,
+        )
+        h_sparse = HYBFormat.from_csr(sparse, width=8)
+        ell_dense = h_dense.kernel_works(GTX_TITAN)[0]
+        ell_sparse = h_sparse.kernel_works(GTX_TITAN)[0]
+        dense_per_elem = ell_dense.total_dram_bytes / dense.nnz
+        sparse_per_elem = ell_sparse.total_dram_bytes / sparse.nnz
+        assert sparse_per_elem > 1.3 * dense_per_elem

@@ -1,0 +1,138 @@
+"""Device registry and derived quantities."""
+
+import pytest
+
+from repro.gpu.device import (
+    DEVICES,
+    GTX_580,
+    GTX_TITAN,
+    TESLA_K10,
+    DeviceSpec,
+    HostSpec,
+    Precision,
+    get_device,
+)
+
+
+class TestPrecision:
+    def test_value_bytes(self):
+        assert Precision.SINGLE.value_bytes == 4
+        assert Precision.DOUBLE.value_bytes == 8
+
+    def test_numpy_dtype(self):
+        assert Precision.SINGLE.numpy_dtype == "float32"
+        assert Precision.DOUBLE.numpy_dtype == "float64"
+
+
+class TestRegistry:
+    def test_three_devices(self):
+        assert set(DEVICES) == {"GTX580", "TeslaK10", "GTXTitan"}
+
+    def test_lookup_case_insensitive(self):
+        assert get_device("gtxtitan") is GTX_TITAN
+        assert get_device("TESLAK10") is TESLA_K10
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown device"):
+            get_device("H100")
+
+    def test_only_titan_has_dynamic_parallelism(self):
+        assert GTX_TITAN.supports_dynamic_parallelism
+        assert not GTX_580.supports_dynamic_parallelism
+        assert not TESLA_K10.supports_dynamic_parallelism
+
+    def test_k10_is_dual_gpu_board(self):
+        assert TESLA_K10.gpus_per_board == 2
+        assert GTX_TITAN.gpus_per_board == 1
+
+    def test_core_counts(self):
+        assert GTX_580.total_cores == 512
+        assert TESLA_K10.total_cores == 1536
+        assert GTX_TITAN.total_cores == 2688
+
+
+class TestDerived:
+    def test_warp_issue_rate(self):
+        assert GTX_580.warp_issue_rate == pytest.approx(1.0)
+        assert GTX_TITAN.warp_issue_rate == pytest.approx(6.0)
+
+    def test_peak_gflops_ordering(self):
+        assert (
+            GTX_TITAN.sp_peak_gflops
+            > TESLA_K10.sp_peak_gflops
+            > GTX_580.sp_peak_gflops
+        )
+
+    def test_dp_rate_below_sp(self):
+        for dev in DEVICES.values():
+            assert dev.flop_rate(Precision.DOUBLE) < dev.flop_rate(
+                Precision.SINGLE
+            )
+
+    def test_titan_dp_is_one_third(self):
+        ratio = GTX_TITAN.flop_rate(Precision.DOUBLE) / GTX_TITAN.flop_rate(
+            Precision.SINGLE
+        )
+        assert ratio == pytest.approx(1 / 3)
+
+    def test_fits_memory(self):
+        assert GTX_580.fits(1 << 30)
+        assert not GTX_580.fits(2 * (1 << 30))
+        assert GTX_TITAN.fits(5 * (1 << 30))
+
+    def test_memory_bytes(self):
+        assert GTX_TITAN.memory_bytes == 6 * (1 << 30)
+
+
+class TestValidation:
+    def test_rejects_zero_sms(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(
+                name="bad",
+                chip="x",
+                compute_capability=(3, 0),
+                num_sms=0,
+                cores_per_sm=32,
+                clock_ghz=1.0,
+                dram_bandwidth_gbps=100.0,
+                dram_latency_cycles=500,
+                memory_gib=1.0,
+                max_warps_per_sm=48,
+                tex_cache_kib_per_sm=12,
+                l2_cache_kib=512,
+                dp_throughput_ratio=0.5,
+            )
+
+    def test_rejects_negative_clock(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(
+                name="bad",
+                chip="x",
+                compute_capability=(3, 0),
+                num_sms=8,
+                cores_per_sm=32,
+                clock_ghz=-1.0,
+                dram_bandwidth_gbps=100.0,
+                dram_latency_cycles=500,
+                memory_gib=1.0,
+                max_warps_per_sm=48,
+                tex_cache_kib_per_sm=12,
+                l2_cache_kib=512,
+                dp_throughput_ratio=0.5,
+            )
+
+
+class TestHost:
+    def test_stream_time_linear(self):
+        h = HostSpec()
+        assert h.stream_time(2_000_000) == pytest.approx(
+            2 * h.stream_time(1_000_000)
+        )
+
+    def test_sort_time_superlinear(self):
+        h = HostSpec()
+        assert h.sort_time(1_000_000) > 2 * h.sort_time(500_000)
+
+    def test_sort_of_one_is_free(self):
+        assert HostSpec().sort_time(1) == 0.0
+        assert HostSpec().sort_time(0) == 0.0

@@ -1,0 +1,132 @@
+"""Memory-system model: coalescing, texture cache, bandwidth ramp."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpu.device import GTX_580, GTX_TITAN
+from repro.gpu.memory import (
+    GatherProfile,
+    SECTOR_BYTES,
+    WARPS_TO_SATURATE,
+    bandwidth_efficiency,
+    coalesced_bytes,
+    dram_time_s,
+    gather_dram_bytes,
+    scattered_bytes,
+    texture_hit_rate,
+)
+
+
+class TestCoalescing:
+    def test_zero_costs_nothing(self):
+        assert coalesced_bytes(0) == 0.0
+
+    def test_rounds_to_sector(self):
+        assert coalesced_bytes(1) == SECTOR_BYTES
+        assert coalesced_bytes(32) == SECTOR_BYTES
+        assert coalesced_bytes(33) == 2 * SECTOR_BYTES
+
+    def test_array_input(self):
+        out = coalesced_bytes(np.array([0.0, 8.0, 64.0, 65.0]))
+        np.testing.assert_array_equal(out, [0.0, 32.0, 64.0, 96.0])
+
+    @given(st.integers(min_value=1, max_value=10**7))
+    def test_never_less_than_requested(self, n):
+        assert coalesced_bytes(n) >= n
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_scattered_is_sector_per_access(self, n):
+        assert scattered_bytes(n) == n * SECTOR_BYTES
+
+
+class TestGatherProfile:
+    def test_rejects_bad_reuse(self):
+        with pytest.raises(ValueError):
+            GatherProfile(reuse=0.5, clustering=0.5)
+
+    def test_rejects_bad_clustering(self):
+        with pytest.raises(ValueError):
+            GatherProfile(reuse=2.0, clustering=1.5)
+
+
+class TestTextureHitRate:
+    def test_tiny_x_hits(self):
+        p = GatherProfile(reuse=2.0, clustering=0.3)
+        assert texture_hit_rate(GTX_TITAN, 1024.0, p) > 0.9
+
+    def test_empty_x_is_perfect(self):
+        p = GatherProfile(reuse=1.0, clustering=0.0)
+        assert texture_hit_rate(GTX_TITAN, 0.0, p) == 1.0
+
+    def test_monotone_in_working_set(self):
+        p = GatherProfile(reuse=5.0, clustering=0.2)
+        rates = [
+            texture_hit_rate(GTX_TITAN, b, p)
+            for b in (1e4, 1e6, 1e8, 1e10)
+        ]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_reuse_helps(self):
+        lo = texture_hit_rate(
+            GTX_TITAN, 1e8, GatherProfile(reuse=1.01, clustering=0.2)
+        )
+        hi = texture_hit_rate(
+            GTX_TITAN, 1e8, GatherProfile(reuse=50.0, clustering=0.2)
+        )
+        assert hi > lo
+
+    @given(
+        st.floats(min_value=1.0, max_value=1e3),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=1.0, max_value=1e12),
+    )
+    def test_always_a_probability(self, reuse, clustering, x_bytes):
+        p = GatherProfile(reuse=reuse, clustering=clustering)
+        r = texture_hit_rate(GTX_TITAN, x_bytes, p)
+        assert 0.0 <= r <= 1.0
+
+
+class TestGatherTraffic:
+    def test_full_hit_is_free(self):
+        assert gather_dram_bytes(100, 4, 1.0) == 0.0
+
+    def test_full_miss_costs_sectors(self):
+        assert gather_dram_bytes(100, 4, 0.0) == 100 * SECTOR_BYTES
+
+    def test_rejects_bad_hit_rate(self):
+        with pytest.raises(ValueError):
+            gather_dram_bytes(10, 4, 1.5)
+
+
+class TestBandwidth:
+    def test_dram_time_linear(self):
+        t1 = dram_time_s(GTX_TITAN, 1e6)
+        t2 = dram_time_s(GTX_TITAN, 2e6)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_bandwidth_ordering_across_devices(self):
+        assert dram_time_s(GTX_TITAN, 1e6) < dram_time_s(GTX_580, 1e6)
+
+    def test_efficiency_saturates(self):
+        assert bandwidth_efficiency(WARPS_TO_SATURATE, GTX_TITAN) == 1.0
+        assert bandwidth_efficiency(1000, GTX_TITAN) == 1.0
+
+    def test_efficiency_collapses_when_starved(self):
+        assert bandwidth_efficiency(0.5, GTX_TITAN) < 0.2
+
+    def test_efficiency_floor(self):
+        assert bandwidth_efficiency(0, GTX_TITAN) == 0.08
+
+    @given(st.floats(min_value=0.0, max_value=1e4))
+    def test_efficiency_in_range(self, warps):
+        e = bandwidth_efficiency(warps, GTX_TITAN)
+        assert 0.08 <= e <= 1.0
+
+    def test_efficiency_monotone(self):
+        effs = [bandwidth_efficiency(w, GTX_TITAN) for w in range(0, 70, 4)]
+        assert all(a <= b for a, b in zip(effs, effs[1:]))
+
+    def test_dram_time_rejects_negative(self):
+        with pytest.raises(ValueError):
+            dram_time_s(GTX_TITAN, -1)

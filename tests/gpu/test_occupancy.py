@@ -1,0 +1,101 @@
+"""The CUDA occupancy calculator and its simulator hook."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import GTX_580, GTX_TITAN
+from repro.gpu.kernel import KernelWork
+from repro.gpu.occupancy import (
+    FERMI_LIMITS,
+    KEPLER_LIMITS,
+    KernelResources,
+    arch_limits,
+    compute_occupancy,
+    residency_cap,
+)
+from repro.gpu.simulator import simulate_kernel
+
+
+class TestLimits:
+    def test_arch_dispatch(self):
+        assert arch_limits(GTX_580) is FERMI_LIMITS
+        assert arch_limits(GTX_TITAN) is KEPLER_LIMITS
+
+    def test_resource_validation(self):
+        with pytest.raises(ValueError):
+            KernelResources(threads_per_block=0)
+        with pytest.raises(ValueError):
+            KernelResources(registers_per_thread=0)
+        with pytest.raises(ValueError):
+            KernelResources(shared_bytes_per_block=-1)
+
+
+class TestOccupancy:
+    def test_light_kernel_reaches_full_occupancy(self):
+        res = compute_occupancy(
+            GTX_TITAN, KernelResources(threads_per_block=256, registers_per_thread=32)
+        )
+        assert res.occupancy == 1.0
+        assert res.warps_per_sm == GTX_TITAN.max_warps_per_sm
+
+    def test_register_pressure_caps_occupancy(self):
+        heavy = compute_occupancy(
+            GTX_TITAN,
+            KernelResources(threads_per_block=256, registers_per_thread=128),
+        )
+        assert heavy.limiter == "registers"
+        assert heavy.occupancy < 0.5
+
+    def test_shared_memory_caps_occupancy(self):
+        smem = compute_occupancy(
+            GTX_TITAN,
+            KernelResources(
+                threads_per_block=128,
+                registers_per_thread=16,
+                shared_bytes_per_block=24 * 1024,
+            ),
+        )
+        assert smem.limiter == "shared-memory"
+        assert smem.blocks_per_sm == 2
+
+    def test_block_slot_limit(self):
+        tiny = compute_occupancy(
+            GTX_580,
+            KernelResources(threads_per_block=32, registers_per_thread=16),
+        )
+        assert tiny.limiter == "blocks"
+        assert tiny.blocks_per_sm == FERMI_LIMITS.max_blocks_per_sm
+
+    def test_fermi_tighter_than_kepler(self):
+        r = KernelResources(threads_per_block=256, registers_per_thread=63)
+        fermi = compute_occupancy(GTX_580, r)
+        kepler = compute_occupancy(GTX_TITAN, r)
+        assert fermi.warps_per_sm < kepler.warps_per_sm
+
+
+class TestSimulatorHook:
+    def _work(self, resources=None, n=50_000):
+        return KernelWork(
+            name="w",
+            compute_insts=np.full(n, 10.0),
+            dram_bytes=np.full(n, 512.0),
+            mem_ops=np.full(n, 2.0),
+            flops=1.0,
+            resources=resources,
+        )
+
+    def test_default_cap_is_architectural(self):
+        assert residency_cap(GTX_TITAN, None) == GTX_TITAN.max_warps_per_sm
+
+    def test_register_hungry_kernel_runs_slower(self):
+        light = simulate_kernel(GTX_TITAN, self._work())
+        heavy = simulate_kernel(
+            GTX_TITAN,
+            self._work(
+                KernelResources(
+                    threads_per_block=256, registers_per_thread=192
+                )
+            ),
+        )
+        assert heavy.time_s > light.time_s
+        assert heavy.occupancy < light.occupancy

@@ -1,0 +1,126 @@
+"""Roofline scheduler invariants."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import GTX_580, GTX_TITAN, Precision
+from repro.gpu.kernel import KernelWork
+from repro.gpu.simulator import (
+    gflops,
+    simulate_kernel,
+    simulate_sequence,
+)
+
+
+def work(n_warps=100, insts=20.0, dram=256.0, mem_ops=2.0, precision=Precision.SINGLE):
+    return KernelWork(
+        name="w",
+        compute_insts=np.full(n_warps, insts),
+        dram_bytes=np.full(n_warps, dram),
+        mem_ops=np.full(n_warps, mem_ops),
+        flops=1000.0,
+        precision=precision,
+    )
+
+
+class TestSimulateKernel:
+    def test_empty_work_costs_only_launch(self):
+        t = simulate_kernel(GTX_TITAN, KernelWork.empty("e"))
+        assert t.time_s == GTX_TITAN.kernel_launch_overhead_s
+        assert t.bound == "launch"
+
+    def test_launch_overhead_can_be_disabled(self):
+        t = simulate_kernel(
+            GTX_TITAN, KernelWork.empty("e"), include_launch_overhead=False
+        )
+        assert t.time_s == 0.0
+
+    def test_custom_overhead(self):
+        t = simulate_kernel(
+            GTX_TITAN, KernelWork.empty("e"), launch_overhead_s=1e-3
+        )
+        assert t.time_s == pytest.approx(1e-3)
+
+    def test_more_bytes_more_time(self):
+        t1 = simulate_kernel(GTX_TITAN, work(dram=256.0))
+        t2 = simulate_kernel(GTX_TITAN, work(dram=4096.0))
+        assert t2.time_s > t1.time_s
+
+    def test_more_warps_more_time_when_compute_bound(self):
+        t1 = simulate_kernel(GTX_TITAN, work(n_warps=10_000, dram=0.1))
+        t2 = simulate_kernel(GTX_TITAN, work(n_warps=40_000, dram=0.1))
+        assert t2.time_s > t1.time_s
+
+    def test_double_precision_not_faster(self):
+        sp = simulate_kernel(
+            GTX_TITAN, work(n_warps=50_000, insts=200.0, dram=1.0)
+        )
+        dp = simulate_kernel(
+            GTX_TITAN,
+            work(
+                n_warps=50_000,
+                insts=200.0,
+                dram=1.0,
+                precision=Precision.DOUBLE,
+            ),
+        )
+        assert dp.time_s > sp.time_s
+
+    def test_straggler_warp_binds_latency(self):
+        """One warp with a huge dependent chain dominates the kernel."""
+        insts = np.full(100, 10.0)
+        mem_ops = np.full(100, 2.0)
+        mem_ops[0] = 50_000.0  # hub-row chain
+        w = KernelWork(
+            name="straggler",
+            compute_insts=insts,
+            dram_bytes=np.full(100, 64.0),
+            mem_ops=mem_ops,
+            flops=1.0,
+        )
+        t = simulate_kernel(GTX_TITAN, w)
+        assert t.bound == "latency"
+
+    def test_slower_device_is_slower(self):
+        w = work(n_warps=5_000, dram=2048.0)
+        assert (
+            simulate_kernel(GTX_580, w).time_s
+            > simulate_kernel(GTX_TITAN, w).time_s
+        )
+
+    def test_breakdown_fields(self):
+        t = simulate_kernel(GTX_TITAN, work())
+        assert t.time_s >= max(t.compute_s, t.memory_s, t.critical_path_s)
+        assert 0.0 < t.occupancy <= 1.0
+        assert t.n_warps == 100
+
+    def test_determinism(self):
+        a = simulate_kernel(GTX_TITAN, work())
+        b = simulate_kernel(GTX_TITAN, work())
+        assert a.time_s == b.time_s
+
+
+class TestSequence:
+    def test_sums_launches(self):
+        seq = simulate_sequence(GTX_TITAN, [work(), work()])
+        single = simulate_kernel(GTX_TITAN, work())
+        assert seq.time_s == pytest.approx(2 * single.time_s)
+        assert seq.launch_overhead_s == pytest.approx(
+            2 * GTX_TITAN.kernel_launch_overhead_s
+        )
+
+    def test_empty_sequence(self):
+        assert simulate_sequence(GTX_TITAN, []).time_s == 0.0
+
+    def test_dram_bytes_accumulate(self):
+        seq = simulate_sequence(GTX_TITAN, [work(10), work(20)])
+        assert seq.dram_bytes == 10 * 256.0 + 20 * 256.0
+
+
+class TestGflops:
+    def test_basic(self):
+        assert gflops(2e9, 1.0) == pytest.approx(2.0)
+
+    def test_rejects_zero_time(self):
+        with pytest.raises(ValueError):
+            gflops(1.0, 0.0)

@@ -1,0 +1,100 @@
+"""Property-based invariants of the roofline scheduler."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.device import DEVICES, GTX_TITAN, Precision
+from repro.gpu.kernel import KernelWork, merge_concurrent
+from repro.gpu.simulator import simulate_kernel
+
+
+def work_from(seed: int, n_warps: int, scale: float) -> KernelWork:
+    rng = np.random.default_rng(seed)
+    return KernelWork(
+        name="w",
+        compute_insts=rng.uniform(1, 100, n_warps) * scale,
+        dram_bytes=rng.uniform(32, 4096, n_warps) * scale,
+        mem_ops=rng.uniform(1, 50, n_warps),
+        flops=float(n_warps),
+    )
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    n_warps=st.integers(1, 5_000),
+    scale=st.floats(0.1, 10.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_time_positive_and_finite(seed, n_warps, scale):
+    for dev in DEVICES.values():
+        t = simulate_kernel(dev, work_from(seed, n_warps, scale))
+        assert 0 < t.time_s < 10.0
+        assert np.isfinite(t.time_s)
+
+
+@given(seed=st.integers(0, 10_000), n_warps=st.integers(1, 2_000))
+@settings(max_examples=40, deadline=None)
+def test_scaling_work_never_reduces_time(seed, n_warps):
+    small = simulate_kernel(GTX_TITAN, work_from(seed, n_warps, 1.0))
+    big = simulate_kernel(GTX_TITAN, work_from(seed, n_warps, 4.0))
+    assert big.time_s >= small.time_s
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    n_a=st.integers(1, 500),
+    n_b=st.integers(1, 500),
+)
+@settings(max_examples=40, deadline=None)
+def test_merge_bounded_by_sum_of_parts(seed, n_a, n_b):
+    """Concurrent execution can't be slower than serial execution of the
+    same work (both pay a single launch here)."""
+    a = work_from(seed, n_a, 1.0)
+    b = work_from(seed + 1, n_b, 1.0)
+    merged = simulate_kernel(
+        GTX_TITAN, merge_concurrent([a, b]), include_launch_overhead=False
+    )
+    serial = (
+        simulate_kernel(GTX_TITAN, a, include_launch_overhead=False).time_s
+        + simulate_kernel(GTX_TITAN, b, include_launch_overhead=False).time_s
+    )
+    assert merged.time_s <= serial * 1.001
+
+
+@given(seed=st.integers(0, 10_000), n_warps=st.integers(1, 2_000))
+@settings(max_examples=40, deadline=None)
+def test_double_precision_never_faster(seed, n_warps):
+    w = work_from(seed, n_warps, 1.0)
+    dp = KernelWork(
+        name="dp",
+        compute_insts=w.compute_insts,
+        dram_bytes=w.dram_bytes,
+        mem_ops=w.mem_ops,
+        flops=w.flops,
+        precision=Precision.DOUBLE,
+    )
+    assert (
+        simulate_kernel(GTX_TITAN, dp).time_s
+        >= simulate_kernel(GTX_TITAN, w).time_s
+    )
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_permutation_invariance_of_totals(seed):
+    """Shuffling warp order must not change bandwidth-bound results by
+    more than the round-robin placement wiggle."""
+    rng = np.random.default_rng(seed)
+    w = work_from(seed, 1_000, 1.0)
+    perm = rng.permutation(1_000)
+    shuffled = KernelWork(
+        name="p",
+        compute_insts=w.compute_insts[perm],
+        dram_bytes=w.dram_bytes[perm],
+        mem_ops=w.mem_ops[perm],
+        flops=w.flops,
+    )
+    a = simulate_kernel(GTX_TITAN, w)
+    b = simulate_kernel(GTX_TITAN, shuffled)
+    assert abs(a.memory_s - b.memory_s) < 1e-12
+    assert abs(a.time_s - b.time_s) / a.time_s < 0.15

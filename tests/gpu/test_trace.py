@@ -1,0 +1,112 @@
+"""Kernel timeline traces and the Chrome export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.acsr import ACSRFormat
+from repro.gpu.device import GTX_TITAN, Precision
+from repro.gpu.kernel import KernelWork
+from repro.gpu.simulator import simulate_kernel
+from repro.gpu.trace import KernelTrace, TraceEvent
+
+from ..conftest import make_powerlaw_csr
+
+
+def timing(n=100):
+    w = KernelWork(
+        name="k",
+        compute_insts=np.full(n, 10.0),
+        dram_bytes=np.full(n, 256.0),
+        mem_ops=np.full(n, 2.0),
+        flops=1.0,
+    )
+    return simulate_kernel(GTX_TITAN, w)
+
+
+class TestEvents:
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            TraceEvent(name="x", start_s=0.0, duration_s=-1.0)
+
+    def test_end(self):
+        ev = TraceEvent(name="x", start_s=1.0, duration_s=2.0)
+        assert ev.end_s == 3.0
+
+
+class TestTimeline:
+    def test_sequential_events_advance_cursor(self):
+        tr = KernelTrace()
+        a = tr.append_timing(timing())
+        b = tr.append_timing(timing())
+        assert b.start_s == pytest.approx(a.end_s)
+        assert tr.duration_s == pytest.approx(b.end_s)
+
+    def test_concurrent_events_overlay(self):
+        tr = KernelTrace()
+        a = tr.append_timing(timing(), stream=0, concurrent=True)
+        b = tr.append_timing(timing(), stream=1, concurrent=True)
+        assert a.start_s == b.start_s == 0.0
+
+    def test_spans(self):
+        tr = KernelTrace()
+        tr.add_span("launch", 5e-6)
+        ev = tr.append_timing(timing())
+        assert ev.start_s == pytest.approx(5e-6)
+
+    def test_summary_mentions_events(self):
+        tr = KernelTrace("GTXTitan")
+        tr.add_span("launch", 5e-6)
+        tr.append_timing(timing())
+        s = tr.summary()
+        assert "GTXTitan" in s and "launch" in s and "k" in s
+
+
+class TestChromeExport:
+    def test_schema(self, tmp_path):
+        tr = KernelTrace("dev")
+        tr.add_span("launch", 1e-6)
+        tr.append_timing(timing(), stream=2)
+        doc = tr.to_chrome_trace()
+        assert {e["ph"] for e in doc["traceEvents"]} == {"X"}
+        assert doc["traceEvents"][1]["tid"] == "stream 2"
+        assert doc["traceEvents"][1]["args"]["warps"] == 100
+
+        path = tr.save(tmp_path / "t.json")
+        loaded = json.loads(path.read_text())
+        assert len(loaded["traceEvents"]) == 2
+
+
+class TestAcsrTrace:
+    def test_spmv_trace(self, tmp_path):
+        csr = make_powerlaw_csr(n_rows=4000, seed=151, max_degree=1200)
+        acsr = ACSRFormat.from_csr(csr)
+        tr = acsr.trace(GTX_TITAN)
+        assert tr.duration_s > 0
+        names = [e.name for e in tr.events]
+        assert any("launch" in n for n in names)
+        assert any(n.startswith("acsr") for n in names)
+        tr.save(tmp_path / "acsr.json")
+
+
+class TestFormatTrace:
+    def test_hyb_trace_shows_both_launches(self):
+        from repro.formats.hyb import HYBFormat
+
+        csr = make_powerlaw_csr(n_rows=2000, seed=161, max_degree=500)
+        hyb = HYBFormat.from_csr(csr)
+        tr = hyb.trace(GTX_TITAN)
+        names = [e.name for e in tr.events]
+        assert any("hyb-ell" in n for n in names)
+        assert any("hyb-coo" in n for n in names)
+        # launches interleave with kernels on the timeline
+        assert sum(1 for e in tr.events if e.category == "overhead") == 2
+
+    def test_trace_duration_matches_spmv_time(self):
+        from repro.formats.csr_format import CSRFormat
+
+        csr = make_powerlaw_csr(n_rows=2000, seed=163, max_degree=500)
+        fmt = CSRFormat.from_csr(csr)
+        tr = fmt.trace(GTX_TITAN)
+        assert tr.duration_s == pytest.approx(fmt.spmv_time_s(GTX_TITAN))

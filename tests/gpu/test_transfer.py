@@ -1,0 +1,46 @@
+"""PCIe transfer model."""
+
+import pytest
+
+from repro.gpu.transfer import DEFAULT_LINK, PCIeLink, csr_device_bytes
+
+
+class TestPCIe:
+    def test_zero_transfer_free(self):
+        assert DEFAULT_LINK.transfer_time_s(0, n_transfers=0) == 0.0
+
+    def test_latency_only(self):
+        link = PCIeLink(bandwidth_gbps=6.0, latency_s=10e-6)
+        assert link.transfer_time_s(0, n_transfers=1) == pytest.approx(
+            10e-6
+        )
+
+    def test_bandwidth_term(self):
+        link = PCIeLink(bandwidth_gbps=6.0, latency_s=0.0)
+        assert link.transfer_time_s(6e9) == pytest.approx(1.0)
+
+    def test_multiple_transfers_pay_latency_each(self):
+        one = DEFAULT_LINK.transfer_time_s(1024, 1)
+        three = DEFAULT_LINK.transfer_time_s(1024, 3)
+        assert three == pytest.approx(one + 2 * DEFAULT_LINK.latency_s)
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValueError):
+            DEFAULT_LINK.transfer_time_s(-1)
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            PCIeLink(bandwidth_gbps=0.0)
+
+
+class TestFootprint:
+    def test_csr_bytes_single(self):
+        # 10 rows, 100 nnz, float32: 100*4 + 100*4 + 11*4
+        assert csr_device_bytes(10, 100, 4) == 400 + 400 + 44
+
+    def test_csr_bytes_double(self):
+        assert csr_device_bytes(10, 100, 8) == 800 + 400 + 44
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            csr_device_bytes(-1, 0, 4)

@@ -1,0 +1,81 @@
+"""The cell runner: caching, OOM detection, precision availability."""
+
+import pytest
+
+from repro.gpu.device import GTX_580, GTX_TITAN, Precision
+from repro.harness.runner import CellResult, clear_caches, get_format, run_cell
+
+#: A small corpus matrix keeps these tests fast.
+MATRIX = "INT"
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestRunCell:
+    def test_basic_fields(self):
+        cell = run_cell(MATRIX, "csr", GTX_TITAN)
+        assert cell.usable
+        assert cell.st_s > 0
+        assert cell.gflops > 0
+        assert cell.matrix == "INT"
+        assert cell.scale <= 1.0
+
+    def test_cached(self):
+        a = run_cell(MATRIX, "hyb", GTX_TITAN)
+        b = run_cell(MATRIX, "hyb", GTX_TITAN)
+        assert a is b
+
+    def test_format_instances_shared(self):
+        f1 = get_format(MATRIX, "acsr")
+        f2 = get_format(MATRIX, "acsr")
+        assert f1 is f2
+
+    def test_paper_scale_extrapolation(self):
+        cell = run_cell(MATRIX, "csr", GTX_TITAN)
+        assert cell.st_paper_s() >= cell.st_s
+        assert cell.pt_paper_s() >= cell.pt_scalable_s
+
+    def test_bccoo_unavailable_in_double(self):
+        cell = run_cell(MATRIX, "bccoo", GTX_TITAN, Precision.DOUBLE)
+        assert cell.unavailable
+        assert not cell.usable
+
+    def test_tcoo_unavailable_in_double(self):
+        cell = run_cell(MATRIX, "tcoo", GTX_TITAN, Precision.DOUBLE)
+        assert cell.unavailable
+
+    def test_giant_matrix_ooms_small_device(self):
+        """UK2 (298M nnz at paper scale) cannot fit a 1.5 GiB GTX 580."""
+        cell = run_cell("UK2", "csr", GTX_580)
+        assert cell.oom
+        titan = run_cell("UK2", "csr", GTX_TITAN)
+        assert not titan.oom
+
+    def test_small_matrix_fits_everywhere(self):
+        cell = run_cell("INT", "hyb", GTX_580)
+        assert not cell.oom
+
+
+class TestCellResult:
+    def test_pt_total(self):
+        cell = CellResult(
+            matrix="X",
+            format_name="f",
+            device="d",
+            precision=Precision.SINGLE,
+            st_s=1.0,
+            pt_scalable_s=2.0,
+            pt_fixed_s=3.0,
+            device_bytes=10,
+            nnz=100,
+            scale=0.5,
+            oom=False,
+        )
+        assert cell.pt_s == 5.0
+        assert cell.pt_paper_s() == pytest.approx(2.0 / 0.5 + 3.0)
+        assert cell.st_paper_s() == pytest.approx(2.0)

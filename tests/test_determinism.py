@@ -1,0 +1,74 @@
+"""Reproducibility guarantees: same inputs, same numbers — across calls
+and across processes (the benchmarks' assertions depend on this)."""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.data import corpus_matrix, synthesize, get_spec
+from repro.formats import build_format
+from repro.gpu import GTX_TITAN
+
+_SNIPPET = """
+import json
+from repro.data import corpus_matrix
+from repro.formats import build_format
+from repro.gpu import GTX_TITAN
+m = corpus_matrix("INT")
+fmt = build_format("acsr", m)
+print(json.dumps({
+    "nnz": m.nnz,
+    "checksum": float(m.values.sum()),
+    "col_head": m.col_idx[:5].tolist(),
+    "st": fmt.spmv_time_s(GTX_TITAN),
+}))
+"""
+
+
+class TestWithinProcess:
+    def test_timing_is_pure(self):
+        m = corpus_matrix("INT")
+        fmt = build_format("acsr", m)
+        times = {fmt.spmv_time_s(GTX_TITAN) for _ in range(5)}
+        assert len(times) == 1
+
+    def test_synthesis_seeded(self):
+        a = synthesize(get_spec("ENR"), scale=0.3)
+        b = synthesize(get_spec("ENR"), scale=0.3)
+        np.testing.assert_array_equal(a.col_idx, b.col_idx)
+        np.testing.assert_array_equal(a.values, b.values)
+
+
+class TestAcrossProcesses:
+    @pytest.fixture(scope="class")
+    def subprocess_results(self):
+        outs = []
+        for _ in range(2):
+            proc = subprocess.run(
+                [sys.executable, "-c", _SNIPPET],
+                capture_output=True,
+                text=True,
+                timeout=300,
+            )
+            assert proc.returncode == 0, proc.stderr
+            outs.append(proc.stdout.strip().splitlines()[-1])
+        return outs
+
+    def test_corpus_and_timing_identical(self, subprocess_results):
+        import json
+
+        a, b = (json.loads(o) for o in subprocess_results)
+        assert a == b
+
+    def test_matches_current_process(self, subprocess_results):
+        import json
+
+        sub = json.loads(subprocess_results[0])
+        m = corpus_matrix("INT")
+        assert sub["nnz"] == m.nnz
+        assert sub["checksum"] == pytest.approx(float(m.values.sum()))
+        assert sub["col_head"] == m.col_idx[:5].tolist()
+        fmt = build_format("acsr", m)
+        assert sub["st"] == pytest.approx(fmt.spmv_time_s(GTX_TITAN))

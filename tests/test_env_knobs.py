@@ -1,0 +1,37 @@
+"""The REPRO_SCALE / REPRO_QUICK environment knobs."""
+
+import numpy as np
+import pytest
+
+from repro.data.corpus import SCALE_ENV_VAR, get_spec
+from repro.harness.experiments.common import (
+    QUICK_ABBREVS,
+    QUICK_ENV_VAR,
+    default_matrices,
+)
+
+
+class TestScaleKnob:
+    def test_scale_env_shrinks_analogs(self, monkeypatch):
+        base = get_spec("WIK").default_scale
+        monkeypatch.setenv(SCALE_ENV_VAR, "0.5")
+        assert get_spec("WIK").default_scale == pytest.approx(base * 0.5)
+
+    def test_scale_env_default_is_one(self, monkeypatch):
+        monkeypatch.delenv(SCALE_ENV_VAR, raising=False)
+        spec = get_spec("ENR")
+        assert spec.default_scale == 1.0  # ENR is below the nnz target
+
+
+class TestQuickKnob:
+    def test_quick_env_restricts_matrices(self, monkeypatch):
+        monkeypatch.setenv(QUICK_ENV_VAR, "1")
+        assert default_matrices(None) == QUICK_ABBREVS
+
+    def test_explicit_list_overrides_quick(self, monkeypatch):
+        monkeypatch.setenv(QUICK_ENV_VAR, "1")
+        assert default_matrices(("WIK",)) == ("WIK",)
+
+    def test_full_set_by_default(self, monkeypatch):
+        monkeypatch.delenv(QUICK_ENV_VAR, raising=False)
+        assert len(default_matrices(None)) == 16
