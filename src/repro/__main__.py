@@ -97,6 +97,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write <DIR>/<experiment>.json for each experiment run",
     )
+    run.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help=(
+            "dump a stream-engine Chrome trace (chrome://tracing / "
+            "Perfetto) of an ACSR SpMV for the run's first matrix and "
+            "--device, and print the per-launch bound breakdown"
+        ),
+    )
 
     corpus = sub.add_parser("corpus", help="inspect one synthetic analog")
     corpus.add_argument("matrix")
@@ -139,7 +149,30 @@ def main(argv: list[str] | None = None) -> int:
             out_dir = Path(args.json)
             out_dir.mkdir(parents=True, exist_ok=True)
             save_json(result, out_dir / f"{name}.json")
+    if args.trace:
+        _dump_trace(args)
     return 0
+
+
+def _dump_trace(args) -> None:
+    """Write the stream-engine timeline for the run's first matrix."""
+    from .core.dispatch import time_spmv
+    from .harness.experiments.common import default_matrices
+    from .harness.runner import get_format
+
+    key = default_matrices(args.matrices)[0]
+    device = get_device(args.device)
+    acsr = get_format(key, "acsr", Precision(args.precision))
+    timing = time_spmv(
+        acsr.csr, acsr.plan_for(device), device, stream=True
+    )
+    path = timing.trace.save(args.trace)
+    print(
+        f"stream-engine trace: ACSR SpMV of {key} on {device.name} "
+        f"({timing.n_bin_grids} bin grids, {timing.n_row_grids} row "
+        f"grids, {timing.time_s * 1e6:.2f} us) -> {path}"
+    )
+    print(timing.bound_summary())
 
 
 if __name__ == "__main__":

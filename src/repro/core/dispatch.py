@@ -27,6 +27,7 @@ from ..gpu.dynamic_parallelism import (
 )
 from ..gpu.kernel import KernelWork, merge_concurrent
 from ..gpu.simulator import KernelTiming, simulate_kernel
+from ..gpu.streams import EngineResult, StreamEngine
 from ..kernels import acsr_bin, acsr_dp
 from .binning import Binning
 from .parameters import ACSRParams, ResolvedParams, resolve
@@ -133,10 +134,135 @@ def bin_works(
     ]
 
 
+@dataclass(frozen=True)
+class StreamedACSRTiming:
+    """Modelled time of one ACSR SpMV issued through the stream engine.
+
+    Unlike :class:`ACSRTiming`'s single merged pool, every G2 bin grid is
+    a separate launch on its own stream: bins that under-occupy the
+    device overlap for free, saturating bins serialise under the engine's
+    processor-sharing model, and the resulting trace is an honest
+    multi-stream timeline (``result.trace``).
+    """
+
+    result: EngineResult
+    n_bin_grids: int
+    n_row_grids: int
+
+    @property
+    def time_s(self) -> float:
+        return self.result.duration_s
+
+    @property
+    def trace(self):
+        return self.result.trace
+
+    def bound_summary(self) -> str:
+        return self.result.bound_summary()
+
+
+def stream_spmv(
+    csr: CSRMatrix,
+    plan: ACSRPlan,
+    device: DeviceSpec,
+    engine: StreamEngine,
+    *,
+    device_index: int = 0,
+    max_streams: int = 8,
+) -> None:
+    """Enqueue one ACSR SpMV onto ``engine`` as concurrent streams.
+
+    Each G2 bin grid is launched round-robin across ``max_streams``
+    streams (the first launch on each stream pays the full host overhead,
+    later ones the pipelined rate, mirroring the serial model's launch
+    bill); the DP parent plus its pooled children ride one more stream
+    with their child count declared against the device's pending-launch
+    limit.
+    """
+    if max_streams < 1:
+        raise ValueError("need at least one stream")
+    n_children = int(plan.g1_rows.shape[0])
+    if n_children and not device.supports_dynamic_parallelism:
+        raise DynamicParallelismUnsupported(
+            f"plan has a DP group but {device.name} lacks dynamic "
+            "parallelism; build the plan for this device"
+        )
+    works = bin_works(csr, plan, device)
+    streams = [
+        engine.stream(device=device_index, name=f"bin-s{i}")
+        for i in range(min(max_streams, max(1, len(works))))
+    ]
+    for i, w in enumerate(works):
+        s = streams[i % len(streams)]
+        s.launch(
+            w,
+            launch_overhead_s=(
+                device.kernel_launch_overhead_s
+                if i < len(streams)
+                else device.pipelined_launch_overhead_s
+            ),
+        )
+    if n_children:
+        dp_stream = engine.stream(device=device_index, name="dp")
+        children = acsr_dp.children_works(
+            csr, plan.g1_rows, plan.resolved.thread_load, device
+        )
+        dp_work = merge_concurrent(
+            [acsr_dp.parent_work(n_children, csr.precision), *children],
+            name="acsr-dp",
+        )
+        dp_stream.launch(
+            dp_work,
+            launch_overhead_s=(
+                device.kernel_launch_overhead_s
+                if not works
+                else device.pipelined_launch_overhead_s
+            ),
+            dp_children=n_children,
+        )
+
+
+def time_spmv_streamed(
+    csr: CSRMatrix,
+    plan: ACSRPlan,
+    device: DeviceSpec,
+    *,
+    max_streams: int = 8,
+) -> StreamedACSRTiming:
+    """Model one ACSR SpMV with per-bin grids on concurrent streams."""
+    engine = StreamEngine(device, name=f"acsr@{device.name}")
+    stream_spmv(csr, plan, device, engine, max_streams=max_streams)
+    return StreamedACSRTiming(
+        result=engine.run(),
+        n_bin_grids=plan.n_bin_grids,
+        n_row_grids=plan.n_row_grids,
+    )
+
+
 def time_spmv(
-    csr: CSRMatrix, plan: ACSRPlan, device: DeviceSpec
-) -> ACSRTiming:
-    """Model one ACSR SpMV: G2 grids, DP parent and children as one pool."""
+    csr: CSRMatrix,
+    plan: ACSRPlan,
+    device: DeviceSpec,
+    *,
+    stream: bool | StreamEngine = False,
+    max_streams: int = 8,
+) -> ACSRTiming | StreamedACSRTiming:
+    """Model one ACSR SpMV: G2 grids, DP parent and children as one pool.
+
+    With ``stream=True`` the SpMV is instead issued through the stream
+    engine, one launch per bin grid on concurrent streams
+    (:func:`time_spmv_streamed`); pass a :class:`StreamEngine` to enqueue
+    into an engine the caller owns and runs.
+    """
+    if stream is not False:
+        if isinstance(stream, StreamEngine):
+            stream_spmv(csr, plan, device, stream, max_streams=max_streams)
+            return StreamedACSRTiming(
+                result=stream.run(),
+                n_bin_grids=plan.n_bin_grids,
+                n_row_grids=plan.n_row_grids,
+            )
+        return time_spmv_streamed(csr, plan, device, max_streams=max_streams)
     n_children = int(plan.g1_rows.shape[0])
     if n_children and not device.supports_dynamic_parallelism:
         raise DynamicParallelismUnsupported(

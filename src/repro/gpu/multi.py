@@ -5,20 +5,25 @@ list in half, one half per GPU ("For two GPUs, we simply map half of the
 rows in each bin to each device").  Each GPU computes its share of ``y``;
 the devices then synchronise and the halves are concatenated.
 
-The model here generalises to ``n`` GPUs: per-device kernel sequences run
-concurrently, total time is the maximum device time plus a synchronisation
-cost.  Imperfect scaling emerges naturally: small matrices leave each GPU
-under-occupied, so per-device times do not halve (the ENR/FLI/INT/YOT
-observation), while launch overheads are paid per device.
+The model generalises to ``n`` GPUs and is a thin wrapper over the
+stream engine (:mod:`repro.gpu.streams`): each device gets one stream,
+its kernel sequence is enqueued in order, every stream records an end
+event, and a sync stream waits on all of them before paying the
+cross-device synchronisation cost.  Imperfect scaling emerges naturally:
+small matrices leave each GPU under-occupied, so per-device times do not
+halve (the ENR/FLI/INT/YOT observation), while launch overheads are paid
+per device.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from .device import DeviceSpec
 from .kernel import KernelWork
-from .simulator import SequenceTiming, simulate_sequence
+from .simulator import SequenceTiming
+from .streams import StreamEngine
+from .trace import KernelTrace
 
 #: Cross-device synchronisation (event record + stream sync), seconds.
 SYNC_OVERHEAD_S = 20.0e-6
@@ -30,6 +35,8 @@ class MultiGPUTiming:
 
     per_device: tuple[SequenceTiming, ...]
     sync_overhead_s: float
+    #: Multi-stream timeline from the engine run that produced this timing.
+    trace: KernelTrace | None = field(default=None, compare=False)
 
     @property
     def time_s(self) -> float:
@@ -64,14 +71,35 @@ class MultiGPUContext:
         return len(self.devices)
 
     def run(self, per_device_works: list[list[KernelWork]]) -> MultiGPUTiming:
-        """Execute one work sequence per device, concurrently."""
+        """Execute one work sequence per device through the stream engine."""
         if len(per_device_works) != self.n_devices:
             raise ValueError(
                 f"expected {self.n_devices} work lists, got {len(per_device_works)}"
             )
-        timings = tuple(
-            simulate_sequence(dev, works)
-            for dev, works in zip(self.devices, per_device_works)
-        )
+        engine = StreamEngine(self.devices, name="multi-gpu")
+        end_events = []
+        for d, works in enumerate(per_device_works):
+            s = engine.stream(device=d, name=f"dev{d}")
+            for w in works:
+                s.launch(w)
+            end_events.append(s.record(label=f"dev{d}-done"))
         sync = SYNC_OVERHEAD_S if self.n_devices > 1 else 0.0
-        return MultiGPUTiming(per_device=timings, sync_overhead_s=sync)
+        if self.n_devices > 1:
+            barrier = engine.stream(device=0, name="sync")
+            for ev in end_events:
+                barrier.wait(ev)
+            # Host-side event sync: holds no device resources.
+            barrier.span("device-sync", sync, utilization=0.0)
+        result = engine.run()
+        timings = tuple(
+            SequenceTiming(
+                timings=tuple(
+                    r.timing for r in result.records
+                    if r.stream == d and r.timing is not None
+                )
+            )
+            for d in range(self.n_devices)
+        )
+        return MultiGPUTiming(
+            per_device=timings, sync_overhead_s=sync, trace=result.trace
+        )

@@ -5,6 +5,11 @@ exported in the Chrome trace-event format (load it at ``chrome://tracing``
 or in Perfetto), giving the same at-a-glance picture an ``nvprof``
 timeline gives on hardware: which grids ran, for how long, on which
 stream, and what bound them.
+
+Placement follows CUDA stream semantics: each stream has its own cursor,
+so appending to stream 1 never pushes stream 0's next event later.  The
+stream engine (:mod:`repro.gpu.streams`) bypasses the cursors entirely and
+places events at the true modelled start times via ``start_s``.
 """
 
 from __future__ import annotations
@@ -26,6 +31,9 @@ class TraceEvent:
     stream: int = 0
     category: str = "kernel"
     args: dict = field(default_factory=dict)
+    #: Process row in the Chrome export; ``None`` uses the trace's
+    #: ``device_name``.  Set by the stream engine for multi-device runs.
+    device: str | None = None
 
     def __post_init__(self) -> None:
         if self.duration_s < 0 or self.start_s < 0:
@@ -42,12 +50,16 @@ class KernelTrace:
     def __init__(self, device_name: str = "GPU") -> None:
         self.device_name = device_name
         self.events: list[TraceEvent] = []
-        self._cursor_s = 0.0
+        self._cursors: dict[int, float] = {}
 
     # ------------------------------------------------------------------
     @property
     def duration_s(self) -> float:
         return max((e.end_s for e in self.events), default=0.0)
+
+    def cursor_s(self, stream: int = 0) -> float:
+        """Where the next sequential event on ``stream`` would start."""
+        return self._cursors.get(stream, 0.0)
 
     def add(self, event: TraceEvent) -> None:
         self.events.append(event)
@@ -58,16 +70,20 @@ class KernelTrace:
         stream: int = 0,
         category: str = "kernel",
         concurrent: bool = False,
+        start_s: float | None = None,
+        device: str | None = None,
     ) -> TraceEvent:
         """Place a simulated launch on the timeline.
 
-        Sequential events advance the cursor; ``concurrent=True`` overlays
-        the event at the current cursor without advancing it (grids on
-        other streams).
+        Without ``start_s`` the event starts at its *own stream's* cursor;
+        sequential events advance that cursor, ``concurrent=True`` overlays
+        the event without advancing it (a grid sharing the stream's
+        window).  An explicit ``start_s`` places the event exactly there —
+        the path the stream engine uses to emit true start times.
         """
         ev = TraceEvent(
             name=timing.name,
-            start_s=self._cursor_s,
+            start_s=self.cursor_s(stream) if start_s is None else start_s,
             duration_s=timing.time_s,
             stream=stream,
             category=category,
@@ -77,10 +93,11 @@ class KernelTrace:
                 "dram_bytes": timing.dram_bytes,
                 "occupancy": round(timing.occupancy, 3),
             },
+            device=device,
         )
         self.events.append(ev)
         if not concurrent:
-            self._cursor_s = ev.end_s
+            self._cursors[stream] = max(self.cursor_s(stream), ev.end_s)
         return ev
 
     def add_span(
@@ -89,19 +106,22 @@ class KernelTrace:
         duration_s: float,
         stream: int = 0,
         category: str = "overhead",
+        start_s: float | None = None,
+        device: str | None = None,
         **args,
     ) -> TraceEvent:
         """A non-kernel span (launch overhead, transfer, sync)."""
         ev = TraceEvent(
             name=name,
-            start_s=self._cursor_s,
+            start_s=self.cursor_s(stream) if start_s is None else start_s,
             duration_s=duration_s,
             stream=stream,
             category=category,
             args=args,
+            device=device,
         )
         self.events.append(ev)
-        self._cursor_s = ev.end_s
+        self._cursors[stream] = max(self.cursor_s(stream), ev.end_s)
         return ev
 
     # ------------------------------------------------------------------
@@ -116,7 +136,7 @@ class KernelTrace:
                     "ph": "X",  # complete event
                     "ts": ev.start_s * 1e6,  # microseconds
                     "dur": ev.duration_s * 1e6,
-                    "pid": self.device_name,
+                    "pid": ev.device or self.device_name,
                     "tid": f"stream {ev.stream}",
                     "args": ev.args,
                 }

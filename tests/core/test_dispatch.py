@@ -122,3 +122,60 @@ class TestTiming:
     def test_pool_flops_cover_matrix(self, csr, titan_plan):
         t = time_spmv(csr, titan_plan, GTX_TITAN)
         assert t.pool.dram_bytes > 0
+
+
+class TestStreamedTiming:
+    """The stream= path: per-bin grids on concurrent engine streams."""
+
+    def test_streamed_beats_back_to_back(self, csr, titan_plan):
+        """Concurrent bin grids beat serialising every bin launch."""
+        from repro.core.dispatch import bin_works
+        from repro.gpu.simulator import simulate_sequence
+
+        streamed = time_spmv(csr, titan_plan, GTX_TITAN, stream=True)
+        serial = simulate_sequence(
+            GTX_TITAN, bin_works(csr, titan_plan, GTX_TITAN)
+        ).time_s
+        assert streamed.time_s < serial
+
+    def test_streamed_reports_grid_counts_and_trace(self, csr, titan_plan):
+        t = time_spmv(csr, titan_plan, GTX_TITAN, stream=True)
+        assert t.n_bin_grids == titan_plan.n_bin_grids
+        assert t.n_row_grids == titan_plan.n_row_grids
+        kernels = [e for e in t.trace.events if e.category == "kernel"]
+        assert len(kernels) == t.n_bin_grids + (1 if t.n_row_grids else 0)
+        assert {e.stream for e in kernels} != {0}  # truly multi-stream
+        assert "bound" in t.bound_summary()
+
+    def test_streamed_deterministic(self, csr, titan_plan):
+        a = time_spmv(csr, titan_plan, GTX_TITAN, stream=True)
+        b = time_spmv(csr, titan_plan, GTX_TITAN, stream=True)
+        assert a.time_s == b.time_s
+
+    def test_caller_owned_engine(self, csr, titan_plan):
+        from repro.gpu.streams import StreamEngine
+
+        engine = StreamEngine(GTX_TITAN)
+        t = time_spmv(csr, titan_plan, GTX_TITAN, stream=engine)
+        assert t.time_s > 0
+
+    def test_streamed_dp_rejected_on_fermi(self, csr, titan_plan):
+        if titan_plan.g1_rows.size == 0:
+            pytest.skip("plan has no DP group")
+        with pytest.raises(DynamicParallelismUnsupported):
+            time_spmv(csr, titan_plan, GTX_580, stream=True)
+
+    def test_streamed_dp_group_rides_its_own_stream(self):
+        csr_big = make_powerlaw_csr(n_rows=50_000, seed=31, max_degree=3000)
+        plan = build_plan(
+            compute_binning(csr_big.nnz_per_row),
+            ACSRParams(),
+            GTX_TITAN,
+            mu=csr_big.mu,
+        )
+        if plan.g1_rows.size == 0:
+            pytest.skip("plan has no DP group")
+        t = time_spmv(csr_big, plan, GTX_TITAN, stream=True)
+        dp = [e for e in t.trace.events if e.name == "acsr-dp"]
+        assert len(dp) == 1
+        assert t.time_s > 0

@@ -100,3 +100,53 @@ class TestSpeedups:
                 GTX_TITAN,
                 n_epochs=0,
             )
+
+
+class TestOverlap:
+    """Stream-engine overlap of the change-list copy (Section VII)."""
+
+    @pytest.fixture(scope="class")
+    def both(self):
+        adjacency = make_powerlaw_csr(
+            n_rows=30_000, seed=71, max_degree=1200
+        ).binarized()
+        kw = dict(n_epochs=4, seed=5)
+        return (
+            run_dynamic_pagerank(adjacency, GTX_TITAN, overlap=False, **kw),
+            run_dynamic_pagerank(adjacency, GTX_TITAN, overlap=True, **kw),
+        )
+
+    def test_acsr_epochs_strictly_faster_after_first(self, both):
+        seq, ov = both
+        for e in range(1, 4):
+            assert (
+                ov["acsr"].epochs[e].total_s
+                < seq["acsr"].epochs[e].total_s
+            )
+
+    def test_first_epoch_unchanged(self, both):
+        """Epoch 0's full copy has no previous iteration to hide under."""
+        seq, ov = both
+        assert ov["acsr"].epochs[0].total_s == pytest.approx(
+            seq["acsr"].epochs[0].total_s
+        )
+
+    def test_csr_and_hyb_epochs_unchanged(self, both):
+        """Full-matrix re-copies cannot overlap; serial model preserved."""
+        seq, ov = both
+        for backend in ("csr", "hyb"):
+            for e in range(4):
+                assert ov[backend].epochs[e].total_s == pytest.approx(
+                    seq[backend].epochs[e].total_s, rel=1e-12
+                )
+
+    def test_overlap_widens_figure7_speedups(self, both):
+        seq, ov = both
+        assert np.all(
+            epoch_speedups(ov, "csr")[1:] > epoch_speedups(seq, "csr")[1:]
+        )
+
+    def test_maintenance_never_negative(self, both):
+        _, ov = both
+        for rec in ov["acsr"].epochs:
+            assert rec.maintenance_s > 0

@@ -60,3 +60,41 @@ class TestRun:
         one = MultiGPUContext.of(TESLA_K10, 1).run([[big]])
         two = MultiGPUContext.of(TESLA_K10, 2).run([[half], [half]])
         assert one.time_s / two.time_s > 1.5
+
+
+class TestEngineReproduction:
+    """The engine-backed run() must reproduce the sum/max/sync model."""
+
+    def test_matches_sequence_model_within_tolerance(self):
+        from repro.gpu.simulator import simulate_sequence
+
+        works = [
+            [work(10), work(50), work(3000, dram=2048.0)],
+            [work(10_000, dram=4096.0)],
+        ]
+        t = MultiGPUContext.of(TESLA_K10, 2).run(works)
+        expected = (
+            max(
+                simulate_sequence(TESLA_K10, ws).time_s for ws in works
+            )
+            + SYNC_OVERHEAD_S
+        )
+        assert abs(t.time_s - expected) / expected < 0.01
+
+    def test_per_device_timings_match_standalone(self):
+        from repro.gpu.simulator import simulate_sequence
+
+        ws = [work(10), work(500)]
+        t = MultiGPUContext.of(TESLA_K10, 2).run([ws, [work(20)]])
+        assert t.per_device[0].time_s == pytest.approx(
+            simulate_sequence(TESLA_K10, ws).time_s
+        )
+
+    def test_run_attaches_multi_stream_trace(self):
+        t = MultiGPUContext.of(TESLA_K10, 2).run([[work()], [work()]])
+        assert t.trace is not None
+        devices = {e.device for e in t.trace.events}
+        assert {"TeslaK10#0", "TeslaK10#1"} <= devices
+        # both devices' kernels start together — true concurrency
+        starts = [e.start_s for e in t.trace.events if e.category == "kernel"]
+        assert starts == [0.0, 0.0]

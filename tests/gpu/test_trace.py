@@ -55,6 +55,30 @@ class TestTimeline:
         ev = tr.append_timing(timing())
         assert ev.start_s == pytest.approx(5e-6)
 
+    def test_cursors_are_per_stream(self):
+        """A span on stream 0 must not delay stream 1's next event."""
+        tr = KernelTrace()
+        tr.add_span("launch", 5e-6, stream=0)
+        other = tr.append_timing(timing(), stream=1)
+        assert other.start_s == 0.0
+        again = tr.append_timing(timing(), stream=0)
+        assert again.start_s == pytest.approx(5e-6)
+
+    def test_explicit_start_places_event_exactly(self):
+        tr = KernelTrace()
+        ev = tr.append_timing(timing(), start_s=42e-6)
+        assert ev.start_s == pytest.approx(42e-6)
+        assert tr.cursor_s(0) == pytest.approx(ev.end_s)
+        sp = tr.add_span("sync", 1e-6, stream=3, start_s=10e-6)
+        assert sp.start_s == pytest.approx(10e-6)
+
+    def test_explicit_start_never_rewinds_cursor(self):
+        tr = KernelTrace()
+        first = tr.append_timing(timing())
+        tr.append_timing(timing(), start_s=0.0, concurrent=True)
+        nxt = tr.append_timing(timing())
+        assert nxt.start_s == pytest.approx(first.end_s)
+
     def test_summary_mentions_events(self):
         tr = KernelTrace("GTXTitan")
         tr.add_span("launch", 5e-6)
@@ -76,6 +100,42 @@ class TestChromeExport:
         path = tr.save(tmp_path / "t.json")
         loaded = json.loads(path.read_text())
         assert len(loaded["traceEvents"]) == 2
+
+    def test_round_trip_preserves_ts_dur_tid(self, tmp_path):
+        """JSON round-trip: ts/dur in microseconds, tid from the stream."""
+        tr = KernelTrace("dev")
+        spans = [
+            tr.add_span("a", 3e-6, stream=0),
+            tr.add_span("b", 7e-6, stream=2, start_s=1e-6),
+        ]
+        loaded = json.loads((tr.save(tmp_path / "rt.json")).read_text())
+        for ev, out in zip(spans, loaded["traceEvents"]):
+            assert out["ts"] == pytest.approx(ev.start_s * 1e6)
+            assert out["dur"] == pytest.approx(ev.duration_s * 1e6)
+            assert out["tid"] == f"stream {ev.stream}"
+            assert out["pid"] == "dev"
+
+    def test_per_event_device_becomes_pid(self):
+        tr = KernelTrace("engine")
+        tr.add_span("a", 1e-6, device="GPU#0")
+        tr.add_span("b", 1e-6)
+        doc = tr.to_chrome_trace()
+        assert doc["traceEvents"][0]["pid"] == "GPU#0"
+        assert doc["traceEvents"][1]["pid"] == "engine"
+
+    def test_engine_trace_round_trips_with_true_starts(self, tmp_path):
+        """The stream engine's trace survives a JSON round-trip intact."""
+        from repro.gpu.streams import StreamEngine
+
+        eng = StreamEngine(GTX_TITAN)
+        eng.stream().span("compute", 50e-6)
+        eng.stream().copy("h2d", 100_000)
+        res = eng.run()
+        loaded = json.loads((res.trace.save(tmp_path / "e.json")).read_text())
+        by_name = {e["name"]: e for e in loaded["traceEvents"]}
+        assert by_name["compute"]["tid"] == "stream 0"
+        assert by_name["h2d"]["tid"] == "stream 1"
+        assert by_name["h2d"]["ts"] == 0.0  # overlapped, not serialised
 
 
 class TestAcsrTrace:

@@ -66,3 +66,29 @@ class TestParser:
             "fig8",
         }
         assert expected <= set(EXPERIMENTS)
+
+
+class TestTraceFlag:
+    def test_run_with_trace_dumps_engine_timeline(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "run",
+                    "table5",
+                    "--matrices",
+                    "INT",
+                    "--trace",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        text = capsys.readouterr().out
+        assert "stream-engine trace" in text
+        assert "bound" in text  # the per-launch breakdown
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+        assert {e["ph"] for e in doc["traceEvents"]} == {"X"}
