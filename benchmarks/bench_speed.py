@@ -1,0 +1,21 @@
+#!/usr/bin/env python
+"""Runnable wrapper for the cost-model speed benchmark.
+
+Equivalent to ``PYTHONPATH=src python -m repro bench``; kept here so the
+benchmark lives next to the table/figure benchmarks.  Not a pytest file —
+it times the cost model itself, not a paper artifact.
+
+Usage::
+
+    python benchmarks/bench_speed.py [--quick] [--check BASELINE]
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.harness.bench_speed import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

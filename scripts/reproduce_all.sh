@@ -9,12 +9,15 @@
 # 4. export machine-readable results.
 #
 # Environment knobs: REPRO_SCALE (shrink analogs), REPRO_QUICK (4-matrix
-# subset), REPRO_FULL (app benches on the full corpus).
+# subset), REPRO_FULL (app benches on the full corpus), REPRO_CELL_CACHE
+# (cell-cache dir; defaulted below so reruns are incremental — set to 0
+# to disable, or delete the directory to invalidate).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RESULTS_DIR="${1:-results}"
+export REPRO_CELL_CACHE="${REPRO_CELL_CACHE:-.repro_cache}"
 
 echo "== install =="
 pip install -e . 2>/dev/null || python setup.py develop

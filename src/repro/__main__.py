@@ -8,6 +8,7 @@ Usage::
     python -m repro run all                  # everything (slow)
     python -m repro corpus HOL               # inspect a synthetic analog
     python -m repro devices                  # Table II
+    python -m repro bench --quick            # cost-model speed benchmark
 """
 
 from __future__ import annotations
@@ -110,6 +111,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     corpus = sub.add_parser("corpus", help="inspect one synthetic analog")
     corpus.add_argument("matrix")
+
+    bench = sub.add_parser(
+        "bench",
+        help="time cost-model evaluation on the largest corpus matrices",
+    )
+    from .harness.bench_speed import add_bench_arguments
+
+    add_bench_arguments(bench)
     return p
 
 
@@ -135,6 +144,10 @@ def main(argv: list[str] | None = None) -> int:
             f"max {m.max_nnz_row} (target {spec.max_nnz})"
         )
         return 0
+    if args.command == "bench":
+        from .harness.bench_speed import run_cli
+
+        return run_cli(args)
     # run
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -33,34 +33,45 @@ MAX_ITERATIONS = 10_000
 
 
 def euclidean_distance(a: np.ndarray, b: np.ndarray) -> float:
-    """The paper's convergence measure."""
-    return float(np.linalg.norm(a.astype(np.float64) - b.astype(np.float64)))
+    """The paper's convergence measure (copy-free for float64 inputs)."""
+    a64 = np.asarray(a, dtype=np.float64)
+    b64 = np.asarray(b, dtype=np.float64)
+    return float(np.linalg.norm(a64 - b64))
 
 
 def vector_ops_work(n: int, passes: int, precision) -> KernelWork:
     """One iteration's vector-update kernel (axpy + distance reduction).
 
     ``passes`` counts length-n array reads/writes; the work is identical
-    for every SpMV format, so it never changes *relative* results.
+    for every SpMV format, so it never changes *relative* results.  All
+    full warps are identical, so two weighted entries (full warps + the
+    partial trailing warp) describe the launch in O(1) instead of O(n/32).
     """
     if n <= 0:
         return KernelWork.empty("vector-ops", precision)
     vb = precision.value_bytes
     n_warps = -(-n // WARP_SIZE)
-    counts = np.full(n_warps, float(WARP_SIZE))
     rem = n % WARP_SIZE
-    if rem:
-        counts[-1] = rem
+    if rem and n_warps > 1:
+        counts = np.array([float(WARP_SIZE), float(rem)])
+        weights = np.array([float(n_warps - 1), 1.0])
+    elif rem:
+        counts = np.array([float(rem)])
+        weights = np.array([1.0])
+    else:
+        counts = np.array([float(WARP_SIZE)])
+        weights = np.array([float(n_warps)])
     compute = counts / WARP_SIZE * 4.0 * passes
     dram = coalesced_bytes(counts * vb) * float(passes)
     return KernelWork(
         name="vector-ops",
         compute_insts=np.asarray(compute, dtype=np.float64),
         dram_bytes=np.asarray(dram, dtype=np.float64),
-        mem_ops=np.ones(n_warps, dtype=np.float64),
+        mem_ops=np.ones(counts.shape[0], dtype=np.float64),
         flops=2.0 * n * passes,
         precision=precision,
         launch=launch_for_threads(n),
+        warp_weights=weights,
     )
 
 
@@ -102,13 +113,20 @@ def run_power_method(
         device, vector_ops_work(x0.shape[0], vector_passes, fmt.precision)
     ).time_s
     x = np.asarray(x0, dtype=fmt.precision.numpy_dtype).copy()
+    # Hoist the convergence-check dtype handling: keep a float64 view of
+    # the current iterate so each iteration converts only the *new*
+    # iterate (and converts nothing at all in double precision), instead
+    # of copying both vectors inside the distance every pass.
+    x64 = np.asarray(x, dtype=np.float64)
     iters = 0
     converged = False
     while iters < max_iterations:
         ax = fmt.multiply(x)
         x_next = step(x, ax).astype(x.dtype, copy=False)
         iters += 1
-        dist = euclidean_distance(x_next, x)
+        next64 = np.asarray(x_next, dtype=np.float64)
+        dist = float(np.linalg.norm(next64 - x64))
+        x64 = next64
         if not np.isfinite(dist):
             # Diverged (e.g. a non-substochastic operator); stop rather
             # than spin to the iteration cap.

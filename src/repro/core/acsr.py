@@ -27,6 +27,7 @@ from .dispatch import (
     ACSRTiming,
     bin_works,
     build_plan,
+    dp_children_works,
     execute,
     time_spmv,
 )
@@ -56,6 +57,7 @@ class ACSRFormat(SpMVFormat):
         self.params = params
         self.preprocess = preprocess
         self._plans: dict[tuple[str, ACSRParams], ACSRPlan] = {}
+        self._timings: dict[tuple[str, ACSRParams], ACSRTiming] = {}
 
     @classmethod
     def from_csr(
@@ -135,16 +137,14 @@ class ACSRFormat(SpMVFormat):
         :meth:`spmv_time_s`, which routes through the DP model.
         """
         plan = self.plan_for(device)
-        works = bin_works(self.csr, plan, device)
+        works = list(bin_works(self.csr, plan, device))
         if plan.g1_rows.size:
             works.append(
                 acsr_dp.parent_work(int(plan.g1_rows.shape[0]), self.precision)
             )
             works.append(
                 merge_concurrent(
-                    acsr_dp.children_works(
-                        self.csr, plan.g1_rows, plan.resolved.thread_load, device
-                    ),
+                    dp_children_works(self.csr, plan, device),
                     name="acsr-dp-children",
                 )
             )
@@ -153,8 +153,13 @@ class ACSRFormat(SpMVFormat):
         return works
 
     def timing(self, device: DeviceSpec) -> ACSRTiming:
-        """Full ACSR timing breakdown on ``device``."""
-        return time_spmv(self.csr, self.plan_for(device), device)
+        """Full ACSR timing breakdown on ``device`` (cached per device)."""
+        key = (device.name, self.params)
+        timing = self._timings.get(key)
+        if timing is None:
+            timing = time_spmv(self.csr, self.plan_for(device), device)
+            self._timings[key] = timing
+        return timing
 
     def spmv_time_s(self, device: DeviceSpec) -> float:
         return self.timing(device).time_s

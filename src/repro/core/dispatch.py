@@ -128,10 +128,41 @@ class ACSRTiming:
 def bin_works(
     csr: CSRMatrix, plan: ACSRPlan, device: DeviceSpec
 ) -> list[KernelWork]:
-    """The G2 bin-specific kernel works, one per launch."""
-    return [
-        acsr_bin.work(csr, rows, b, device) for b, rows in plan.g2
-    ]
+    """The G2 bin-specific kernel works, one per launch.
+
+    Cached on the (frozen) plan per ``(matrix, device)``: a plan is
+    device-resolved and immutable, and :class:`KernelWork` is frozen, so
+    repeated timings (``time_spmv``, ``stream_spmv``, app iterations)
+    reuse the launch list instead of re-deriving every bin's gang packing.
+    """
+    cache = getattr(plan, "_bin_works_cache", None)
+    if cache is None:
+        cache = {}
+        object.__setattr__(plan, "_bin_works_cache", cache)
+    key = (id(csr), device.name)
+    works = cache.get(key)
+    if works is None:
+        works = [acsr_bin.work(csr, rows, b, device) for b, rows in plan.g2]
+        cache[key] = works
+    return works
+
+
+def dp_children_works(
+    csr: CSRMatrix, plan: ACSRPlan, device: DeviceSpec
+) -> list[KernelWork]:
+    """The G1 row-specific child works, cached on the plan like bin works."""
+    cache = getattr(plan, "_dp_works_cache", None)
+    if cache is None:
+        cache = {}
+        object.__setattr__(plan, "_dp_works_cache", cache)
+    key = (id(csr), device.name)
+    works = cache.get(key)
+    if works is None:
+        works = acsr_dp.children_works(
+            csr, plan.g1_rows, plan.resolved.thread_load, device
+        )
+        cache[key] = works
+    return works
 
 
 @dataclass(frozen=True)
@@ -204,9 +235,7 @@ def stream_spmv(
         )
     if n_children:
         dp_stream = engine.stream(device=device_index, name="dp")
-        children = acsr_dp.children_works(
-            csr, plan.g1_rows, plan.resolved.thread_load, device
-        )
+        children = dp_children_works(csr, plan, device)
         dp_work = merge_concurrent(
             [acsr_dp.parent_work(n_children, csr.precision), *children],
             name="acsr-dp",
@@ -274,11 +303,7 @@ def time_spmv(
         works.append(acsr_bin.pooled_work(csr, list(plan.g2), device))
     if n_children:
         works.append(acsr_dp.parent_work(n_children, csr.precision))
-        works.extend(
-            acsr_dp.children_works(
-                csr, plan.g1_rows, plan.resolved.thread_load, device
-            )
-        )
+        works.extend(dp_children_works(csr, plan, device))
     if works:
         pooled = works[0] if len(works) == 1 else merge_concurrent(
             works, name="acsr"

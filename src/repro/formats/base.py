@@ -150,6 +150,26 @@ class SpMVFormat(abc.ABC):
     def kernel_works(self, device: DeviceSpec) -> list[KernelWork]:
         """The launches of one SpMV, in order."""
 
+    def cached_kernel_works(self, device: DeviceSpec) -> list[KernelWork]:
+        """:meth:`kernel_works`, memoised per ``(format, device)``.
+
+        Formats are immutable after construction and :class:`KernelWork`
+        is frozen, so the launch list of one SpMV never changes — yet
+        ``spmv_time_s`` / ``trace`` / ``run_spmv`` historically rebuilt it
+        on every call.  The cache keys on the device name (a format
+        instance has a fixed matrix and precision) and is dropped with the
+        instance itself.
+        """
+        cache = getattr(self, "_kernel_works_cache", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_kernel_works_cache", cache)
+        works = cache.get(device.name)
+        if works is None:
+            works = self.kernel_works(device)
+            cache[device.name] = works
+        return works
+
     def device_bytes(self) -> int:
         """Device footprint (format data + x + y)."""
         return self.preprocess.device_bytes
@@ -157,7 +177,7 @@ class SpMVFormat(abc.ABC):
     # -- shared entry points ---------------------------------------------
     def spmv_time_s(self, device: DeviceSpec) -> float:
         """Modelled time of one SpMV on ``device`` (the paper's ``ST``)."""
-        return simulate_sequence(device, self.kernel_works(device)).time_s
+        return simulate_sequence(device, self.cached_kernel_works(device)).time_s
 
     def trace(self, device: DeviceSpec):
         """A :class:`~repro.gpu.trace.KernelTrace` of one SpMV's launches."""
@@ -165,7 +185,7 @@ class SpMVFormat(abc.ABC):
         from ..gpu.trace import KernelTrace
 
         tr = KernelTrace(device_name=device.name)
-        for work in self.kernel_works(device):
+        for work in self.cached_kernel_works(device):
             tr.add_span(
                 f"launch {work.name}",
                 device.kernel_launch_overhead_s,
@@ -184,7 +204,7 @@ class SpMVFormat(abc.ABC):
         if x.shape != (self.n_cols,):
             raise ValueError(f"x must have shape ({self.n_cols},)")
         y = self.multiply(x)
-        works = self.kernel_works(device)
+        works = self.cached_kernel_works(device)
         seq = simulate_sequence(device, works)
         flops = sum(w.flops for w in works)
         return SpMVResult(

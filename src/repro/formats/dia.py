@@ -118,21 +118,23 @@ class DIAFormat(SpMVFormat):
         n_warps = -(-n_rows // WARP_SIZE)
         # One fully coalesced iteration per diagonal; x accesses along a
         # diagonal are sequential, so they stream rather than gather.
+        # Every warp is identical, so one weighted entry describes all.
         compute = np.full(
-            n_warps,
+            1,
             self.n_diags * INST_PER_ITER + ROW_SETUP_INSTS,
             dtype=np.float64,
         )
         per_iter = coalesced_bytes(WARP_SIZE * vb) * 2.0  # data + x stream
-        dram = np.full(n_warps, self.n_diags * per_iter, dtype=np.float64)
+        dram = np.full(1, self.n_diags * per_iter, dtype=np.float64)
         return [
             KernelWork(
                 name="dia",
                 compute_insts=compute,
                 dram_bytes=dram,
-                mem_ops=np.full(n_warps, float(self.n_diags)),
+                mem_ops=np.full(1, float(self.n_diags)),
                 flops=2.0 * self.real_nnz,
                 precision=self.precision,
                 launch=launch_for_threads(n_rows),
+                warp_weights=np.full(1, float(n_warps)),
             )
         ]

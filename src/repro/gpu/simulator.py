@@ -17,6 +17,16 @@ The timing model is a roofline with three bounds, evaluated per launch:
 
 The modelled time of a launch is ``max`` of the three bounds plus launch
 overhead.  Everything is deterministic.
+
+**Weighted evaluation.**  Every launch is first *canonicalised*: entries
+with identical ``(compute_insts, dram_bytes, mem_ops)`` are folded into
+one weighted entry (multiplicities from ``warp_weights``, or 1 per entry
+for dense works), and warps are placed on SMs round-robin in descending
+instruction order.  All three bounds are then evaluated on the weighted
+entries, so a compressed work and its dense expansion produce *identical*
+:class:`KernelTiming`\\s — the invariant that lets kernels describe
+billions of warps in a handful of entries (see
+:func:`repro.gpu.warp.compress_gangs`).
 """
 
 from __future__ import annotations
@@ -70,6 +80,69 @@ def _dp_inflation(device: DeviceSpec, work: KernelWork) -> float:
     return 1.0 + work.fp_fraction * (slowdown - 1.0)
 
 
+def _canonical_entries(
+    work: KernelWork,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Fold identical entries into the canonical weighted form.
+
+    Returns ``(insts, dram, mem_ops, counts)`` with one row per distinct
+    ``(insts, dram, mem_ops)`` triple, sorted descending, and ``counts``
+    the warp multiplicity of each.  A dense work and any weighted
+    compression of the same warp multiset canonicalise to the *same*
+    arrays, which is what makes the two forms time identically.
+    """
+    cols = np.stack(
+        [
+            work.compute_insts.astype(np.float64),
+            work.dram_bytes.astype(np.float64),
+            work.mem_ops.astype(np.float64),
+        ],
+        axis=1,
+    )
+    if cols.shape[0] > 1:
+        unique, inverse = np.unique(cols, axis=0, return_inverse=True)
+        counts = np.bincount(
+            inverse.ravel(), weights=work._weights(), minlength=unique.shape[0]
+        )
+        unique, counts = unique[::-1], counts[::-1]  # descending insts
+    else:
+        unique, counts = cols, work._weights()
+    return unique[:, 0], unique[:, 1], unique[:, 2], counts
+
+
+def _busiest_sm_insts(
+    insts: np.ndarray, counts: np.ndarray, n_sms: int
+) -> float:
+    """Exact busiest-SM instruction count under round-robin placement.
+
+    ``insts`` lists distinct per-warp instruction counts in descending
+    order, ``counts`` their multiplicities; warps are laid out run by run
+    and dealt to SMs round-robin.  Each run hands every SM
+    ``count // n_sms`` copies plus one extra to the ``count % n_sms`` SMs
+    following the run's start offset — computed with a wrap-aware
+    difference array, so the cost is O(entries + SMs), never O(warps).
+    """
+    c = np.rint(counts).astype(np.int64)
+    base = float(np.sum(insts * (c // n_sms).astype(np.float64)))
+    rem = c % n_sms
+    mask = rem > 0
+    if not np.any(mask):
+        return base
+    starts = (np.cumsum(c) - c)[mask] % n_sms
+    v = insts[mask]
+    r = rem[mask]
+    first = np.minimum(r, n_sms - starts)
+    diff = np.zeros(n_sms + 1, dtype=np.float64)
+    np.add.at(diff, starts, v)
+    np.add.at(diff, starts + first, -v)
+    wrapped = r - first
+    wmask = wrapped > 0
+    if np.any(wmask):
+        diff[0] += float(v[wmask].sum())
+        np.add.at(diff, wrapped[wmask], -v[wmask])
+    return base + float(np.cumsum(diff[:n_sms]).max())
+
+
 def simulate_kernel(
     device: DeviceSpec,
     work: KernelWork,
@@ -99,22 +172,13 @@ def simulate_kernel(
 
     clock_hz = device.clock_ghz * 1e9
     inflation = _dp_inflation(device, work)
-    insts = work.compute_insts * inflation
+    u_insts, u_dram, u_mem, counts = _canonical_entries(work)
+    insts = u_insts * inflation
 
-    # --- compute bound: busiest SM under round-robin warp placement.
-    if work.warp_weights is not None:
-        # Weighted entries stand for runs of identical warps, which
-        # round-robin placement spreads evenly: the busiest SM carries the
-        # balanced share plus at most one extra copy of the heaviest entry.
-        total_insts = float(np.sum(insts * work.warp_weights))
-        busiest = total_insts / device.num_sms + float(insts.max())
-        compute_s = busiest / device.warp_issue_rate / clock_hz
-    else:
-        sm_ids = np.arange(work.n_entries) % device.num_sms
-        sm_insts = np.bincount(
-            sm_ids, weights=insts, minlength=device.num_sms
-        )
-        compute_s = float(sm_insts.max()) / device.warp_issue_rate / clock_hz
+    # --- compute bound: busiest SM under round-robin warp placement,
+    # evaluated exactly on the weighted entries.
+    busiest = _busiest_sm_insts(insts, counts, device.num_sms)
+    compute_s = busiest / device.warp_issue_rate / clock_hz
 
     # --- bandwidth bound with occupancy-degraded efficiency.  Residency
     # is capped by the kernel's per-block resources when declared.
@@ -127,7 +191,8 @@ def simulate_kernel(
     )
     occupancy = resident / device.max_warps_per_sm
     eff = bandwidth_efficiency(resident, device)
-    memory_s = work.total_dram_bytes / (device.dram_bandwidth_gbps * 1e9 * eff)
+    total_dram = float(np.sum(u_dram * counts))
+    memory_s = total_dram / (device.dram_bandwidth_gbps * 1e9 * eff)
 
     # --- latency bound: the slowest warp's dependent chain.  A straggler
     # warp (e.g. a power-law hub row) finishes alone at the kernel tail
@@ -135,7 +200,7 @@ def simulate_kernel(
     # several loads in flight per warp (memory-level parallelism), so each
     # "dependent" operation exposes latency/MLP cycles.
     exposed_latency_cycles = device.dram_latency_cycles / MLP_PER_WARP
-    chain_cycles = insts / device.warp_issue_rate + work.mem_ops * exposed_latency_cycles
+    chain_cycles = insts / device.warp_issue_rate + u_mem * exposed_latency_cycles
     critical_s = float(chain_cycles.max()) / clock_hz
 
     body = max(compute_s, memory_s, critical_s)
@@ -146,7 +211,7 @@ def simulate_kernel(
         memory_s=memory_s,
         critical_path_s=critical_s,
         launch_overhead_s=overhead,
-        dram_bytes=work.total_dram_bytes,
+        dram_bytes=total_dram,
         n_warps=n_warps,
         occupancy=float(occupancy),
     )

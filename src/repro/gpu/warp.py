@@ -32,6 +32,13 @@ class RowGangWork:
     ``vector_size`` threads cooperate on each row; ``WARP_SIZE /
     vector_size`` rows share a warp (or, for ``vector_size > WARP_SIZE``,
     one row spans several warps).
+
+    ``weights`` turns the arrays into a *compressed* description: entry
+    ``i`` stands for ``weights[i]`` identical warps.  ``None`` means one
+    warp per entry (the dense form produced by
+    :func:`pack_rows_into_warps`); :func:`compress_gangs` folds identical
+    warp shapes together, so launches over power-law matrices scale with
+    the number of *distinct* shapes instead of the warp count.
     """
 
     vector_size: int
@@ -43,10 +50,23 @@ class RowGangWork:
     warp_nnz: np.ndarray
     #: Rows covered by each warp.
     warp_rows: np.ndarray
+    #: Multiplicity of each entry (``None`` = every entry is one warp).
+    weights: np.ndarray | None = None
+
+    @property
+    def n_entries(self) -> int:
+        return int(self.warp_iters.shape[0])
 
     @property
     def n_warps(self) -> int:
+        if self.weights is not None:
+            return int(self.weights.sum())
         return int(self.warp_iters.shape[0])
+
+    def _weights(self) -> np.ndarray:
+        if self.weights is not None:
+            return self.weights.astype(np.float64)
+        return np.ones(self.n_entries, dtype=np.float64)
 
     @property
     def divergence_waste(self) -> float:
@@ -57,10 +77,11 @@ class RowGangWork:
         pathology of CSR-vector).
         """
         rows_per_warp = max(1, WARP_SIZE // self.vector_size)
-        issued = float(np.sum(self.warp_iters) * rows_per_warp)
+        w = self._weights()
+        issued = float(np.sum(self.warp_iters * w) * rows_per_warp)
         if issued == 0:
             return 0.0
-        useful = float(np.sum(self.useful_iters))
+        useful = float(np.sum(self.useful_iters * w))
         return 1.0 - min(1.0, useful / issued)
 
 
@@ -101,7 +122,6 @@ def pack_rows_into_warps(nnz_per_row: np.ndarray, vector_size: int) -> RowGangWo
         warp_iters = grid_iters.max(axis=1)
         useful = grid_iters.sum(axis=1)
         warp_nnz = grid_nnz.sum(axis=1)
-        warp_rows = (grid_nnz >= 0).sum(axis=1) - (pad and 0)
         warp_rows = np.full(n_warps, rows_per_warp, dtype=np.int64)
         if pad:
             warp_rows[-1] = rows_per_warp - pad
@@ -122,6 +142,38 @@ def pack_rows_into_warps(nnz_per_row: np.ndarray, vector_size: int) -> RowGangWo
         useful_iters=useful.astype(np.int64),
         warp_nnz=warp_nnz.astype(np.int64),
         warp_rows=warp_rows,
+    )
+
+
+def compress_gangs(gang: RowGangWork) -> RowGangWork:
+    """Fold identical warp shapes of ``gang`` into weighted entries.
+
+    Binning makes warps identical by construction (the paper's core
+    insight), so a launch over a power-law matrix has few *distinct*
+    ``(iters, useful, nnz, rows)`` shapes: grouping them via ``np.unique``
+    over the reshaped gang grid makes every downstream cost computation
+    scale with bin diversity instead of matrix size.  The expansion of the
+    result is the same multiset of warps as the input, so weighted-aware
+    consumers (:func:`repro.gpu.simulator.simulate_kernel`) produce
+    identical timings for both forms.
+    """
+    if gang.n_entries <= 1:
+        return gang
+    grid = np.stack(
+        [gang.warp_iters, gang.useful_iters, gang.warp_nnz, gang.warp_rows],
+        axis=1,
+    )
+    unique, inverse = np.unique(grid, axis=0, return_inverse=True)
+    weights = np.bincount(
+        inverse.ravel(), weights=gang._weights(), minlength=unique.shape[0]
+    ).astype(np.int64)
+    return RowGangWork(
+        vector_size=gang.vector_size,
+        warp_iters=unique[:, 0],
+        useful_iters=unique[:, 1],
+        warp_nnz=unique[:, 2],
+        warp_rows=unique[:, 3],
+        weights=weights,
     )
 
 

@@ -1,0 +1,211 @@
+"""Cost-model evaluation speed benchmark (``python -m repro bench``).
+
+Times how long one *uncached* ACSR cost-model evaluation takes — launch
+planning, gang packing + weighted-warp compression, and the roofline
+simulation — on the largest Table I matrices at several synthesis scales.
+Matrix synthesis and binning are excluded: the benchmark isolates the
+per-evaluation cost that the weighted-warp compression and the kernel-work
+caches are meant to shrink.
+
+Each case records the entry statistics of the launch list alongside the
+wall-clock, so the compression ratio (``total_warps / total_entries``) is
+auditable from the JSON.  Results go to ``BENCH_speed.json``; pass
+``--check BASELINE`` to fail when any case regresses more than
+``REGRESSION_FACTOR`` x against a committed baseline (the CI gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from ..core.acsr import ACSRFormat
+from ..data.corpus import corpus_matrix, get_spec
+from ..gpu.device import DeviceSpec, get_device
+
+#: Default output file (repo root by convention).
+DEFAULT_OUTPUT = "BENCH_speed.json"
+
+#: A case fails the ``--check`` gate when its wall-clock exceeds the
+#: baseline's by more than this factor.
+REGRESSION_FACTOR = 2.0
+
+#: CI-friendly cases: every analog stays at or below the ~4M-nnz default
+#: scale, so the whole quick set runs in seconds.
+QUICK_CASES: tuple[tuple[str, float], ...] = (
+    ("WIK", 0.05),
+    ("WIK", 0.2),
+    ("LIV", 0.01),
+    ("LIV", 0.05),
+    ("HOL", 0.01),
+    ("HOL", 0.035),
+)
+
+#: Added by the full benchmark: the largest corpus matrices scaled all the
+#: way to their paper size (scale 1.0 — up to 113M non-zeros for HOL).
+FULL_EXTRA_CASES: tuple[tuple[str, float], ...] = (
+    ("WIK", 1.0),
+    ("LIV", 0.5),
+    ("LIV", 1.0),
+    ("HOL", 0.5),
+    ("HOL", 1.0),
+)
+
+
+def bench_cases(quick: bool) -> tuple[tuple[str, float], ...]:
+    """The benchmark's (matrix, scale) cells; quick skips scale 1.0."""
+    return QUICK_CASES if quick else QUICK_CASES + FULL_EXTRA_CASES
+
+
+def run_case(
+    matrix: str,
+    scale: float,
+    device: DeviceSpec,
+    repeats: int = 3,
+) -> dict:
+    """Benchmark one (matrix, scale) cell; returns a JSON-ready record."""
+    spec = get_spec(matrix)
+    csr = corpus_matrix(matrix, scale=scale)
+    built = ACSRFormat.from_csr(csr, device=device)
+    wall_s = float("inf")
+    fmt = built
+    for _ in range(max(1, repeats)):
+        # A fresh instance (sharing the matrix and binning) starts with
+        # empty plan/work/timing caches, so each repeat times a full
+        # cost-model evaluation rather than a cache hit.
+        fmt = ACSRFormat(csr, built.binning, built.params, built.preprocess)
+        t0 = time.perf_counter()
+        fmt.spmv_time_s(device)
+        wall_s = min(wall_s, time.perf_counter() - t0)
+    works = fmt.kernel_works(device)
+    entries = [w.n_entries for w in works]
+    warps = [w.n_warps for w in works]
+    return {
+        "name": spec.abbrev,
+        "scale": scale,
+        "wall_s": wall_s,
+        "peak_entries": max(entries),
+        "total_entries": int(sum(entries)),
+        "total_warps": int(sum(warps)),
+        "n_launches": len(works),
+        "nnz": csr.nnz,
+    }
+
+
+def run_bench(
+    cases,
+    device: DeviceSpec,
+    repeats: int = 3,
+    progress=None,
+) -> dict:
+    """Run every case; returns the BENCH_speed.json payload."""
+    records = []
+    for matrix, scale in cases:
+        record = run_case(matrix, scale, device, repeats=repeats)
+        records.append(record)
+        if progress is not None:
+            progress(record)
+    return {
+        "benchmark": "cost-model evaluation speed",
+        "device": device.name,
+        "repeats": repeats,
+        "cases": records,
+    }
+
+
+def _case_key(record: dict) -> tuple[str, float]:
+    return (record["name"], round(float(record["scale"]), 9))
+
+
+def check_regressions(
+    current: dict, baseline: dict, factor: float = REGRESSION_FACTOR
+) -> list[str]:
+    """Compare against a baseline payload; returns failure messages."""
+    base = {_case_key(r): r for r in baseline.get("cases", [])}
+    failures = []
+    for record in current.get("cases", []):
+        ref = base.get(_case_key(record))
+        if ref is None:
+            continue  # new case: nothing to regress against
+        limit = factor * float(ref["wall_s"])
+        if float(record["wall_s"]) > limit:
+            failures.append(
+                f"{record['name']}@{record['scale']:g}: "
+                f"{record['wall_s']:.4f}s > {factor:g}x baseline "
+                f"({ref['wall_s']:.4f}s)"
+            )
+    return failures
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    """Shared flags for ``python -m repro bench`` and the runnable script."""
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small-analog cases only (CI; skips the scale-1.0 matrices)",
+    )
+    parser.add_argument("--device", default="GTXTitan")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--out",
+        default=DEFAULT_OUTPUT,
+        help=f"output JSON path (default: {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        default=None,
+        help=(
+            "compare against a baseline BENCH_speed.json and exit "
+            f"non-zero if any case is more than {REGRESSION_FACTOR:g}x "
+            "slower"
+        ),
+    )
+
+
+def run_cli(args: argparse.Namespace) -> int:
+    """Run the benchmark from parsed CLI args; returns the exit code."""
+    device = get_device(args.device)
+    cases = bench_cases(args.quick)
+
+    def progress(r: dict) -> None:
+        ratio = r["total_warps"] / max(1, r["total_entries"])
+        print(
+            f"{r['name']}@{r['scale']:g}: wall {r['wall_s'] * 1e3:8.2f} ms  "
+            f"entries {r['total_entries']:>6} (peak {r['peak_entries']}) "
+            f"for {r['total_warps']} warps ({ratio:,.0f}x compressed), "
+            f"nnz {r['nnz']:,}"
+        )
+
+    results = run_bench(cases, device, repeats=args.repeats, progress=progress)
+    out = Path(args.out)
+    out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out} ({len(results['cases'])} cases)")
+
+    if args.check:
+        baseline = json.loads(Path(args.check).read_text())
+        failures = check_regressions(results, baseline)
+        if failures:
+            for f in failures:
+                print(f"REGRESSION: {f}")
+            return 1
+        print(f"no regressions vs {args.check}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone entry point (``python benchmarks/bench_speed.py``)."""
+    parser = argparse.ArgumentParser(
+        prog="bench_speed",
+        description=__doc__.splitlines()[0],
+    )
+    add_bench_arguments(parser)
+    return run_cli(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -3,18 +3,36 @@
 ``run_cell`` produces one measurement cell: preprocessing time, SpMV time,
 GFLOPs, and the OOM flag (evaluated against the *paper-scale* footprint,
 since the synthetic analogs are scaled down).  Cells are cached for the
-session so every experiment script can share builds.
+session so every experiment script can share builds; set the
+``REPRO_CELL_CACHE`` environment variable to additionally persist cells
+to disk (``1`` → ``.repro_cache/``, any other value → that directory), so
+``scripts/reproduce_all.sh`` reruns are incremental.  The disk cache is
+keyed on the full cell key plus ``DISK_CACHE_VERSION`` — bump the version
+(or delete the directory) whenever the cost model changes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
 
 from ..data.corpus import corpus_matrix, get_spec, paper_scale_bytes
 from ..formats.base import FormatCapacityError
 from ..formats.convert import build_format
 from ..gpu.device import DeviceSpec, Precision
 from .metrics import spmv_gflops
+
+#: Environment knob enabling the on-disk cell cache (opt-in).
+DISK_CACHE_ENV_VAR = "REPRO_CELL_CACHE"
+
+#: Default directory when ``REPRO_CELL_CACHE=1``.
+DEFAULT_DISK_CACHE_DIR = ".repro_cache"
+
+#: Bump to invalidate every persisted cell (cost-model changes).
+DISK_CACHE_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -68,9 +86,62 @@ _FORMATS: dict[tuple, object] = {}
 
 
 def clear_caches() -> None:
-    """Drop cached cells and format builds (tests / fresh sweeps)."""
+    """Drop cached cells and format builds (tests / fresh sweeps).
+
+    Only the in-session caches are dropped; the opt-in disk cache is
+    invalidated by version bump or by deleting its directory.
+    """
     _CELLS.clear()
     _FORMATS.clear()
+
+
+def disk_cache_dir() -> Path | None:
+    """The on-disk cell cache directory, or ``None`` when disabled."""
+    value = os.environ.get(DISK_CACHE_ENV_VAR, "")
+    if not value or value == "0":
+        return None
+    return Path(DEFAULT_DISK_CACHE_DIR if value == "1" else value)
+
+
+def _cell_path(cache_dir: Path, key: tuple) -> Path:
+    digest = hashlib.sha1(
+        repr((DISK_CACHE_VERSION, key)).encode()
+    ).hexdigest()
+    return cache_dir / f"cell-{digest}.json"
+
+
+def _load_disk_cell(key: tuple) -> CellResult | None:
+    cache_dir = disk_cache_dir()
+    if cache_dir is None:
+        return None
+    path = _cell_path(cache_dir, key)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    try:
+        payload["precision"] = Precision(payload["precision"])
+        return CellResult(**payload)
+    except (KeyError, TypeError, ValueError):
+        return None  # stale/corrupt entry: recompute and overwrite
+
+
+def _store_disk_cell(key: tuple, cell: CellResult) -> None:
+    cache_dir = disk_cache_dir()
+    if cache_dir is None:
+        return
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    payload = asdict(cell)
+    payload["precision"] = cell.precision.value
+    path = _cell_path(cache_dir, key)
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(payload))
+    tmp.replace(path)
+
+
+def _kwargs_key(format_kwargs: dict) -> tuple:
+    """Hashable cache key for format kwargs (keys AND values)."""
+    return tuple(sorted((k, repr(v)) for k, v in format_kwargs.items()))
 
 
 def get_format(
@@ -83,7 +154,7 @@ def get_format(
     """Build (or fetch) a format instance over a corpus matrix."""
     spec = get_spec(matrix_key)
     s = spec.default_scale if scale is None else scale
-    key = (spec.name, format_name, precision, round(s, 9), tuple(sorted(format_kwargs)))
+    key = (spec.name, format_name, precision, round(s, 9), _kwargs_key(format_kwargs))
     fmt = _FORMATS.get(key)
     if fmt is None:
         csr = corpus_matrix(matrix_key, scale=s, precision=precision)
@@ -114,6 +185,10 @@ def run_cell(
     cell = _CELLS.get(key)
     if cell is not None:
         return cell
+    cell = _load_disk_cell(key)
+    if cell is not None:
+        _CELLS[key] = cell
+        return cell
 
     try:
         fmt = get_format(
@@ -135,6 +210,7 @@ def run_cell(
             notes=str(exc),
         )
         _CELLS[key] = cell
+        _store_disk_cell(key, cell)
         return cell
     except ValueError as exc:
         if "single precision" in str(exc):
@@ -154,6 +230,7 @@ def run_cell(
                 notes=str(exc),
             )
             _CELLS[key] = cell
+            _store_disk_cell(key, cell)
             return cell
         raise
 
@@ -175,4 +252,5 @@ def run_cell(
         notes=report.notes,
     )
     _CELLS[key] = cell
+    _store_disk_cell(key, cell)
     return cell

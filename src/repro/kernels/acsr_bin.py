@@ -87,16 +87,24 @@ def pooled_work(
     if not nonempty:
         return KernelWork.empty(name, precision)
 
-    # Per-warp issue structure, bin by bin.
-    from ..gpu.warp import pack_rows_into_warps, shuffle_reduction_steps
+    # Per-warp issue structure, bin by bin.  Binning makes the warps of a
+    # bin (near-)identical, so each bin's gang compresses to a handful of
+    # weighted entries — the pool stays O(distinct shapes) however many
+    # warps the matrix needs.
+    from ..gpu.warp import (
+        compress_gangs,
+        pack_rows_into_warps,
+        shuffle_reduction_steps,
+    )
     from .common import INST_PER_ITER, ROW_SETUP_INSTS, SHUFFLE_INST
 
     compute_parts = []
     memops_parts = []
     nnz_parts = []
+    weight_parts = []
     for b, rows in nonempty:
-        gang = pack_rows_into_warps(
-            csr.nnz_per_row[rows], gang_size_for_bin(b)
+        gang = compress_gangs(
+            pack_rows_into_warps(csr.nnz_per_row[rows], gang_size_for_bin(b))
         )
         steps = shuffle_reduction_steps(min(gang_size_for_bin(b), WARP_SIZE))
         compute_parts.append(
@@ -106,9 +114,11 @@ def pooled_work(
         )
         memops_parts.append(gang.warp_iters.astype(np.float64) * 2.0)
         nnz_parts.append(gang.warp_nnz.astype(np.float64))
+        weight_parts.append(gang._weights())
     compute = np.concatenate(compute_parts)
     mem_ops = np.concatenate(memops_parts)
     warp_nnz = np.concatenate(nnz_parts)
+    weights = np.concatenate(weight_parts)
 
     # Union traffic.
     all_rows = np.sort(np.concatenate([r for _, r in nonempty]))
@@ -126,10 +136,12 @@ def pooled_work(
     matrix_bytes = total_nnz * (vb + 4)
     gather_bytes = total_nnz * (1.0 - hit) * 32.0
     total_bytes = matrix_bytes + gather_bytes + meta_bytes
+    pool_nnz = float(np.sum(warp_nnz * weights))
+    n_pool_warps = float(weights.sum())
     share = (
-        warp_nnz / warp_nnz.sum()
-        if warp_nnz.sum() > 0
-        else np.full(warp_nnz.shape[0], 1.0 / warp_nnz.shape[0])
+        warp_nnz / pool_nnz
+        if pool_nnz > 0
+        else np.full(warp_nnz.shape[0], 1.0 / n_pool_warps)
     )
     dram = share * total_bytes
 
@@ -140,6 +152,7 @@ def pooled_work(
         mem_ops=mem_ops,
         flops=2.0 * total_nnz,
         precision=precision,
+        warp_weights=weights,
     )
 
 

@@ -53,10 +53,18 @@ def parent_work(n_children: int, precision: Precision) -> KernelWork:
     if n_children == 0:
         return KernelWork.empty("acsr-dp-parent", precision)
     n_warps = -(-n_children // WARP_SIZE)
-    counts = np.full(n_warps, WARP_SIZE, dtype=np.float64)
     rem = n_children % WARP_SIZE
-    if rem:
-        counts[-1] = rem
+    # All full warps are identical: two weighted entries (full + partial
+    # trailing warp) describe the whole control grid.
+    if rem and n_warps > 1:
+        counts = np.array([float(WARP_SIZE), float(rem)])
+        weights = np.array([float(n_warps - 1), 1.0])
+    elif rem:
+        counts = np.array([float(rem)])
+        weights = np.array([1.0])
+    else:
+        counts = np.array([float(WARP_SIZE)])
+        weights = np.array([float(n_warps)])
     # Launch calls serialise within a warp (each lane launches its own
     # grid), so charge per-thread control instructions.
     compute = counts * PARENT_CONTROL_INSTS
@@ -66,10 +74,11 @@ def parent_work(n_children: int, precision: Precision) -> KernelWork:
         name="acsr-dp-parent",
         compute_insts=compute,
         dram_bytes=np.asarray(dram, dtype=np.float64),
-        mem_ops=np.ones(n_warps, dtype=np.float64),
+        mem_ops=np.ones(counts.shape[0], dtype=np.float64),
         flops=0.0,
         precision=precision,
         launch=launch_for_threads(n_children),
+        warp_weights=weights,
     )
 
 
@@ -95,8 +104,9 @@ def child_work(
     vb = precision.value_bytes
     n_threads = max(1, -(-nnz // thread_load))
     n_warps = -(-n_threads // WARP_SIZE)
-    # Elements per warp: the row split evenly across warps.
-    elems = np.full(n_warps, nnz / n_warps, dtype=np.float64)
+    # Elements per warp: the row split evenly across warps, so every warp
+    # of the child grid is identical — one weighted entry covers them all.
+    elems = np.full(1, nnz / n_warps, dtype=np.float64)
     iters = np.ceil(elems / WARP_SIZE)
     compute = (
         iters * INST_PER_ITER
@@ -107,7 +117,7 @@ def child_work(
     hit = x_hit_rate(device, csr.n_cols, precision, csr.gather_profile)
     matrix = coalesced_bytes(elems * vb) + coalesced_bytes(elems * 4)
     gather = gather_dram_bytes(elems, vb, hit)
-    dram = matrix + gather + scattered_bytes(np.ones(n_warps))
+    dram = matrix + gather + scattered_bytes(np.ones(1))
     return KernelWork(
         name=f"acsr-dp-child-r{row}",
         compute_insts=np.asarray(compute, dtype=np.float64),
@@ -116,6 +126,7 @@ def child_work(
         flops=2.0 * nnz,
         precision=precision,
         launch=launch_for_threads(n_threads),
+        warp_weights=np.full(1, float(n_warps)),
     )
 
 

@@ -23,6 +23,7 @@ from ..gpu.memory import (
     texture_hit_rate,
 )
 from ..gpu.warp import (
+    compress_gangs,
     pack_rows_into_warps,
     shuffle_reduction_steps,
 )
@@ -76,6 +77,7 @@ def gang_row_work(
     row_density: float = 1.0,
     sector_sharing: float = 1.0,
     flops: float | None = None,
+    compress: bool = True,
 ) -> KernelWork:
     """Cost of the *thread-gang per row* pattern.
 
@@ -98,6 +100,12 @@ def gang_row_work(
     indirection array (ACSR's ``BIN#N_Rows``): the row-offset loads and the
     ``y`` writes become scattered, and the indirection array itself is
     streamed.
+
+    With ``compress=True`` (the default) identical warp shapes are folded
+    into weighted entries (:func:`repro.gpu.warp.compress_gangs`), so the
+    returned work has one entry per *distinct* shape instead of one per
+    warp — timing-identical to the dense form, but the simulator's cost
+    scales with bin diversity rather than matrix size.
     """
     if not 0.0 < sector_sharing <= 1.0:
         raise ValueError("sector_sharing must be in (0, 1]")
@@ -105,6 +113,8 @@ def gang_row_work(
         raise ValueError("row_density must be in (0, 1]")
     nnz_per_row = np.asarray(nnz_per_row, dtype=np.int64)
     gang = pack_rows_into_warps(nnz_per_row, vector_size)
+    if compress:
+        gang = compress_gangs(gang)
     vb = precision.value_bytes
     n_warps = gang.n_warps
     if n_warps == 0:
@@ -180,6 +190,11 @@ def gang_row_work(
             int(nnz_per_row.shape[0]) * min(vector_size, WARP_SIZE)
             if vector_size <= WARP_SIZE
             else n_warps * WARP_SIZE
+        ),
+        warp_weights=(
+            gang.weights.astype(np.float64)
+            if gang.weights is not None
+            else None
         ),
     )
 
@@ -289,32 +304,34 @@ def ell_work(
         return KernelWork.empty(name, precision)
     vb = precision.value_bytes
     n_warps = -(-n_rows // WARP_SIZE)
+    # Every warp of a column-major ELL launch is identical (full ``width``
+    # iterations, padding included), so ONE weighted entry describes the
+    # whole launch, whatever the matrix size.
     compute = np.full(
-        n_warps, width * INST_PER_ITER + ROW_SETUP_INSTS, dtype=np.float64
+        1, width * INST_PER_ITER + ROW_SETUP_INSTS, dtype=np.float64
     )
     per_iter_bytes = coalesced_bytes(WARP_SIZE * vb) + coalesced_bytes(
         WARP_SIZE * 4
     )
-    matrix = np.full(n_warps, width * per_iter_bytes, dtype=np.float64)
+    matrix = np.full(1, width * per_iter_bytes, dtype=np.float64)
     hit = x_hit_rate(device, n_cols, precision, profile)
     gathers_per_warp = real_nnz / n_warps
-    gather = gather_dram_bytes(
-        np.full(n_warps, gathers_per_warp), vb, hit
-    )
+    gather = gather_dram_bytes(np.full(1, gathers_per_warp), vb, hit)
     if scattered_y:
         # Permuted output (BRC): writes are scattered, but rows grouped
         # into a block were adjacent in sorted order, so roughly half of
         # each sector is co-written by blockmates.
-        y_bytes = scattered_bytes(np.full(n_warps, float(WARP_SIZE))) * 0.5
+        y_bytes = scattered_bytes(np.full(1, float(WARP_SIZE))) * 0.5
     else:
-        y_bytes = coalesced_bytes(np.full(n_warps, WARP_SIZE * vb))
+        y_bytes = coalesced_bytes(np.full(1, WARP_SIZE * vb))
     dram = matrix + gather + y_bytes
     return KernelWork(
         name=name,
         compute_insts=compute,
         dram_bytes=np.asarray(dram, dtype=np.float64),
-        mem_ops=np.full(n_warps, float(width) * 2.0, dtype=np.float64),
+        mem_ops=np.full(1, float(width) * 2.0, dtype=np.float64),
         flops=2.0 * float(real_nnz),
         precision=precision,
         launch=launch_for_threads(n_rows),
+        warp_weights=np.full(1, float(n_warps)),
     )

@@ -43,6 +43,26 @@ class TestVectorOpsWork:
     def test_empty(self):
         assert vector_ops_work(0, 3, Precision.SINGLE).n_warps == 0
 
+    def test_constant_entry_count(self):
+        """O(1) weighted entries, regardless of vector length."""
+        for n in (31, 32, 33, 10_000, 10_007, 1_000_000):
+            w = vector_ops_work(n, 3, Precision.SINGLE)
+            assert w.n_entries <= 2
+            assert w.n_warps == -(-n // 32)
+
+    def test_weighted_totals_match_per_warp_sum(self):
+        """Weights recover exactly the dense per-warp totals."""
+        n = 10_007  # 312 full warps + a 23-lane straggler
+        w = vector_ops_work(n, 2, Precision.SINGLE)
+        full = vector_ops_work(32 * 312, 2, Precision.SINGLE)
+        tail = vector_ops_work(23, 2, Precision.SINGLE)
+        assert w.total_dram_bytes == pytest.approx(
+            full.total_dram_bytes + tail.total_dram_bytes
+        )
+        assert w.total_insts == pytest.approx(
+            full.total_insts + tail.total_insts
+        )
+
 
 class TestDriver:
     def test_geometric_convergence(self):

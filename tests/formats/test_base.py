@@ -49,6 +49,25 @@ class TestSpMVResult:
         assert res.gflops == 0.0
 
 
+class TestCachedKernelWorks:
+    def test_memoised_per_device(self):
+        from repro.gpu.device import GTX_580, GTX_TITAN
+
+        fmt = build_format("csr", make_uniform_csr(256, 8))
+        works = fmt.cached_kernel_works(GTX_TITAN)
+        assert fmt.cached_kernel_works(GTX_TITAN) is works
+        assert fmt.cached_kernel_works(GTX_580) is not works
+
+    def test_matches_uncached_launch_list(self):
+        from repro.gpu.device import GTX_TITAN
+
+        fmt = build_format("hyb", make_uniform_csr(256, 8))
+        cached = fmt.cached_kernel_works(GTX_TITAN)
+        fresh = fmt.kernel_works(GTX_TITAN)
+        assert [w.name for w in cached] == [w.name for w in fresh]
+        assert [w.n_warps for w in cached] == [w.n_warps for w in fresh]
+
+
 class TestRegistry:
     def test_all_expected_formats(self):
         expected = {

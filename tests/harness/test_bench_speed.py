@@ -1,0 +1,84 @@
+"""The cost-model speed benchmark engine (``python -m repro bench``)."""
+
+import json
+
+from repro.gpu.device import GTX_TITAN
+from repro.harness.bench_speed import (
+    bench_cases,
+    check_regressions,
+    main,
+    run_bench,
+    run_case,
+)
+
+
+class TestRunCase:
+    def test_record_schema(self):
+        r = run_case("INT", 0.5, GTX_TITAN, repeats=1)
+        assert set(r) >= {"name", "scale", "wall_s", "peak_entries"}
+        assert r["name"] == "INT"
+        assert r["scale"] == 0.5
+        assert r["wall_s"] > 0
+        assert 1 <= r["peak_entries"] <= r["total_entries"]
+        assert r["total_entries"] <= r["total_warps"]
+
+    def test_run_bench_payload(self):
+        payload = run_bench([("INT", 0.5)], GTX_TITAN, repeats=1)
+        assert payload["device"] == GTX_TITAN.name
+        assert len(payload["cases"]) == 1
+        json.dumps(payload)  # JSON-serialisable end to end
+
+
+class TestCases:
+    def test_quick_is_a_prefix_of_full(self):
+        quick, full = bench_cases(True), bench_cases(False)
+        assert len(quick) >= 6
+        assert full[: len(quick)] == quick
+        assert any(scale == 1.0 for _, scale in full)
+        assert all(scale < 1.0 for _, scale in quick)
+
+
+class TestCheck:
+    def _payload(self, wall):
+        return {
+            "cases": [
+                {"name": "INT", "scale": 0.5, "wall_s": wall, "peak_entries": 1}
+            ]
+        }
+
+    def test_within_budget_passes(self):
+        assert check_regressions(self._payload(1.9), self._payload(1.0)) == []
+
+    def test_regression_fails(self):
+        failures = check_regressions(self._payload(2.1), self._payload(1.0))
+        assert len(failures) == 1
+        assert "INT" in failures[0]
+
+    def test_new_case_ignored(self):
+        assert check_regressions(self._payload(9.9), {"cases": []}) == []
+
+
+class TestCli:
+    def test_writes_output_and_checks(self, tmp_path, monkeypatch, capsys):
+        out = tmp_path / "BENCH_speed.json"
+        base = tmp_path / "base.json"
+        monkeypatch.setattr(
+            "repro.harness.bench_speed.QUICK_CASES", (("INT", 0.5),)
+        )
+        assert main(["--quick", "--repeats", "1", "--out", str(out)]) == 0
+        base.write_text(out.read_text())
+        assert (
+            main(
+                [
+                    "--quick",
+                    "--repeats",
+                    "1",
+                    "--out",
+                    str(out),
+                    "--check",
+                    str(base),
+                ]
+            )
+            == 0
+        )
+        assert "no regressions" in capsys.readouterr().out

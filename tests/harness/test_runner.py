@@ -3,7 +3,14 @@
 import pytest
 
 from repro.gpu.device import GTX_580, GTX_TITAN, Precision
-from repro.harness.runner import CellResult, clear_caches, get_format, run_cell
+from repro.harness.runner import (
+    DISK_CACHE_ENV_VAR,
+    CellResult,
+    clear_caches,
+    disk_cache_dir,
+    get_format,
+    run_cell,
+)
 
 #: A small corpus matrix keeps these tests fast.
 MATRIX = "INT"
@@ -59,6 +66,52 @@ class TestRunCell:
     def test_small_matrix_fits_everywhere(self):
         cell = run_cell("INT", "hyb", GTX_580)
         assert not cell.oom
+
+
+class TestDiskCache:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(DISK_CACHE_ENV_VAR, raising=False)
+        assert disk_cache_dir() is None
+        monkeypatch.setenv(DISK_CACHE_ENV_VAR, "0")
+        assert disk_cache_dir() is None
+
+    def test_env_selects_directory(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(DISK_CACHE_ENV_VAR, str(tmp_path / "cells"))
+        assert disk_cache_dir() == tmp_path / "cells"
+        monkeypatch.setenv(DISK_CACHE_ENV_VAR, "1")
+        assert disk_cache_dir().name == ".repro_cache"
+
+    def test_roundtrip_across_sessions(self, monkeypatch, tmp_path):
+        """A rerun with cold in-memory caches reloads the persisted cell."""
+        monkeypatch.setenv(DISK_CACHE_ENV_VAR, str(tmp_path))
+        clear_caches()
+        first = run_cell(MATRIX, "csr", GTX_TITAN)
+        assert list(tmp_path.glob("cell-*.json"))
+        clear_caches()  # simulate a fresh process
+        second = run_cell(MATRIX, "csr", GTX_TITAN)
+        assert second is not first
+        assert second == first
+        clear_caches()
+
+    def test_persists_unavailable_cells(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(DISK_CACHE_ENV_VAR, str(tmp_path))
+        clear_caches()
+        run_cell(MATRIX, "bccoo", GTX_TITAN, Precision.DOUBLE)
+        clear_caches()
+        cell = run_cell(MATRIX, "bccoo", GTX_TITAN, Precision.DOUBLE)
+        assert cell.unavailable
+        clear_caches()
+
+    def test_corrupt_cell_recomputed(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(DISK_CACHE_ENV_VAR, str(tmp_path))
+        clear_caches()
+        run_cell(MATRIX, "csr", GTX_TITAN)
+        (path,) = tmp_path.glob("cell-*.json")
+        path.write_text("{not json")
+        clear_caches()
+        cell = run_cell(MATRIX, "csr", GTX_TITAN)
+        assert cell.usable  # recomputed, not crashed
+        clear_caches()
 
 
 class TestCellResult:
