@@ -66,6 +66,11 @@ EXPERIMENTS: dict[str, Callable] = {
         matrices=a.matrices
     ),
     "ablation-binmax": lambda a: ex.ablations.run_bin_max_sweep(),
+    "expx-batch": lambda a: ex.expx_batch.run(
+        matrices=a.matrices,
+        device=get_device(a.device),
+        precision=Precision(a.precision),
+    ),
 }
 
 
@@ -179,7 +184,7 @@ def _dump_trace(args) -> None:
     timing = time_spmv(
         acsr.csr, acsr.plan_for(device), device, stream=True
     )
-    path = timing.trace.save(args.trace)
+    path = timing.trace().save(args.trace)
     print(
         f"stream-engine trace: ACSR SpMV of {key} on {device.name} "
         f"({timing.n_bin_grids} bin grids, {timing.n_row_grids} row "

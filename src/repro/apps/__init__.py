@@ -12,15 +12,18 @@ from .pagerank import DEFAULT_DAMPING, google_matrix, pagerank
 from .power_method import (
     DEFAULT_EPSILON,
     MAX_ITERATIONS,
+    BatchPowerMethodResult,
     PowerMethodResult,
     euclidean_distance,
     run_power_method,
+    run_power_method_batch,
     vector_ops_work,
 )
-from .rwr import DEFAULT_RESTART, column_normalized, rwr
+from .rwr import DEFAULT_RESTART, column_normalized, rwr, run_rwr_batch
 
 __all__ = [
     "BFSResult",
+    "BatchPowerMethodResult",
     "bfs",
     "bfs_matrix",
     "DEFAULT_DAMPING",
@@ -34,6 +37,8 @@ __all__ = [
     "hits",
     "pagerank",
     "run_power_method",
+    "run_power_method_batch",
+    "run_rwr_batch",
     "rwr",
     "split_scores",
     "stacked_matrix",

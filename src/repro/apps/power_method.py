@@ -92,6 +92,110 @@ class PowerMethodResult:
         return self.modeled_time_s / max(1, self.iterations)
 
 
+@dataclass(frozen=True)
+class BatchPowerMethodResult:
+    """Outcome of one *batched* application run (``k`` starts at once).
+
+    Column ``j`` of ``vectors`` is bitwise identical to the single-column
+    run from ``X0[:, j]`` — the batch changes the modelled time (one SpMM
+    amortises the matrix traffic over the active columns), never the
+    numerics.
+    """
+
+    #: ``(n, k)`` — one solution per start vector.
+    vectors: np.ndarray
+    #: Per-column iteration counts.
+    iterations: np.ndarray
+    #: Per-column convergence flags (``False`` = diverged or hit the cap).
+    converged: np.ndarray
+    #: Modelled device seconds for the whole batch (SpMM + vector kernels
+    #: over the shrinking active set).
+    modeled_time_s: float
+    #: Initial vector-block width of the batch.
+    k: int
+
+    @property
+    def max_iterations_run(self) -> int:
+        """The longest column's iteration count (the batch's depth)."""
+        return int(self.iterations.max()) if self.iterations.size else 0
+
+
+def run_power_method_batch(
+    fmt: SpMVFormat,
+    device: DeviceSpec,
+    X0: np.ndarray,
+    step: Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray],
+    epsilon: float = DEFAULT_EPSILON,
+    max_iterations: int = MAX_ITERATIONS,
+    vector_passes: int = 5,
+) -> BatchPowerMethodResult:
+    """Iterate ``k`` power methods at once over a shrinking active set.
+
+    ``X0`` has shape ``(n, k)``; ``step(X, AX, cols)`` receives the active
+    columns of the iterate, their products, and the *original* column
+    indices (so per-column terms like RWR's teleport can be selected), and
+    must apply the single-column update column by column.  Each iteration
+    charges ONE ``k_active``-wide SpMM plus one vector kernel over the
+    active elements; columns drop out of the batch as they converge (or
+    diverge), so late iterations of a mixed batch run narrow and cheap.
+
+    For ``k = 1`` the result — numerics, iteration count, and modelled
+    time — is exactly :func:`run_power_method`'s.
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    X0 = np.asarray(X0)
+    if X0.ndim != 2 or X0.shape[1] < 1:
+        raise ValueError("X0 must be 2-D of shape (n, k) with k >= 1")
+    n, k = X0.shape
+    X = np.asarray(X0, dtype=fmt.precision.numpy_dtype).copy()
+    X64 = X.astype(np.float64)
+    iterations = np.zeros(k, dtype=np.int64)
+    converged = np.zeros(k, dtype=bool)
+    active = np.arange(k, dtype=np.int64)
+    # Count iterations per active width; the bill is totalled at the end
+    # as ``count * per_iteration_cost`` per width, which for ``k=1``
+    # reproduces :func:`run_power_method`'s ``iters * (spmv_s + vec_s)``
+    # bit for bit (repeated ``+=`` would drift in the last ulp).
+    rounds: dict[int, int] = {}
+    vec_s_cache: dict[int, float] = {}
+    spmm_s_cache: dict[int, float] = {}
+    while active.size:
+        ka = int(active.size)
+        if ka not in spmm_s_cache:
+            spmm_s_cache[ka] = fmt.spmm_time_s(device, k=ka)
+            vec_s_cache[ka] = simulate_kernel(
+                device,
+                vector_ops_work(n * ka, vector_passes, fmt.precision),
+            ).time_s
+        AX = fmt.multiply_many(X[:, active])
+        X_next = step(X[:, active], AX, active).astype(X.dtype, copy=False)
+        iterations[active] += 1
+        rounds[ka] = rounds.get(ka, 0) + 1
+        next64 = np.asarray(X_next, dtype=np.float64)
+        dist = np.linalg.norm(next64 - X64[:, active], axis=0)
+        X[:, active] = X_next
+        X64[:, active] = next64
+        finite = np.isfinite(dist)
+        done_conv = finite & (dist <= epsilon)
+        converged[active[done_conv]] = True
+        keep = finite & ~done_conv
+        if max_iterations is not None:
+            keep &= iterations[active] < max_iterations
+        active = active[keep]
+    modeled = sum(
+        count * (spmm_s_cache[ka] + vec_s_cache[ka])
+        for ka, count in rounds.items()
+    )
+    return BatchPowerMethodResult(
+        vectors=X,
+        iterations=iterations,
+        converged=converged,
+        modeled_time_s=modeled,
+        k=k,
+    )
+
+
 def run_power_method(
     fmt: SpMVFormat,
     device: DeviceSpec,

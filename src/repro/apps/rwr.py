@@ -16,8 +16,10 @@ from ..gpu.device import DeviceSpec
 from .power_method import (
     DEFAULT_EPSILON,
     MAX_ITERATIONS,
+    BatchPowerMethodResult,
     PowerMethodResult,
     run_power_method,
+    run_power_method_batch,
 )
 
 #: Restart probability used by the harness (Tong et al. use c ~ 0.9).
@@ -82,6 +84,50 @@ def rwr(
         fmt,
         device,
         start,
+        step,
+        epsilon=epsilon,
+        max_iterations=max_iterations,
+    )
+
+
+def run_rwr_batch(
+    fmt: SpMVFormat,
+    device: DeviceSpec,
+    query_nodes,
+    restart: float = DEFAULT_RESTART,
+    epsilon: float = DEFAULT_EPSILON,
+    max_iterations: int = MAX_ITERATIONS,
+) -> BatchPowerMethodResult:
+    """Relevance vectors for a *batch* of query nodes in one walk.
+
+    A recommender answering ``len(query_nodes)`` queries runs them as one
+    batched power method: every iteration is a single SpMM over the
+    still-unconverged columns instead of one SpMV per query, so the
+    matrix is read once per iteration for the whole batch.  Column ``j``
+    converges independently and is bitwise identical to
+    ``rwr(fmt, device, query_nodes[j], ...)``.
+    """
+    n = fmt.n_rows
+    if fmt.n_cols != n:
+        raise ValueError("RWR needs a square matrix")
+    queries = np.asarray(query_nodes, dtype=np.int64)
+    if queries.ndim != 1 or queries.size < 1:
+        raise ValueError("query_nodes must be a non-empty 1-D sequence")
+    if queries.size and (queries.min() < 0 or queries.max() >= n):
+        raise ValueError("query node out of range")
+    if not 0.0 < restart < 1.0:
+        raise ValueError("restart probability must be in (0, 1)")
+    E = np.zeros((n, queries.size), dtype=np.float64)
+    E[queries, np.arange(queries.size)] = 1.0
+    teleport = (1.0 - restart) * E
+
+    def step(_X: np.ndarray, AX: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        return restart * AX.astype(np.float64) + teleport[:, cols]
+
+    return run_power_method_batch(
+        fmt,
+        device,
+        E,
         step,
         epsilon=epsilon,
         max_iterations=max_iterations,

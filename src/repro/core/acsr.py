@@ -57,16 +57,23 @@ class ACSRFormat(SpMVFormat):
         self.params = params
         self.preprocess = preprocess
         self._plans: dict[tuple[str, ACSRParams], ACSRPlan] = {}
-        self._timings: dict[tuple[str, ACSRParams], ACSRTiming] = {}
+        self._timings: dict[tuple[str, ACSRParams, int], ACSRTiming] = {}
 
     @classmethod
     def from_csr(
         cls,
         csr: CSRMatrix,
+        *,
         params: ACSRParams | None = None,
         device: DeviceSpec = GTX_TITAN,
     ) -> "ACSRFormat":
-        """Bin the rows and price the scan on ``device``."""
+        """Bin the rows and price the scan on ``device``.
+
+        Accepted kwargs: ``params`` — :class:`ACSRParams` overriding the
+        paper's defaults (default: ``ACSRParams()``); ``device`` — the GPU
+        the binning scan is priced on (default GTX TITAN).  Unknown kwargs
+        raise ``TypeError``.
+        """
         params = params or ACSRParams()
         binning = compute_binning(csr.nnz_per_row)
         # Two passes over the row lengths (histogram, then bucketed
@@ -129,22 +136,24 @@ class ACSRFormat(SpMVFormat):
         """SpMV composed from the actual bin + DP kernels (slower, exact)."""
         return execute(self.csr, self.plan_for(device), x)
 
-    def kernel_works(self, device: DeviceSpec) -> list[KernelWork]:
+    def kernel_works(self, device: DeviceSpec, k: int = 1) -> list[KernelWork]:
         """All launches of one SpMV (children merged as one concurrent pool).
 
         Used by generic tooling; note the base-class sequence timing does
         not include device-side launch overheads — prefer
-        :meth:`spmv_time_s`, which routes through the DP model.
+        :meth:`spmv_time_s` / :meth:`spmm_time_s`, which route through the
+        DP model.  ``k > 1`` widens the data grids to the batched (SpMM)
+        variant; the DP parent is control-only and stays ``k=1``.
         """
         plan = self.plan_for(device)
-        works = list(bin_works(self.csr, plan, device))
+        works = list(bin_works(self.csr, plan, device, k=k))
         if plan.g1_rows.size:
             works.append(
                 acsr_dp.parent_work(int(plan.g1_rows.shape[0]), self.precision)
             )
             works.append(
                 merge_concurrent(
-                    dp_children_works(self.csr, plan, device),
+                    dp_children_works(self.csr, plan, device, k=k),
                     name="acsr-dp-children",
                 )
             )
@@ -152,17 +161,28 @@ class ACSRFormat(SpMVFormat):
             works = [KernelWork.empty("acsr", self.precision)]
         return works
 
-    def timing(self, device: DeviceSpec) -> ACSRTiming:
-        """Full ACSR timing breakdown on ``device`` (cached per device)."""
-        key = (device.name, self.params)
+    def timing(self, device: DeviceSpec, k: int = 1) -> ACSRTiming:
+        """Full ACSR timing breakdown on ``device`` (cached per device/k)."""
+        key = (device.name, self.params, k)
         timing = self._timings.get(key)
         if timing is None:
-            timing = time_spmv(self.csr, self.plan_for(device), device)
+            timing = time_spmv(self.csr, self.plan_for(device), device, k=k)
             self._timings[key] = timing
         return timing
 
     def spmv_time_s(self, device: DeviceSpec) -> float:
         return self.timing(device).time_s
+
+    def spmm_time_s(self, device: DeviceSpec, k: int = 1) -> float:
+        """Batched SpMM time through the DP-aware ACSR model.
+
+        ``spmm_time_s(device, 1)`` is byte-identical to
+        :meth:`spmv_time_s` — the ``k=1`` batch reuses the cached single-
+        vector timing.
+        """
+        if k < 1:
+            raise ValueError("vector-block width k must be >= 1")
+        return self.timing(device, k=k).time_s
 
     def run_spmv(self, x: np.ndarray, device: DeviceSpec):
         from ..formats.base import SpMVResult
@@ -176,8 +196,37 @@ class ACSRFormat(SpMVFormat):
         return SpMVResult(
             y=y,
             time_s=timing.time_s,
-            timings=timing.bin_timings,
+            timings=(timing.pool,),
             flops=2.0 * self.nnz,
+        )
+
+    def run_spmm(self, X: np.ndarray, device: DeviceSpec):
+        """Batched ``Y = A @ X`` through the real bin/DP decomposition.
+
+        Each column runs :func:`repro.core.dispatch.execute` (so the
+        numerics match the kernel decomposition exactly, column by
+        column); the time is one ``k``-wide batched launch of the same
+        plan via :meth:`timing`.
+        """
+        from ..formats.base import SpMMResult
+
+        X = np.asarray(X, dtype=self.precision.numpy_dtype)
+        if X.ndim != 2 or X.shape[0] != self.n_cols:
+            raise ValueError(f"X must have shape ({self.n_cols}, k)")
+        k = int(X.shape[1])
+        if k < 1:
+            raise ValueError("X must have at least one column")
+        plan = self.plan_for(device)
+        Y = np.stack(
+            [execute(self.csr, plan, X[:, j]) for j in range(k)], axis=1
+        )
+        timing = self.timing(device, k=k)
+        return SpMMResult(
+            Y=Y,
+            time_s=timing.time_s,
+            timings=(timing.pool,),
+            flops=2.0 * self.nnz * k,
+            k=k,
         )
 
     # ------------------------------------------------------------------

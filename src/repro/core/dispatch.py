@@ -15,6 +15,7 @@ launch loop.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -28,6 +29,8 @@ from ..gpu.dynamic_parallelism import (
 from ..gpu.kernel import KernelWork, merge_concurrent
 from ..gpu.simulator import KernelTiming, simulate_kernel
 from ..gpu.streams import EngineResult, StreamEngine
+from ..gpu.timing import TimingLike
+from ..gpu.trace import KernelTrace
 from ..kernels import acsr_bin, acsr_dp
 from .binning import Binning
 from .parameters import ACSRParams, ResolvedParams, resolve
@@ -114,52 +117,99 @@ class ACSRTiming:
     launch_s: float
     #: Device-side child enqueue time (overlapped with the pool).
     enqueue_s: float
+    #: Device the timing was modelled for (labels the trace).
+    device_name: str = ""
 
     @property
     def bin_timings(self) -> tuple[KernelTiming, ...]:
-        """Back-compat alias: the pooled timing as a 1-tuple."""
+        """Deprecated alias: the pooled timing as a 1-tuple.
+
+        .. deprecated::
+            Use ``timing.pool`` directly (or the :class:`TimingLike`
+            surface — ``trace()`` / ``bound_summary()``).
+        """
+        warnings.warn(
+            "ACSRTiming.bin_timings is deprecated; use ACSRTiming.pool "
+            "(or the TimingLike trace()/bound_summary() surface)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return (self.pool,)
 
     @property
     def time_s(self) -> float:
         return self.launch_s + max(self.pool.time_s, self.enqueue_s)
 
+    def trace(self) -> KernelTrace:
+        """Timeline of the serial model (:class:`TimingLike`).
+
+        Stream 0 carries the host launch bill followed by the pooled
+        grid; the device-side child-enqueue window (which overlaps the
+        pool) is drawn on stream 1.
+        """
+        tr = KernelTrace(device_name=self.device_name or "GPU")
+        if self.launch_s > 0:
+            tr.add_span("launch", self.launch_s, category="overhead")
+        tr.append_timing(self.pool)
+        if self.enqueue_s > 0:
+            tr.add_span(
+                "child-enqueue",
+                self.enqueue_s,
+                stream=1,
+                category="overhead",
+                start_s=self.launch_s,
+            )
+        return tr
+
+    def bound_summary(self) -> str:
+        """One-line verdict on the pooled launch (:class:`TimingLike`)."""
+        return (
+            f"acsr pool: {self.pool.bound}-bound, "
+            f"{self.pool.time_s * 1e6:.2f} us body + "
+            f"{self.launch_s * 1e6:.2f} us launch, "
+            f"enqueue {self.enqueue_s * 1e6:.2f} us "
+            f"({self.n_bin_grids} bin grids, {self.n_row_grids} row grids)"
+        )
+
 
 def bin_works(
-    csr: CSRMatrix, plan: ACSRPlan, device: DeviceSpec
+    csr: CSRMatrix, plan: ACSRPlan, device: DeviceSpec, k: int = 1
 ) -> list[KernelWork]:
     """The G2 bin-specific kernel works, one per launch.
 
-    Cached on the (frozen) plan per ``(matrix, device)``: a plan is
+    Cached on the (frozen) plan per ``(matrix, device, k)``: a plan is
     device-resolved and immutable, and :class:`KernelWork` is frozen, so
     repeated timings (``time_spmv``, ``stream_spmv``, app iterations)
     reuse the launch list instead of re-deriving every bin's gang packing.
+    ``k`` is the vector-block width of the batched (SpMM) path.
     """
     cache = getattr(plan, "_bin_works_cache", None)
     if cache is None:
         cache = {}
         object.__setattr__(plan, "_bin_works_cache", cache)
-    key = (id(csr), device.name)
+    key = (id(csr), device.name, k)
     works = cache.get(key)
     if works is None:
-        works = [acsr_bin.work(csr, rows, b, device) for b, rows in plan.g2]
+        works = [
+            acsr_bin.work(csr, rows, b, device, k=k) for b, rows in plan.g2
+        ]
         cache[key] = works
     return works
 
 
 def dp_children_works(
-    csr: CSRMatrix, plan: ACSRPlan, device: DeviceSpec
+    csr: CSRMatrix, plan: ACSRPlan, device: DeviceSpec, k: int = 1
 ) -> list[KernelWork]:
     """The G1 row-specific child works, cached on the plan like bin works."""
     cache = getattr(plan, "_dp_works_cache", None)
     if cache is None:
         cache = {}
         object.__setattr__(plan, "_dp_works_cache", cache)
-    key = (id(csr), device.name)
+    key = (id(csr), device.name, k)
     works = cache.get(key)
     if works is None:
         works = acsr_dp.children_works(
-            csr, plan.g1_rows, plan.resolved.thread_load, device
+            csr, plan.g1_rows, plan.resolved.thread_load, device, k=k
         )
         cache[key] = works
     return works
@@ -184,11 +234,12 @@ class StreamedACSRTiming:
     def time_s(self) -> float:
         return self.result.duration_s
 
-    @property
-    def trace(self):
+    def trace(self) -> KernelTrace:
+        """The engine's multi-stream timeline (:class:`TimingLike`)."""
         return self.result.trace
 
     def bound_summary(self) -> str:
+        """Per-launch bound breakdown (:class:`TimingLike`)."""
         return self.result.bound_summary()
 
 
@@ -200,6 +251,7 @@ def stream_spmv(
     *,
     device_index: int = 0,
     max_streams: int = 8,
+    k: int = 1,
 ) -> None:
     """Enqueue one ACSR SpMV onto ``engine`` as concurrent streams.
 
@@ -208,7 +260,7 @@ def stream_spmv(
     later ones the pipelined rate, mirroring the serial model's launch
     bill); the DP parent plus its pooled children ride one more stream
     with their child count declared against the device's pending-launch
-    limit.
+    limit.  ``k > 1`` enqueues the batched (SpMM) variant of every grid.
     """
     if max_streams < 1:
         raise ValueError("need at least one stream")
@@ -218,7 +270,7 @@ def stream_spmv(
             f"plan has a DP group but {device.name} lacks dynamic "
             "parallelism; build the plan for this device"
         )
-    works = bin_works(csr, plan, device)
+    works = bin_works(csr, plan, device, k=k)
     streams = [
         engine.stream(device=device_index, name=f"bin-s{i}")
         for i in range(min(max_streams, max(1, len(works))))
@@ -235,7 +287,7 @@ def stream_spmv(
         )
     if n_children:
         dp_stream = engine.stream(device=device_index, name="dp")
-        children = dp_children_works(csr, plan, device)
+        children = dp_children_works(csr, plan, device, k=k)
         dp_work = merge_concurrent(
             [acsr_dp.parent_work(n_children, csr.precision), *children],
             name="acsr-dp",
@@ -257,10 +309,11 @@ def time_spmv_streamed(
     device: DeviceSpec,
     *,
     max_streams: int = 8,
+    k: int = 1,
 ) -> StreamedACSRTiming:
     """Model one ACSR SpMV with per-bin grids on concurrent streams."""
     engine = StreamEngine(device, name=f"acsr@{device.name}")
-    stream_spmv(csr, plan, device, engine, max_streams=max_streams)
+    stream_spmv(csr, plan, device, engine, max_streams=max_streams, k=k)
     return StreamedACSRTiming(
         result=engine.run(),
         n_bin_grids=plan.n_bin_grids,
@@ -275,23 +328,32 @@ def time_spmv(
     *,
     stream: bool | StreamEngine = False,
     max_streams: int = 8,
-) -> ACSRTiming | StreamedACSRTiming:
+    k: int = 1,
+) -> TimingLike:
     """Model one ACSR SpMV: G2 grids, DP parent and children as one pool.
 
     With ``stream=True`` the SpMV is instead issued through the stream
     engine, one launch per bin grid on concurrent streams
     (:func:`time_spmv_streamed`); pass a :class:`StreamEngine` to enqueue
-    into an engine the caller owns and runs.
+    into an engine the caller owns and runs.  ``k > 1`` models the
+    batched (SpMM) launch: every data grid widens to ``k`` vectors while
+    the DP *parent* stays a control-only ``k=1`` grid (it launches
+    children, it touches no vector data).  Returns a
+    :class:`~repro.gpu.timing.TimingLike` either way.
     """
     if stream is not False:
         if isinstance(stream, StreamEngine):
-            stream_spmv(csr, plan, device, stream, max_streams=max_streams)
+            stream_spmv(
+                csr, plan, device, stream, max_streams=max_streams, k=k
+            )
             return StreamedACSRTiming(
                 result=stream.run(),
                 n_bin_grids=plan.n_bin_grids,
                 n_row_grids=plan.n_row_grids,
             )
-        return time_spmv_streamed(csr, plan, device, max_streams=max_streams)
+        return time_spmv_streamed(
+            csr, plan, device, max_streams=max_streams, k=k
+        )
     n_children = int(plan.g1_rows.shape[0])
     if n_children and not device.supports_dynamic_parallelism:
         raise DynamicParallelismUnsupported(
@@ -300,10 +362,10 @@ def time_spmv(
         )
     works: list[KernelWork] = []
     if plan.g2:
-        works.append(acsr_bin.pooled_work(csr, list(plan.g2), device))
+        works.append(acsr_bin.pooled_work(csr, list(plan.g2), device, k=k))
     if n_children:
         works.append(acsr_dp.parent_work(n_children, csr.precision))
-        works.extend(dp_children_works(csr, plan, device))
+        works.extend(dp_children_works(csr, plan, device, k=k))
     if works:
         pooled = works[0] if len(works) == 1 else merge_concurrent(
             works, name="acsr"
@@ -324,4 +386,5 @@ def time_spmv(
         n_row_grids=n_children,
         launch_s=launch_s,
         enqueue_s=enqueue_s,
+        device_name=device.name,
     )

@@ -166,6 +166,6 @@ class DynamicACSR:
         return SpMVResult(
             y=y,
             time_s=timing.time_s,
-            timings=timing.bin_timings,
+            timings=(timing.pool,),
             flops=2.0 * csr.nnz,
         )

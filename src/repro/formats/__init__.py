@@ -10,12 +10,26 @@
   :class:`~repro.formats.bccoo.BCCOOFormat`,
   :class:`~repro.formats.tcoo.TCOOFormat` — the research comparators of
   Figure 4 / Tables III–IV, auto-tuners included.
+
+Two CSR names are easy to confuse; both are canonical here:
+
+* ``repro.formats.CSRMatrix`` (from :mod:`repro.formats.csr`) is the raw
+  *container* — arrays, statistics, the numeric ``matvec``/``matmat``
+  oracles.  It is what every ``from_csr`` consumes.
+* ``repro.formats.CSRFormat`` (from :mod:`repro.formats.csr_format`) is
+  the *executable format* — an :class:`~repro.formats.base.SpMVFormat`
+  with kernel cost models, preprocessing report, and ``run_spmv`` /
+  ``run_spmm`` entry points.
+
+Internal code should import them from this package (or the canonical
+submodule named above), never from the "other" module.
 """
 
 from .advisor import Recommendation, Workload, matrix_traits, recommend
 from .base import (
     FormatCapacityError,
     PreprocessReport,
+    SpMMResult,
     SpMVFormat,
     SpMVResult,
 )
@@ -28,7 +42,7 @@ from .convert import (
     build_format,
 )
 from .coo import COOFormat
-from .csr import CSRMatrix, csr_matvec
+from .csr import CSRMatrix, csr_matmat, csr_matvec
 from .csr_format import CSRFormat
 from .dia import DIAFormat
 from .ell import ELLFormat, build_ell_slabs
@@ -55,12 +69,14 @@ __all__ = [
     "PAPER_COMPARISON_SET",
     "PreprocessReport",
     "SICFormat",
+    "SpMMResult",
     "SpMVFormat",
     "SpMVResult",
     "TCOOFormat",
     "available_formats",
     "build_ell_slabs",
     "build_format",
+    "csr_matmat",
     "csr_matvec",
     "hyb_ell_width",
 ]

@@ -102,6 +102,28 @@ class SpMVResult:
         return self.flops / self.time_s / 1e9 if self.time_s > 0 else 0.0
 
 
+@dataclass(frozen=True)
+class SpMMResult:
+    """One batched SpMM's numeric output plus its modelled execution time.
+
+    ``Y`` has shape ``(n_rows, k)``: column ``j`` is ``A @ X[:, j]``.  The
+    modelled time covers ONE batched launch sequence over all ``k``
+    vectors, not ``k`` sequential SpMVs — comparing ``time_s`` against
+    ``k * spmv_time_s`` gives the amortisation win.
+    """
+
+    Y: np.ndarray
+    time_s: float
+    timings: tuple[KernelTiming, ...]
+    flops: float
+    #: Vector-block width of the batch.
+    k: int
+
+    @property
+    def gflops(self) -> float:
+        return self.flops / self.time_s / 1e9 if self.time_s > 0 else 0.0
+
+
 class SpMVFormat(abc.ABC):
     """A sparse-matrix representation with an SpMV kernel suite.
 
@@ -147,27 +169,36 @@ class SpMVFormat(abc.ABC):
         """Exact ``y = A @ x`` using this format's data layout."""
 
     @abc.abstractmethod
-    def kernel_works(self, device: DeviceSpec) -> list[KernelWork]:
-        """The launches of one SpMV, in order."""
+    def kernel_works(self, device: DeviceSpec, k: int = 1) -> list[KernelWork]:
+        """The launches of one SpMV (``k=1``) or one ``k``-wide SpMM.
 
-    def cached_kernel_works(self, device: DeviceSpec) -> list[KernelWork]:
-        """:meth:`kernel_works`, memoised per ``(format, device)``.
+        ``k`` is the vector-block width: the batched launch multiplies the
+        matrix by ``k`` right-hand-side vectors at once, charging matrix
+        traffic once but ``x``/``y`` traffic and flops per vector.  Every
+        implementation must return byte-identical works for ``k=1`` and
+        the historical single-vector path.
+        """
+
+    def cached_kernel_works(
+        self, device: DeviceSpec, k: int = 1
+    ) -> list[KernelWork]:
+        """:meth:`kernel_works`, memoised per ``(format, device, k)``.
 
         Formats are immutable after construction and :class:`KernelWork`
         is frozen, so the launch list of one SpMV never changes — yet
         ``spmv_time_s`` / ``trace`` / ``run_spmv`` historically rebuilt it
-        on every call.  The cache keys on the device name (a format
-        instance has a fixed matrix and precision) and is dropped with the
-        instance itself.
+        on every call.  The cache keys on the device name and the
+        vector-block width (a format instance has a fixed matrix and
+        precision) and is dropped with the instance itself.
         """
         cache = getattr(self, "_kernel_works_cache", None)
         if cache is None:
             cache = {}
             object.__setattr__(self, "_kernel_works_cache", cache)
-        works = cache.get(device.name)
+        works = cache.get((device.name, k))
         if works is None:
-            works = self.kernel_works(device)
-            cache[device.name] = works
+            works = self.kernel_works(device, k=k)
+            cache[(device.name, k)] = works
         return works
 
     def device_bytes(self) -> int:
@@ -209,6 +240,56 @@ class SpMVFormat(abc.ABC):
         flops = sum(w.flops for w in works)
         return SpMVResult(
             y=y, time_s=seq.time_s, timings=seq.timings, flops=flops
+        )
+
+    # -- batched (SpMM) entry points --------------------------------------
+    def multiply_many(self, X: np.ndarray) -> np.ndarray:
+        """Exact ``Y = A @ X`` for a block of vectors, column by column.
+
+        ``X`` has shape ``(n_cols, k)``; the result has ``(n_rows, k)``.
+        The default loops :meth:`multiply` over columns, so every column
+        of the result is *bitwise identical* to the corresponding
+        single-vector product — formats may override with a vectorised
+        path only if it preserves that equivalence.
+        """
+        X = np.asarray(X, dtype=self.precision.numpy_dtype)
+        if X.ndim != 2 or X.shape[0] != self.n_cols:
+            raise ValueError(f"X must have shape ({self.n_cols}, k)")
+        if X.shape[1] < 1:
+            raise ValueError("X must have at least one column")
+        return np.stack(
+            [self.multiply(X[:, j]) for j in range(X.shape[1])], axis=1
+        )
+
+    def spmm_time_s(self, device: DeviceSpec, k: int = 1) -> float:
+        """Modelled time of one ``k``-wide batched SpMM on ``device``.
+
+        ``spmm_time_s(device, 1) == spmv_time_s(device)`` exactly — the
+        ``k=1`` batch runs the very same launch sequence.
+        """
+        return simulate_sequence(
+            device, self.cached_kernel_works(device, k=k)
+        ).time_s
+
+    def run_spmm(self, X: np.ndarray, device: DeviceSpec) -> SpMMResult:
+        """Execute ``Y = A @ X`` numerically and model one batched launch.
+
+        The numeric result matches :meth:`multiply_many`; the modelled
+        time is ONE SpMM over all ``X.shape[1]`` columns, which is what a
+        batched server would launch instead of ``k`` SpMVs.
+        """
+        X = np.asarray(X, dtype=self.precision.numpy_dtype)
+        if X.ndim != 2 or X.shape[0] != self.n_cols:
+            raise ValueError(f"X must have shape ({self.n_cols}, k)")
+        k = X.shape[1]
+        if k < 1:
+            raise ValueError("X must have at least one column")
+        Y = self.multiply_many(X)
+        works = self.cached_kernel_works(device, k=k)
+        seq = simulate_sequence(device, works)
+        flops = sum(w.flops for w in works)
+        return SpMMResult(
+            Y=Y, time_s=seq.time_s, timings=seq.timings, flops=flops, k=k
         )
 
 

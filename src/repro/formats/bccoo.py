@@ -120,10 +120,16 @@ class BCCOOFormat(SpMVFormat):
     def from_csr(
         cls,
         csr: CSRMatrix,
+        *,
         tuning_device: DeviceSpec = GTX_TITAN,
         configs: list[BCCOOConfig] | None = None,
     ) -> "BCCOOFormat":
         """Build BCCOO by running the auto-tuner over the config space.
+
+        Accepted kwargs: ``tuning_device`` — the GPU the search is priced
+        against (default GTX TITAN); ``configs`` — explicit list of
+        :class:`BCCOOConfig` points to search (default: the full 384-point
+        space).  Unknown kwargs raise ``TypeError``.
 
         Tuning is performed against ``tuning_device`` — on hardware the
         search runs on the target GPU, and its bill lands in
@@ -244,7 +250,7 @@ class BCCOOFormat(SpMVFormat):
             ).astype(y.dtype, copy=False)
         return y
 
-    def kernel_works(self, device: DeviceSpec) -> list[KernelWork]:
+    def kernel_works(self, device: DeviceSpec, k: int = 1) -> list[KernelWork]:
         return [
             bccoo_kernel.work(
                 self.stored,
@@ -254,5 +260,6 @@ class BCCOOFormat(SpMVFormat):
                 precision=self.precision,
                 profile=self._profile,
                 real_nnz=self.nnz,
+                k=k,
             )
         ]

@@ -85,6 +85,8 @@ class BRCFormat(SpMVFormat):
 
     @classmethod
     def from_csr(cls, csr: CSRMatrix) -> "BRCFormat":
+        """Build from CSR.  Accepts no kwargs; unknown kwargs raise
+        ``TypeError``."""
         lengths = csr.nnz_per_row
         vlen, _owner = split_row_lengths(lengths)
         # Stable descending sort keeps ties in row order, as the reference
@@ -167,13 +169,14 @@ class BRCFormat(SpMVFormat):
             ).astype(y.dtype, copy=False)
         return y
 
-    def kernel_works(self, device: DeviceSpec) -> list[KernelWork]:
+    def kernel_works(self, device: DeviceSpec, k: int = 1) -> list[KernelWork]:
         works = brc_kernel.block_works(
             self.blocks,
             device=device,
             n_cols=self.n_cols,
             precision=self.precision,
             profile=self._profile,
+            k=k,
         )
         if not works:
             return [KernelWork.empty("brc", self.precision)]

@@ -37,6 +37,8 @@ class COOFormat(SpMVFormat):
 
     @classmethod
     def from_csr(cls, csr: CSRMatrix) -> "COOFormat":
+        """Build from CSR.  Accepts no kwargs; unknown kwargs raise
+        ``TypeError``."""
         rows = np.repeat(
             np.arange(csr.n_rows, dtype=np.int64), csr.nnz_per_row
         ).astype(np.int32)
@@ -83,7 +85,7 @@ class COOFormat(SpMVFormat):
             self.rows, self.cols, self.vals, x, n_rows=self.n_rows
         )
 
-    def kernel_works(self, device: DeviceSpec) -> list[KernelWork]:
+    def kernel_works(self, device: DeviceSpec, k: int = 1) -> list[KernelWork]:
         rows_spanned = self._rows_spanned
         return [
             coo_segmented.work(
@@ -93,5 +95,6 @@ class COOFormat(SpMVFormat):
                 n_cols=self.n_cols,
                 precision=self.precision,
                 profile=self._profile,
+                k=k,
             )
         ]

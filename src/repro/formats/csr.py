@@ -9,6 +9,11 @@ in Figure 4.
 The container also computes the column-gather locality profile the memory
 model needs (``gather_profile``) and the standard row statistics of
 Table I (``mu`` / ``sigma`` / ``max_nnz``).
+
+Not to be confused with :mod:`repro.formats.csr_format`, which wraps this
+container in the executable :class:`~repro.formats.csr_format.CSRFormat`
+(the "CSR" bars of Figures 5/6).  Canonical names for both are
+re-exported by :mod:`repro.formats`.
 """
 
 from __future__ import annotations
@@ -42,6 +47,32 @@ def csr_matvec(
     csum = np.concatenate([[0.0], np.cumsum(prod)])
     y = csum[row_off[1:]] - csum[row_off[:-1]]
     return y.astype(x.dtype, copy=False)
+
+
+def csr_matmat(
+    values: np.ndarray,
+    col_idx: np.ndarray,
+    row_off: np.ndarray,
+    X: np.ndarray,
+) -> np.ndarray:
+    """Reference CSR SpMM: ``Y = A @ X`` for ``X`` of shape ``(n_cols, k)``.
+
+    The 2-D twin of :func:`csr_matvec`: the same float64 prefix-sum runs
+    down axis 0 independently per column, so ``csr_matmat(..., X)[:, j]``
+    is *bitwise identical* to ``csr_matvec(..., X[:, j])`` — the numeric
+    half of the batched path's ``k=1`` anchor.
+    """
+    if row_off.ndim != 1 or row_off.shape[0] < 1:
+        raise ValueError("row_off must be a non-empty 1-D array")
+    if X.ndim != 2:
+        raise ValueError("X must be 2-D of shape (n_cols, k)")
+    Xf = X.astype(np.float64, copy=False)
+    prod = values.astype(np.float64, copy=False)[:, None] * Xf[col_idx]
+    csum = np.concatenate(
+        [np.zeros((1, X.shape[1])), np.cumsum(prod, axis=0)], axis=0
+    )
+    Y = csum[row_off[1:]] - csum[row_off[:-1]]
+    return Y.astype(X.dtype, copy=False)
 
 
 @dataclass(frozen=True)
@@ -226,6 +257,13 @@ class CSRMatrix:
         if x.shape != (self.n_cols,):
             raise ValueError(f"x must have shape ({self.n_cols},)")
         return csr_matvec(self.values, self.col_idx, self.row_off, x)
+
+    def matmat(self, X: np.ndarray) -> np.ndarray:
+        """Reference ``A @ X`` whose columns match :meth:`matvec` bitwise."""
+        X = np.asarray(X)
+        if X.ndim != 2 or X.shape[0] != self.n_cols:
+            raise ValueError(f"X must have shape ({self.n_cols}, k)")
+        return csr_matmat(self.values, self.col_idx, self.row_off, X)
 
     def device_bytes(self) -> int:
         """Device footprint of CSR data plus the x and y vectors."""

@@ -10,6 +10,11 @@ exactly why the paper builds on it.  Three kernel variants are available:
 * ``"vector"`` — CUSP-style gang-per-row with the gang sized to the mean
   (warps span multiple rows when the average is small);
 * ``"scalar"`` — the naive thread-per-row kernel, kept for ablations.
+
+Not to be confused with :mod:`repro.formats.csr`, which holds the
+:class:`~repro.formats.csr.CSRMatrix` *container* every format is built
+from.  This module is the executable :class:`CSRFormat` — canonical names
+for both are re-exported by :mod:`repro.formats`.
 """
 
 from __future__ import annotations
@@ -45,7 +50,13 @@ class CSRFormat(SpMVFormat):
         )
 
     @classmethod
-    def from_csr(cls, csr: CSRMatrix, kernel: str = "cusparse") -> "CSRFormat":
+    def from_csr(cls, csr: CSRMatrix, *, kernel: str = "cusparse") -> "CSRFormat":
+        """Build from CSR.
+
+        Accepted kwargs: ``kernel`` — one of ``"cusparse"`` (warp-per-row,
+        default), ``"vector"`` (mean-sized gangs), ``"scalar"``
+        (thread-per-row).  Unknown kwargs raise ``TypeError``.
+        """
         return cls(csr, kernel=kernel)
 
     @property
@@ -63,9 +74,18 @@ class CSRFormat(SpMVFormat):
     def multiply(self, x: np.ndarray) -> np.ndarray:
         return self.csr.matvec(x)
 
-    def kernel_works(self, device: DeviceSpec) -> list[KernelWork]:
+    def multiply_many(self, X: np.ndarray) -> np.ndarray:
+        """Vectorised ``A @ X`` whose columns match :meth:`multiply` bitwise."""
+        X = np.asarray(X, dtype=self.precision.numpy_dtype)
+        if X.ndim != 2 or X.shape[0] != self.n_cols:
+            raise ValueError(f"X must have shape ({self.n_cols}, k)")
+        if X.shape[1] < 1:
+            raise ValueError("X must have at least one column")
+        return self.csr.matmat(X)
+
+    def kernel_works(self, device: DeviceSpec, k: int = 1) -> list[KernelWork]:
         if self.kernel == "scalar":
-            return [csr_scalar.work(self.csr, device)]
+            return [csr_scalar.work(self.csr, device, k=k)]
         if self.kernel == "cusparse":
-            return [csr_vector.work(self.csr, device, vector_size=32)]
-        return [csr_vector.work(self.csr, device)]
+            return [csr_vector.work(self.csr, device, vector_size=32, k=k)]
+        return [csr_vector.work(self.csr, device, k=k)]

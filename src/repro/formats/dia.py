@@ -49,6 +49,8 @@ class DIAFormat(SpMVFormat):
 
     @classmethod
     def from_csr(cls, csr: CSRMatrix) -> "DIAFormat":
+        """Build from CSR.  Accepts no kwargs; unknown kwargs raise
+        ``TypeError``."""
         rows = np.repeat(
             np.arange(csr.n_rows, dtype=np.int64), csr.nnz_per_row
         )
@@ -110,7 +112,9 @@ class DIAFormat(SpMVFormat):
             )
         return y.astype(x.dtype, copy=False)
 
-    def kernel_works(self, device: DeviceSpec) -> list[KernelWork]:
+    def kernel_works(self, device: DeviceSpec, k: int = 1) -> list[KernelWork]:
+        if k < 1:
+            raise ValueError("k must be >= 1")
         n_rows = self._shape[0]
         if n_rows == 0 or self.n_diags == 0:
             return [KernelWork.empty("dia", self.precision)]
@@ -126,15 +130,26 @@ class DIAFormat(SpMVFormat):
         )
         per_iter = coalesced_bytes(WARP_SIZE * vb) * 2.0  # data + x stream
         dram = np.full(1, self.n_diags * per_iter, dtype=np.float64)
+        if k > 1:
+            from ..kernels.common import INST_PER_EXTRA_VEC
+
+            compute = compute + (k - 1) * (
+                self.n_diags * INST_PER_EXTRA_VEC + 1.0
+            )
+            # The diagonal data streams once; the x stream and y writes
+            # repeat per extra vector of the block.
+            x_stream = coalesced_bytes(WARP_SIZE * vb)
+            dram = dram + (k - 1) * self.n_diags * x_stream
         return [
             KernelWork(
                 name="dia",
                 compute_insts=compute,
                 dram_bytes=dram,
                 mem_ops=np.full(1, float(self.n_diags)),
-                flops=2.0 * self.real_nnz,
+                flops=2.0 * self.real_nnz * k,
                 precision=self.precision,
                 launch=launch_for_threads(n_rows),
                 warp_weights=np.full(1, float(n_warps)),
+                k=k,
             )
         ]

@@ -87,6 +87,8 @@ class ELLFormat(SpMVFormat):
 
     @classmethod
     def from_csr(cls, csr: CSRMatrix) -> "ELLFormat":
+        """Build from CSR.  Accepts no kwargs (width = longest row);
+        unknown kwargs raise ``TypeError``."""
         width = csr.max_nnz_row
         cols, vals, real = build_ell_slabs(csr, width)
         if real != csr.nnz:
@@ -133,7 +135,7 @@ class ELLFormat(SpMVFormat):
     def multiply(self, x: np.ndarray) -> np.ndarray:
         return ell_kernel.execute(self.cols, self.vals, x)
 
-    def kernel_works(self, device: DeviceSpec) -> list[KernelWork]:
+    def kernel_works(self, device: DeviceSpec, k: int = 1) -> list[KernelWork]:
         return [
             ell_kernel.work(
                 self.n_rows,
@@ -143,5 +145,6 @@ class ELLFormat(SpMVFormat):
                 n_cols=self.n_cols,
                 precision=self.precision,
                 profile=self._profile,
+                k=k,
             )
         ]

@@ -86,7 +86,12 @@ class HYBFormat(SpMVFormat):
         self._coo_rows_spanned = coo_rows_spanned
 
     @classmethod
-    def from_csr(cls, csr: CSRMatrix, width: int | None = None) -> "HYBFormat":
+    def from_csr(cls, csr: CSRMatrix, *, width: int | None = None) -> "HYBFormat":
+        """Build from CSR.
+
+        Accepted kwargs: ``width`` — ELL slab width; ``None`` (default)
+        applies the CUSP heuristic.  Unknown kwargs raise ``TypeError``.
+        """
         k = hyb_ell_width(csr.nnz_per_row, csr.n_rows) if width is None else width
         if k > 0 and csr.n_rows * k > MAX_SLOTS:
             raise FormatCapacityError(
@@ -177,7 +182,7 @@ class HYBFormat(SpMVFormat):
             x,
         )
 
-    def kernel_works(self, device: DeviceSpec) -> list[KernelWork]:
+    def kernel_works(self, device: DeviceSpec, k: int = 1) -> list[KernelWork]:
         rows_spanned = self._coo_rows_spanned
         works = hyb_kernel.works(
             self.n_rows,
@@ -189,5 +194,6 @@ class HYBFormat(SpMVFormat):
             n_cols=self.n_cols,
             precision=self.precision,
             profile=self._profile,
+            k=k,
         )
         return works or [KernelWork.empty("hyb", self.precision)]

@@ -85,6 +85,8 @@ class SICFormat(SpMVFormat):
 
     @classmethod
     def from_csr(cls, csr: CSRMatrix) -> "SICFormat":
+        """Build from CSR.  Accepts no kwargs; unknown kwargs raise
+        ``TypeError``."""
         lengths = csr.nnz_per_row
         seg = classify_segments(lengths)
 
@@ -184,13 +186,14 @@ class SICFormat(SpMVFormat):
             ).astype(y.dtype, copy=False)
         return y
 
-    def kernel_works(self, device: DeviceSpec) -> list[KernelWork]:
+    def kernel_works(self, device: DeviceSpec, k: int = 1) -> list[KernelWork]:
         works = brc_kernel.block_works(
             self.blocks,
             device=device,
             n_cols=self.n_cols,
             precision=self.precision,
             profile=self._profile,
+            k=k,
         )
         if not works:
             return [KernelWork.empty("sic", self.precision)]

@@ -54,9 +54,16 @@ class TCOOFormat(SpMVFormat):
     def from_csr(
         cls,
         csr: CSRMatrix,
+        *,
         tuning_device: DeviceSpec = GTX_TITAN,
         candidates: tuple[int, ...] = TILE_CANDIDATES,
     ) -> "TCOOFormat":
+        """Build TCOO by exhaustively searching the tile-count space.
+
+        Accepted kwargs: ``tuning_device`` — the GPU the search is priced
+        against (default GTX TITAN); ``candidates`` — tile counts to try
+        (default 1..128).  Unknown kwargs raise ``TypeError``.
+        """
         if csr.precision is not Precision.SINGLE:
             # Single precision only, like BCCOO (Section V).
             raise ValueError("TCOO supports single precision only")
@@ -146,7 +153,7 @@ class TCOOFormat(SpMVFormat):
             ).astype(y.dtype, copy=False)
         return y
 
-    def kernel_works(self, device: DeviceSpec) -> list[KernelWork]:
+    def kernel_works(self, device: DeviceSpec, k: int = 1) -> list[KernelWork]:
         return [
             tcoo_kernel.work(
                 self.nnz,
@@ -156,5 +163,6 @@ class TCOOFormat(SpMVFormat):
                 n_cols=self.n_cols,
                 precision=self.precision,
                 profile=self._profile,
+                k=k,
             )
         ]

@@ -69,8 +69,16 @@ class KernelWork:
     #: kernels (COO-family, ELL) be described in O(1) entries instead of
     #: one entry per warp.  ``None`` = every entry is one warp.
     warp_weights: np.ndarray | None = None
+    #: Vector-block width: the number of right-hand-side vectors this
+    #: launch multiplies (SpMM).  The per-warp arrays already include the
+    #: widened ``x``/``y`` traffic and per-vector instructions; ``k`` is
+    #: carried for reporting and so mergers can preserve it.  ``k == 1``
+    #: is classic SpMV.
+    k: int = 1
 
     def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("vector-block width k must be >= 1")
         n = self.compute_insts.shape[0]
         if self.dram_bytes.shape[0] != n or self.mem_ops.shape[0] != n:
             raise ValueError("per-warp arrays must share a length")
@@ -129,7 +137,9 @@ def merge_concurrent(works: list[KernelWork], name: str | None = None) -> Kernel
     """Merge kernels that run concurrently (e.g. DP child grids).
 
     The merged work is scheduled as one pool of warps, which matches how
-    the hardware fills SMs from whatever grids are resident.
+    the hardware fills SMs from whatever grids are resident.  The merged
+    ``k`` is the widest of the inputs — control-only grids (e.g. the DP
+    parent) stay at ``k=1`` even when their children are batched.
     """
     if not works:
         raise ValueError("need at least one work to merge")
@@ -152,4 +162,5 @@ def merge_concurrent(works: list[KernelWork], name: str | None = None) -> Kernel
         fp_fraction=works[0].fp_fraction,
         resources=resources,
         warp_weights=weights,
+        k=max(w.k for w in works),
     )

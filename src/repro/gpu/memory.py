@@ -130,6 +130,35 @@ def gather_dram_bytes(
     return out
 
 
+def block_gather_dram_bytes(
+    n_gathers: np.ndarray | float,
+    value_bytes: int,
+    hit_rate: float,
+    k: int = 1,
+) -> np.ndarray | float:
+    """DRAM bytes for gathers of a *row* of a ``(n, k)`` row-major block.
+
+    In the batched SpMM path each ``x`` gather fetches ``X[col, 0:k]`` —
+    ``k`` consecutive values — so one miss pulls the
+    ``ceil(k * value_bytes / SECTOR_BYTES)`` sectors that cover the row
+    instead of one sector per vector.  This is the amortisation that makes
+    SpMM cheaper than ``k`` SpMVs.  With ``k == 1`` this delegates to
+    :func:`gather_dram_bytes` and is byte-identical to the SpMV model.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if k == 1:
+        return gather_dram_bytes(n_gathers, value_bytes, hit_rate)
+    if not 0.0 <= hit_rate <= 1.0:
+        raise ValueError("hit_rate must be in [0, 1]")
+    sectors = np.ceil(k * value_bytes / SECTOR_BYTES)
+    n = np.asarray(n_gathers, dtype=np.float64)
+    out = n * (1.0 - hit_rate) * sectors * SECTOR_BYTES
+    if np.isscalar(n_gathers) or getattr(n_gathers, "ndim", 1) == 0:
+        return float(out)
+    return out
+
+
 def dram_time_s(device: DeviceSpec, total_bytes: float, efficiency: float = 1.0) -> float:
     """Seconds to move ``total_bytes`` at ``efficiency * peak`` bandwidth."""
     if total_bytes < 0:

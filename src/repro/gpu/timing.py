@@ -1,0 +1,39 @@
+"""The :class:`TimingLike` protocol — the common face of modelled timings.
+
+Every SpMV timing object in the repo — a single launch
+(:class:`~repro.gpu.simulator.KernelTiming`), the serial ACSR pool
+(:class:`~repro.core.dispatch.ACSRTiming`), or a multi-stream run
+(:class:`~repro.core.dispatch.StreamedACSRTiming`) — answers the same
+three questions: *how long did it take* (``time_s``), *what did the
+timeline look like* (``trace()``), and *what bounded it*
+(``bound_summary()``).  Harness and app code should program against this
+protocol instead of the concrete classes, so a timing source can be
+swapped (serial pool vs. stream engine) without touching callers.
+
+The protocol is ``runtime_checkable``; ``isinstance(t, TimingLike)``
+verifies the three members are present.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from .trace import KernelTrace
+
+
+@runtime_checkable
+class TimingLike(Protocol):
+    """Anything that models one SpMV's time and can explain itself."""
+
+    @property
+    def time_s(self) -> float:
+        """Total modelled seconds, launch overheads included."""
+        ...
+
+    def trace(self) -> KernelTrace:
+        """A Chrome-exportable timeline of the modelled execution."""
+        ...
+
+    def bound_summary(self) -> str:
+        """A human-readable verdict on what bounds the execution."""
+        ...

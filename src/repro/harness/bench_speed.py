@@ -33,29 +33,32 @@ DEFAULT_OUTPUT = "BENCH_speed.json"
 REGRESSION_FACTOR = 2.0
 
 #: CI-friendly cases: every analog stays at or below the ~4M-nnz default
-#: scale, so the whole quick set runs in seconds.
-QUICK_CASES: tuple[tuple[str, float], ...] = (
-    ("WIK", 0.05),
-    ("WIK", 0.2),
-    ("LIV", 0.01),
-    ("LIV", 0.05),
-    ("HOL", 0.01),
-    ("HOL", 0.035),
+#: scale, so the whole quick set runs in seconds.  The third element is
+#: the vector-block width ``k`` — ``k > 1`` times the batched (SpMM)
+#: evaluation path.
+QUICK_CASES: tuple[tuple[str, float, int], ...] = (
+    ("WIK", 0.05, 1),
+    ("WIK", 0.05, 8),
+    ("WIK", 0.2, 1),
+    ("LIV", 0.01, 1),
+    ("LIV", 0.05, 1),
+    ("HOL", 0.01, 1),
+    ("HOL", 0.035, 1),
 )
 
 #: Added by the full benchmark: the largest corpus matrices scaled all the
 #: way to their paper size (scale 1.0 — up to 113M non-zeros for HOL).
-FULL_EXTRA_CASES: tuple[tuple[str, float], ...] = (
-    ("WIK", 1.0),
-    ("LIV", 0.5),
-    ("LIV", 1.0),
-    ("HOL", 0.5),
-    ("HOL", 1.0),
+FULL_EXTRA_CASES: tuple[tuple[str, float, int], ...] = (
+    ("WIK", 1.0, 1),
+    ("LIV", 0.5, 1),
+    ("LIV", 1.0, 1),
+    ("HOL", 0.5, 1),
+    ("HOL", 1.0, 1),
 )
 
 
-def bench_cases(quick: bool) -> tuple[tuple[str, float], ...]:
-    """The benchmark's (matrix, scale) cells; quick skips scale 1.0."""
+def bench_cases(quick: bool) -> tuple[tuple[str, float, int], ...]:
+    """The benchmark's (matrix, scale, k) cells; quick skips scale 1.0."""
     return QUICK_CASES if quick else QUICK_CASES + FULL_EXTRA_CASES
 
 
@@ -64,8 +67,9 @@ def run_case(
     scale: float,
     device: DeviceSpec,
     repeats: int = 3,
+    k: int = 1,
 ) -> dict:
-    """Benchmark one (matrix, scale) cell; returns a JSON-ready record."""
+    """Benchmark one (matrix, scale, k) cell; returns a JSON-ready record."""
     spec = get_spec(matrix)
     csr = corpus_matrix(matrix, scale=scale)
     built = ACSRFormat.from_csr(csr, device=device)
@@ -77,15 +81,17 @@ def run_case(
         # cost-model evaluation rather than a cache hit.
         fmt = ACSRFormat(csr, built.binning, built.params, built.preprocess)
         t0 = time.perf_counter()
-        fmt.spmv_time_s(device)
+        fmt.spmm_time_s(device, k=k)
         wall_s = min(wall_s, time.perf_counter() - t0)
-    works = fmt.kernel_works(device)
+    works = fmt.kernel_works(device, k=k)
     entries = [w.n_entries for w in works]
     warps = [w.n_warps for w in works]
     return {
         "name": spec.abbrev,
         "scale": scale,
+        "k": k,
         "wall_s": wall_s,
+        "model_time_s": fmt.spmm_time_s(device, k=k),
         "peak_entries": max(entries),
         "total_entries": int(sum(entries)),
         "total_warps": int(sum(warps)),
@@ -102,8 +108,8 @@ def run_bench(
 ) -> dict:
     """Run every case; returns the BENCH_speed.json payload."""
     records = []
-    for matrix, scale in cases:
-        record = run_case(matrix, scale, device, repeats=repeats)
+    for matrix, scale, k in cases:
+        record = run_case(matrix, scale, device, repeats=repeats, k=k)
         records.append(record)
         if progress is not None:
             progress(record)
@@ -115,8 +121,13 @@ def run_bench(
     }
 
 
-def _case_key(record: dict) -> tuple[str, float]:
-    return (record["name"], round(float(record["scale"]), 9))
+def _case_key(record: dict) -> tuple[str, float, int]:
+    # ``k`` defaults to 1 so pre-batching baselines keep matching.
+    return (
+        record["name"],
+        round(float(record["scale"]), 9),
+        int(record.get("k", 1)),
+    )
 
 
 def check_regressions(
@@ -173,7 +184,9 @@ def run_cli(args: argparse.Namespace) -> int:
     def progress(r: dict) -> None:
         ratio = r["total_warps"] / max(1, r["total_entries"])
         print(
-            f"{r['name']}@{r['scale']:g}: wall {r['wall_s'] * 1e3:8.2f} ms  "
+            f"{r['name']}@{r['scale']:g}"
+            f"{' k=%d' % r['k'] if r.get('k', 1) != 1 else ''}: "
+            f"wall {r['wall_s'] * 1e3:8.2f} ms  "
             f"entries {r['total_entries']:>6} (peak {r['peak_entries']}) "
             f"for {r['total_warps']} warps ({ratio:,.0f}x compressed), "
             f"nnz {r['nnz']:,}"

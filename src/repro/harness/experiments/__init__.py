@@ -3,6 +3,7 @@
 from . import (
     ablations,
     common,
+    expx_batch,
     fig3_histogram,
     fig4_preprocessing,
     fig5_gflops,
@@ -19,6 +20,7 @@ from . import (
 __all__ = [
     "ablations",
     "common",
+    "expx_batch",
     "fig3_histogram",
     "fig4_preprocessing",
     "fig5_gflops",

@@ -29,8 +29,8 @@ def run_dp_ablation(
     rows = []
     for key in default_matrices(matrices):
         csr = corpus_matrix(key, precision=Precision.SINGLE)
-        with_dp = ACSRFormat.from_csr(csr, ACSRParams(enable_dp=True))
-        without = ACSRFormat.from_csr(csr, ACSRParams(enable_dp=False))
+        with_dp = ACSRFormat.from_csr(csr, params=ACSRParams(enable_dp=True))
+        without = ACSRFormat.from_csr(csr, params=ACSRParams(enable_dp=False))
         t_dp = with_dp.spmv_time_s(device)
         t_bin = without.spmv_time_s(device)
         rows.append(
@@ -73,7 +73,7 @@ def run_thread_load_sweep(
     csr = corpus_matrix(matrix, precision=Precision.SINGLE)
     rows = []
     for tl in loads:
-        fmt = ACSRFormat.from_csr(csr, ACSRParams(thread_load=tl))
+        fmt = ACSRFormat.from_csr(csr, params=ACSRParams(thread_load=tl))
         rows.append(
             {
                 "thread_load": tl,
@@ -155,7 +155,7 @@ def run_bin_max_sweep(
     rows = []
     for bin_max in range(max(1, max_bin - 6), max_bin + 1):
         try:
-            fmt = ACSRFormat.from_csr(csr, ACSRParams(bin_max=bin_max))
+            fmt = ACSRFormat.from_csr(csr, params=ACSRParams(bin_max=bin_max))
             t = fmt.spmv_time_s(device)
             children = fmt.plan_for(device).n_row_grids
         except ValueError:

@@ -1,0 +1,80 @@
+"""ExpX — batched SpMV (SpMM) amortisation sweep.
+
+Not a paper artifact: an extension experiment for the batched multi-vector
+path.  For each corpus matrix and backend it sweeps the vector-block width
+``k`` and reports the modelled speedup of ONE ``k``-wide SpMM over ``k``
+sequential SpMVs, ``k * ST / ST_k``.  Matrix traffic (values, column
+indices, row offsets) is charged once per launch regardless of ``k``, so
+memory-bound graph matrices amortise substantially; ``k = 1`` is the
+correctness anchor (speedup exactly 1.0 by the byte-identity invariant of
+:meth:`repro.formats.base.SpMVFormat.kernel_works`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...gpu.device import GTX_TITAN, DeviceSpec, Precision
+from ..report import render_table
+from ..runner import get_format
+from .common import ExperimentResult, default_matrices
+
+#: Vector-block widths swept (k=1 is the identity anchor).
+K_SWEEP: tuple[int, ...] = (1, 2, 4, 8, 16, 32)
+
+#: Backends swept: the CSR baseline, the hybrid, and the paper's ACSR.
+BACKENDS: tuple[str, ...] = ("csr", "hyb", "acsr")
+
+
+def run(
+    matrices: Sequence[str] | None = None,
+    device: DeviceSpec = GTX_TITAN,
+    precision: Precision = Precision.SINGLE,
+    k_sweep: tuple[int, ...] = K_SWEEP,
+    backends: tuple[str, ...] = BACKENDS,
+) -> ExperimentResult:
+    """Modelled speedup of one SpMM over ``k`` SpMVs, per matrix/backend."""
+    rows = []
+    for key in default_matrices(matrices):
+        for backend in backends:
+            fmt = get_format(key, backend, precision)
+            spmv_s = fmt.spmv_time_s(device)
+            row: dict = {
+                "matrix": key,
+                "format": backend,
+                "spmv_us": spmv_s * 1e6,
+            }
+            for k in k_sweep:
+                spmm_s = fmt.spmm_time_s(device, k=k)
+                row[f"speedup_k{k}"] = (k * spmv_s) / spmm_s
+            rows.append(row)
+
+    summary = {
+        f"mean_speedup_k{k}": (
+            sum(r[f"speedup_k{k}"] for r in rows) / max(1, len(rows))
+        )
+        for k in k_sweep
+    }
+
+    def renderer(res: ExperimentResult) -> str:
+        headers = ["matrix", "format", "spmv_us"] + [
+            f"k={k}" for k in k_sweep
+        ]
+        return render_table(
+            "ExpX — SpMM speedup over k SpMVs (one batched launch)",
+            headers,
+            [
+                [
+                    r["matrix"],
+                    r["format"],
+                    r["spmv_us"],
+                    *(r[f"speedup_k{k}"] for k in k_sweep),
+                ]
+                for r in res.rows
+            ],
+            col_width=9,
+        )
+
+    return ExperimentResult(
+        experiment="expx-batch", rows=rows, renderer=renderer, summary=summary
+    )

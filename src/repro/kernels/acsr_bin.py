@@ -69,6 +69,7 @@ def pooled_work(
     bins: list[tuple[int, np.ndarray]],
     device: DeviceSpec,
     name: str = "acsr-g2",
+    k: int = 1,
 ) -> KernelWork:
     """Cost model for a *pool* of bin kernels on concurrent streams.
 
@@ -78,9 +79,16 @@ def pooled_work(
     neighbouring rows processed by other bins.  The union streams the
     touched row spans exactly once, plus one boundary charge per
     contiguous run of rows, plus the indirection arrays and row metadata.
+
+    ``k > 1`` widens each gang over a block of ``k`` right-hand-side
+    vectors (SpMM): matrix and indirection traffic is charged once, while
+    gathers, ``y`` writes, per-iteration instructions, and flops scale
+    with the block.  ``k == 1`` is byte-identical to the SpMV model.
     """
     from .common import x_hit_rate  # local alias for clarity
 
+    if k < 1:
+        raise ValueError("k must be >= 1")
     precision = csr.precision
     vb = precision.value_bytes
     nonempty = [(b, np.asarray(r, dtype=np.int64)) for b, r in bins if len(r)]
@@ -96,7 +104,12 @@ def pooled_work(
         pack_rows_into_warps,
         shuffle_reduction_steps,
     )
-    from .common import INST_PER_ITER, ROW_SETUP_INSTS, SHUFFLE_INST
+    from .common import (
+        INST_PER_EXTRA_VEC,
+        INST_PER_ITER,
+        ROW_SETUP_INSTS,
+        SHUFFLE_INST,
+    )
 
     compute_parts = []
     memops_parts = []
@@ -107,11 +120,18 @@ def pooled_work(
             pack_rows_into_warps(csr.nnz_per_row[rows], gang_size_for_bin(b))
         )
         steps = shuffle_reduction_steps(min(gang_size_for_bin(b), WARP_SIZE))
-        compute_parts.append(
+        part = (
             gang.warp_iters.astype(np.float64) * INST_PER_ITER
             + gang.warp_rows.astype(np.float64) * ROW_SETUP_INSTS
             + steps * SHUFFLE_INST * np.minimum(gang.warp_rows, 1)
         )
+        if k > 1:
+            part = part + (k - 1) * (
+                gang.warp_iters.astype(np.float64) * INST_PER_EXTRA_VEC
+                + gang.warp_rows.astype(np.float64) * 1.0
+                + steps * SHUFFLE_INST * np.minimum(gang.warp_rows, 1)
+            )
+        compute_parts.append(part)
         memops_parts.append(gang.warp_iters.astype(np.float64) * 2.0)
         nnz_parts.append(gang.warp_nnz.astype(np.float64))
         weight_parts.append(gang._weights())
@@ -128,13 +148,14 @@ def pooled_work(
         if all_rows.shape[0] > 1
         else 1
     )
-    hit = x_hit_rate(device, csr.n_cols, precision, csr.gather_profile)
+    hit = x_hit_rate(device, csr.n_cols, precision, csr.gather_profile, k=k)
     meta_bytes = (
-        all_rows.shape[0] * (4 + 2 * 4 + vb)  # BIN_Rows + row_off pair + y
+        all_rows.shape[0] * (4 + 2 * 4 + vb * k)  # BIN_Rows + row_off + y
         + runs * 2 * 32.0  # boundary sectors of each contiguous run
     )
     matrix_bytes = total_nnz * (vb + 4)
-    gather_bytes = total_nnz * (1.0 - hit) * 32.0
+    miss_sectors = float(np.ceil(k * vb / 32.0)) if k > 1 else 1.0
+    gather_bytes = total_nnz * (1.0 - hit) * miss_sectors * 32.0
     total_bytes = matrix_bytes + gather_bytes + meta_bytes
     pool_nnz = float(np.sum(warp_nnz * weights))
     n_pool_warps = float(weights.sum())
@@ -150,9 +171,10 @@ def pooled_work(
         compute_insts=compute,
         dram_bytes=dram,
         mem_ops=mem_ops,
-        flops=2.0 * total_nnz,
+        flops=2.0 * total_nnz * k,
         precision=precision,
         warp_weights=weights,
+        k=k,
     )
 
 
@@ -161,6 +183,7 @@ def work(
     rows: np.ndarray,
     bin_index: int,
     device: DeviceSpec,
+    k: int = 1,
 ) -> KernelWork:
     """Cost model for one bin-specific launch, standalone (no stream pool)."""
     rows = np.asarray(rows, dtype=np.int64)
@@ -189,4 +212,5 @@ def work(
         coalesced=True,
         row_density=density,
         indirect_rows=True,
+        k=k,
     )

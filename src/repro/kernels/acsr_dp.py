@@ -18,9 +18,15 @@ import numpy as np
 from ..formats.csr import CSRMatrix
 from ..gpu.device import DeviceSpec, Precision, WARP_SIZE
 from ..gpu.kernel import KernelWork
-from ..gpu.memory import coalesced_bytes, gather_dram_bytes, scattered_bytes
+from ..gpu.memory import (
+    SECTOR_BYTES,
+    block_gather_dram_bytes,
+    coalesced_bytes,
+    scattered_bytes,
+)
 from .common import (
     ATOMIC_INSTS,
+    INST_PER_EXTRA_VEC,
     INST_PER_ITER,
     ROW_SETUP_INSTS,
     SHUFFLE_INST,
@@ -87,6 +93,7 @@ def child_work(
     row: int,
     thread_load: int,
     device: DeviceSpec,
+    k: int = 1,
 ) -> KernelWork:
     """Cost of one row-specific child grid (Algorithm 4).
 
@@ -94,9 +101,17 @@ def child_work(
     ``thread_load`` elements with a grid-stride loop, so each warp performs
     ``thread_load`` coalesced iterations, then an intra-warp shuffle
     reduction and one atomic for the inter-warp combine.
+
+    ``k > 1`` widens the child over a block of ``k`` vectors: the row's
+    values/col_idx stream once, but each iteration gains per-vector
+    gather/FMA instructions, the shuffle reduction and atomic combine
+    repeat per vector, and gathers/atomics fetch block-row sectors.
+    ``k == 1`` is byte-identical to the single-vector model.
     """
     if thread_load < 1:
         raise ValueError("thread_load must be >= 1")
+    if k < 1:
+        raise ValueError("k must be >= 1")
     nnz = int(csr.nnz_per_row[row])
     precision = csr.precision
     if nnz == 0:
@@ -114,19 +129,27 @@ def child_work(
         + 5 * SHUFFLE_INST
         + ATOMIC_INSTS
     )
-    hit = x_hit_rate(device, csr.n_cols, precision, csr.gather_profile)
+    if k > 1:
+        compute = compute + (k - 1) * (
+            iters * INST_PER_EXTRA_VEC + 5 * SHUFFLE_INST + ATOMIC_INSTS
+        )
+    hit = x_hit_rate(device, csr.n_cols, precision, csr.gather_profile, k=k)
     matrix = coalesced_bytes(elems * vb) + coalesced_bytes(elems * 4)
-    gather = gather_dram_bytes(elems, vb, hit)
-    dram = matrix + gather + scattered_bytes(np.ones(1))
+    gather = block_gather_dram_bytes(elems, vb, hit, k=k)
+    atomic = scattered_bytes(np.ones(1))
+    if k > 1:
+        atomic = atomic * float(np.ceil(k * vb / SECTOR_BYTES))
+    dram = matrix + gather + atomic
     return KernelWork(
         name=f"acsr-dp-child-r{row}",
         compute_insts=np.asarray(compute, dtype=np.float64),
         dram_bytes=np.asarray(dram, dtype=np.float64),
         mem_ops=iters * 2.0,  # col load -> dependent x gather per iteration
-        flops=2.0 * nnz,
+        flops=2.0 * nnz * k,
         precision=precision,
         launch=launch_for_threads(n_threads),
         warp_weights=np.full(1, float(n_warps)),
+        k=k,
     )
 
 
@@ -135,6 +158,10 @@ def children_works(
     rows: np.ndarray,
     thread_load: int,
     device: DeviceSpec,
+    k: int = 1,
 ) -> list[KernelWork]:
     """One child grid per G1 row."""
-    return [child_work(csr, int(r), thread_load, device) for r in np.asarray(rows)]
+    return [
+        child_work(csr, int(r), thread_load, device, k=k)
+        for r in np.asarray(rows)
+    ]

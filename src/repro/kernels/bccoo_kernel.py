@@ -29,6 +29,7 @@ def work(
     precision: Precision,
     profile: GatherProfile,
     real_nnz: int | None = None,
+    k: int = 1,
 ) -> KernelWork:
     """Cost model for the tuned BCCOO launch.
 
@@ -50,7 +51,8 @@ def work(
         profile=profile,
         index_bytes_per_elem=INDEX_BYTES_PER_ELEM,
         reduction=True,
-        flops=None if real_nnz is None else 2.0 * real_nnz,
+        flops=None if real_nnz is None else 2.0 * real_nnz * k,
+        k=k,
     )
     # The matrix-wide segmented scan stages partials in shared memory
     # (two values per thread) and runs register-heavy.

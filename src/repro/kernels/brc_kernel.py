@@ -23,6 +23,7 @@ def block_works(
     n_cols: int,
     precision: Precision,
     profile: GatherProfile,
+    k: int = 1,
 ) -> list[KernelWork]:
     """Cost of one BRC SpMV: one balanced ELL-style launch per block.
 
@@ -46,6 +47,7 @@ def block_works(
                 profile=profile,
                 name=f"brc-block{i}",
                 scattered_y=True,
+                k=k,
             )
         )
     return works

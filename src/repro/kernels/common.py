@@ -17,6 +17,7 @@ from ..gpu.kernel import KernelWork, LaunchConfig
 from ..gpu.memory import (
     SECTOR_BYTES,
     GatherProfile,
+    block_gather_dram_bytes,
     coalesced_bytes,
     gather_dram_bytes,
     scattered_bytes,
@@ -41,6 +42,12 @@ SHUFFLE_INST = 1.0
 #: Extra serialised instructions charged per atomic update.
 ATOMIC_INSTS = 12.0
 
+#: Extra warp-instructions per inner-loop iteration *per additional
+#: right-hand-side vector* in the batched SpMM path: the column index and
+#: matrix value are already in registers, so each extra vector costs only
+#: its gather and its FMA.
+INST_PER_EXTRA_VEC = 2.0
+
 #: Default CUDA block size used by every kernel's launch geometry.
 BLOCK_THREADS = 128
 
@@ -50,10 +57,19 @@ def x_hit_rate(
     n_cols: int,
     precision: Precision,
     profile: GatherProfile,
+    k: int = 1,
 ) -> float:
-    """Texture hit rate for gathering the input vector on ``device``."""
+    """Texture hit rate for gathering the input vector(s) on ``device``.
+
+    For a batched block of ``k`` vectors the working set grows to
+    ``n_cols * k`` values, but the column-locality :class:`GatherProfile`
+    is *reused* across the block — the access pattern over rows of ``X``
+    is exactly the column-index stream of the matrix, whatever ``k`` is.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
     return texture_hit_rate(
-        device, float(n_cols) * precision.value_bytes, profile
+        device, float(n_cols) * precision.value_bytes * k, profile
     )
 
 
@@ -78,6 +94,7 @@ def gang_row_work(
     sector_sharing: float = 1.0,
     flops: float | None = None,
     compress: bool = True,
+    k: int = 1,
 ) -> KernelWork:
     """Cost of the *thread-gang per row* pattern.
 
@@ -106,7 +123,16 @@ def gang_row_work(
     returned work has one entry per *distinct* shape instead of one per
     warp — timing-identical to the dense form, but the simulator's cost
     scales with bin diversity rather than matrix size.
+
+    ``k > 1`` widens the per-row gang to a block of ``k`` right-hand-side
+    vectors (SpMM): matrix traffic (values/col_idx/row_off) is charged
+    once, but each iteration gains ``INST_PER_EXTRA_VEC`` instructions
+    per extra vector, each gather fetches the sectors covering
+    ``X[col, 0:k]``, and the ``y`` write widens to ``k`` values per row.
+    ``k == 1`` is byte-identical to the single-vector model.
     """
+    if k < 1:
+        raise ValueError("k must be >= 1")
     if not 0.0 < sector_sharing <= 1.0:
         raise ValueError("sector_sharing must be in (0, 1]")
     if not 0.0 < row_density <= 1.0:
@@ -130,9 +156,18 @@ def gang_row_work(
         + gang.warp_rows.astype(np.float64) * ROW_SETUP_INSTS
         + steps * SHUFFLE_INST * np.minimum(gang.warp_rows, 1)
     )
+    if k > 1:
+        # Each extra vector adds a gather + FMA per iteration, one extra
+        # accumulator init/store per row, and one more shuffle-reduction
+        # pass per warp (one reduction per vector of the block).
+        compute = compute + (k - 1) * (
+            gang.warp_iters.astype(np.float64) * INST_PER_EXTRA_VEC
+            + gang.warp_rows.astype(np.float64) * 1.0
+            + steps * SHUFFLE_INST * np.minimum(gang.warp_rows, 1)
+        )
 
-    hit = x_hit_rate(device, n_cols, precision, profile)
-    gather = gather_dram_bytes(gang.warp_nnz, vb, hit)
+    hit = x_hit_rate(device, n_cols, precision, profile, k=k)
+    gather = block_gather_dram_bytes(gang.warp_nnz, vb, hit, k=k)
     if coalesced:
         # Two traffic floors apply simultaneously:
         # (1) byte span — the rows' data must move at least once;
@@ -166,14 +201,30 @@ def gang_row_work(
         # indirection: per-access sector cost shrinks as the bin's rows
         # densify (8 int32 entries share a sector).
         per_access = SECTOR_BYTES / max(1.0, row_density * 8.0)
-        row_meta = (
-            coalesced_bytes(gang.warp_rows * 4)
-            + gang.warp_rows.astype(np.float64) * 2.0 * per_access
-        )
+        if k == 1:
+            row_meta = (
+                coalesced_bytes(gang.warp_rows * 4)
+                + gang.warp_rows.astype(np.float64) * 2.0 * per_access
+            )
+        else:
+            # Row-off pair is one access; the y write covers k consecutive
+            # values of the output block, so it spans ceil(k*vb/32) sectors.
+            y_accesses = float(np.ceil(k * vb / SECTOR_BYTES))
+            row_meta = (
+                coalesced_bytes(gang.warp_rows * 4)
+                + gang.warp_rows.astype(np.float64)
+                * (1.0 + y_accesses)
+                * per_access
+            )
     else:
-        row_meta = coalesced_bytes((gang.warp_rows + 1) * 4) + coalesced_bytes(
-            gang.warp_rows * vb
-        )
+        if k == 1:
+            row_meta = coalesced_bytes(
+                (gang.warp_rows + 1) * 4
+            ) + coalesced_bytes(gang.warp_rows * vb)
+        else:
+            row_meta = coalesced_bytes(
+                (gang.warp_rows + 1) * 4
+            ) + coalesced_bytes(gang.warp_rows * (vb * k))
     dram = matrix + gather + row_meta
 
     total_nnz = float(nnz_per_row.sum())
@@ -184,7 +235,7 @@ def gang_row_work(
         # Each iteration's critical chain is two dependent loads: col_idx,
         # then x[col] — the gather cannot issue before its index arrives.
         mem_ops=gang.warp_iters.astype(np.float64) * 2.0,
-        flops=2.0 * total_nnz if flops is None else flops,
+        flops=2.0 * total_nnz * k if flops is None else flops,
         precision=precision,
         launch=launch_for_threads(
             int(nnz_per_row.shape[0]) * min(vector_size, WARP_SIZE)
@@ -196,6 +247,7 @@ def gang_row_work(
             if gang.weights is not None
             else None
         ),
+        k=k,
     )
 
 
@@ -212,6 +264,7 @@ def elementwise_work(
     reduction: bool = True,
     hit_rate_override: float | None = None,
     flops: float | None = None,
+    k: int = 1,
 ) -> KernelWork:
     """Cost of the *thread per element* pattern (COO-family kernels).
 
@@ -219,7 +272,15 @@ def elementwise_work(
     (plain COO reads row + col = 8 bytes; compressed layouts such as BCCOO
     read far less).  Segmented reduction adds shuffle steps per warp plus
     one atomic per row *boundary* crossed.
+
+    ``k > 1`` batches the launch over a block of ``k`` vectors: index
+    traffic is charged once, but each element gains per-vector gather/FMA
+    instructions, the segmented reduction repeats per vector, and each
+    gather/atomic touches the sectors covering a ``k``-wide block row.
+    ``k == 1`` is byte-identical to the single-vector model.
     """
+    if k < 1:
+        raise ValueError("k must be >= 1")
     if total_elements < 0:
         raise ValueError("element count must be non-negative")
     if total_elements == 0:
@@ -251,21 +312,32 @@ def elementwise_work(
         + (5 * SHUFFLE_INST if reduction else 0.0)
         + (ATOMIC_INSTS * boundaries_per_warp if reduction else 0.0)
     )
+    if k > 1:
+        compute = compute + (k - 1) * (
+            counts / WARP_SIZE * INST_PER_EXTRA_VEC
+            + (5 * SHUFFLE_INST if reduction else 0.0)
+            + (ATOMIC_INSTS * boundaries_per_warp if reduction else 0.0)
+        )
 
     hit = (
         hit_rate_override
         if hit_rate_override is not None
-        else x_hit_rate(device, n_cols, precision, profile)
+        else x_hit_rate(device, n_cols, precision, profile, k=k)
     )
     matrix = coalesced_bytes(counts * vb) + coalesced_bytes(
         counts * index_bytes_per_elem
     )
-    gather = gather_dram_bytes(counts, vb, hit)
+    gather = block_gather_dram_bytes(counts, vb, hit, k=k)
     atomic_traffic = (
         scattered_bytes(np.full(counts.shape[0], boundaries_per_warp))
         if reduction
         else 0.0
     )
+    if reduction and k > 1:
+        # Each carry atomic updates k consecutive outputs of the block.
+        atomic_traffic = atomic_traffic * float(
+            np.ceil(k * vb / SECTOR_BYTES)
+        )
     dram = matrix + gather + atomic_traffic
 
     return KernelWork(
@@ -273,10 +345,11 @@ def elementwise_work(
         compute_insts=np.asarray(compute, dtype=np.float64),
         dram_bytes=np.asarray(dram, dtype=np.float64),
         mem_ops=np.ceil(counts / WARP_SIZE) * 2.0,
-        flops=2.0 * float(total_elements) if flops is None else flops,
+        flops=2.0 * float(total_elements) * k if flops is None else flops,
         precision=precision,
         launch=launch_for_threads(total_elements),
         warp_weights=weights,
+        k=k,
     )
 
 
@@ -291,13 +364,21 @@ def ell_work(
     precision: Precision,
     profile: GatherProfile,
     scattered_y: bool = False,
+    k: int = 1,
 ) -> KernelWork:
     """Cost of a column-major ELL kernel of ``width`` columns.
 
     Fully coalesced (the point of ELL) but reads *all* padding: the
     per-warp traffic is ``width`` full iterations whether the rows need
     them or not.  ``scattered_y`` models permuted-output variants (BRC).
+
+    ``k > 1`` batches the launch over a block of ``k`` vectors: the
+    padded matrix stream is charged once, gathers widen to the block row,
+    and the ``y`` write grows ``k``-fold.  ``k == 1`` is byte-identical
+    to the single-vector model.
     """
+    if k < 1:
+        raise ValueError("k must be >= 1")
     if n_rows < 0 or width < 0 or real_nnz < 0:
         raise ValueError("sizes must be non-negative")
     if n_rows == 0 or width == 0:
@@ -310,28 +391,35 @@ def ell_work(
     compute = np.full(
         1, width * INST_PER_ITER + ROW_SETUP_INSTS, dtype=np.float64
     )
+    if k > 1:
+        compute = compute + (k - 1) * (width * INST_PER_EXTRA_VEC + 1.0)
     per_iter_bytes = coalesced_bytes(WARP_SIZE * vb) + coalesced_bytes(
         WARP_SIZE * 4
     )
     matrix = np.full(1, width * per_iter_bytes, dtype=np.float64)
-    hit = x_hit_rate(device, n_cols, precision, profile)
+    hit = x_hit_rate(device, n_cols, precision, profile, k=k)
     gathers_per_warp = real_nnz / n_warps
-    gather = gather_dram_bytes(np.full(1, gathers_per_warp), vb, hit)
+    gather = block_gather_dram_bytes(np.full(1, gathers_per_warp), vb, hit, k=k)
     if scattered_y:
         # Permuted output (BRC): writes are scattered, but rows grouped
         # into a block were adjacent in sorted order, so roughly half of
         # each sector is co-written by blockmates.
         y_bytes = scattered_bytes(np.full(1, float(WARP_SIZE))) * 0.5
-    else:
+        if k > 1:
+            y_bytes = y_bytes * float(np.ceil(k * vb / SECTOR_BYTES))
+    elif k == 1:
         y_bytes = coalesced_bytes(np.full(1, WARP_SIZE * vb))
+    else:
+        y_bytes = coalesced_bytes(np.full(1, WARP_SIZE * vb * k))
     dram = matrix + gather + y_bytes
     return KernelWork(
         name=name,
         compute_insts=compute,
         dram_bytes=np.asarray(dram, dtype=np.float64),
         mem_ops=np.full(1, float(width) * 2.0, dtype=np.float64),
-        flops=2.0 * float(real_nnz),
+        flops=2.0 * float(real_nnz) * k,
         precision=precision,
         launch=launch_for_threads(n_rows),
         warp_weights=np.full(1, float(n_warps)),
+        k=k,
     )

@@ -51,6 +51,7 @@ def work(
     precision: Precision,
     profile: GatherProfile,
     name: str = "coo-segmented",
+    k: int = 1,
 ) -> KernelWork:
     """Cost model for the segmented-reduction COO launch."""
     return elementwise_work(
@@ -63,4 +64,5 @@ def work(
         profile=profile,
         index_bytes_per_elem=8.0,  # row index + column index
         reduction=True,
+        k=k,
     )

@@ -26,8 +26,8 @@ def execute(csr: CSRMatrix, x: np.ndarray) -> np.ndarray:
     return csr.matvec(x)
 
 
-def work(csr: CSRMatrix, device: DeviceSpec) -> KernelWork:
-    """Cost model for the scalar-CSR launch."""
+def work(csr: CSRMatrix, device: DeviceSpec, k: int = 1) -> KernelWork:
+    """Cost model for the scalar-CSR launch (``k`` = vector-block width)."""
     return gang_row_work(
         "csr-scalar",
         csr.nnz_per_row,
@@ -37,6 +37,7 @@ def work(csr: CSRMatrix, device: DeviceSpec) -> KernelWork:
         precision=csr.precision,
         profile=csr.gather_profile,
         coalesced=False,
+        k=k,
     )
 
 

@@ -34,9 +34,12 @@ def execute(csr: CSRMatrix, x: np.ndarray) -> np.ndarray:
 
 
 def work(
-    csr: CSRMatrix, device: DeviceSpec, vector_size: int | None = None
+    csr: CSRMatrix,
+    device: DeviceSpec,
+    vector_size: int | None = None,
+    k: int = 1,
 ) -> KernelWork:
-    """Cost model for the vector-CSR launch."""
+    """Cost model for the vector-CSR launch (``k`` = vector-block width)."""
     v = vector_size if vector_size is not None else gang_size_for(csr.mu)
     return gang_row_work(
         f"csr-vector/{v}",
@@ -47,6 +50,7 @@ def work(
         precision=csr.precision,
         profile=csr.gather_profile,
         coalesced=True,
+        k=k,
     )
 
 

@@ -60,8 +60,9 @@ def work(
     profile: GatherProfile,
     name: str = "ell",
     scattered_y: bool = False,
+    k: int = 1,
 ) -> KernelWork:
-    """Cost model for the ELL launch."""
+    """Cost model for the ELL launch (``k`` = vector-block width)."""
     return ell_work(
         name,
         n_rows=n_rows,
@@ -72,4 +73,5 @@ def work(
         precision=precision,
         profile=profile,
         scattered_y=scattered_y,
+        k=k,
     )

@@ -42,6 +42,7 @@ def works(
     n_cols: int,
     precision: Precision,
     profile: GatherProfile,
+    k: int = 1,
 ) -> list[KernelWork]:
     """The two launches of one HYB SpMV (empty parts are skipped)."""
     out: list[KernelWork] = []
@@ -56,6 +57,7 @@ def works(
                 precision=precision,
                 profile=profile,
                 name="hyb-ell",
+                k=k,
             )
         )
     if coo_nnz > 0:
@@ -68,6 +70,7 @@ def works(
                 precision=precision,
                 profile=profile,
                 name="hyb-coo",
+                k=k,
             )
         )
     return out

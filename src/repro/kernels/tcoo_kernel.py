@@ -27,6 +27,7 @@ def work(
     n_cols: int,
     precision: Precision,
     profile: GatherProfile,
+    k: int = 1,
 ) -> KernelWork:
     """Cost model for one tiled-COO SpMV (all tiles, one launch).
 
@@ -46,6 +47,7 @@ def work(
         index_bytes_per_elem=8.0,
         reduction=True,
         hit_rate_override=TILE_HIT_RATE if n_tiles > 1 else None,
+        k=k,
     )
     return base
 

@@ -1,0 +1,96 @@
+"""Batched power-method drivers: per-column identity and amortisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    column_normalized,
+    run_power_method,
+    run_power_method_batch,
+    run_rwr_batch,
+    rwr,
+)
+from repro.formats import CSRFormat
+from repro.gpu.device import GTX_TITAN
+
+from ..conftest import make_powerlaw_csr
+
+
+@pytest.fixture(scope="module")
+def walk_fmt():
+    adj = make_powerlaw_csr(n_rows=500, seed=19, max_degree=60)
+    return CSRFormat.from_csr(column_normalized(adj.binarized()))
+
+
+class TestRwrBatch:
+    def test_columns_match_single_queries(self, walk_fmt):
+        queries = [0, 40, 123, 499]
+        batch = run_rwr_batch(walk_fmt, GTX_TITAN, queries)
+        assert batch.k == len(queries)
+        for j, q in enumerate(queries):
+            single = rwr(walk_fmt, GTX_TITAN, q)
+            assert np.array_equal(batch.vectors[:, j], single.vector)
+            assert batch.iterations[j] == single.iterations
+            assert bool(batch.converged[j]) == single.converged
+
+    def test_k1_time_identical_to_single(self, walk_fmt):
+        single = rwr(walk_fmt, GTX_TITAN, 7)
+        batch = run_rwr_batch(walk_fmt, GTX_TITAN, [7])
+        assert batch.modeled_time_s == single.modeled_time_s
+        assert batch.max_iterations_run == single.iterations
+
+    def test_batch_cheaper_than_sequential(self, walk_fmt):
+        queries = list(range(0, 80, 10))
+        batch = run_rwr_batch(walk_fmt, GTX_TITAN, queries)
+        sequential = sum(
+            rwr(walk_fmt, GTX_TITAN, q).modeled_time_s for q in queries
+        )
+        assert batch.modeled_time_s < sequential
+
+    def test_validation(self, walk_fmt):
+        with pytest.raises(ValueError):
+            run_rwr_batch(walk_fmt, GTX_TITAN, [])
+        with pytest.raises(ValueError):
+            run_rwr_batch(walk_fmt, GTX_TITAN, [walk_fmt.n_rows])
+        with pytest.raises(ValueError):
+            run_rwr_batch(walk_fmt, GTX_TITAN, [0], restart=1.5)
+
+
+class TestPowerMethodBatch:
+    def test_k1_equals_run_power_method(self, walk_fmt):
+        n = walk_fmt.n_rows
+        x0 = np.full(n, 1.0 / n)
+
+        def step1(x, ax):
+            return 0.9 * ax.astype(np.float64) + 0.1 / n
+
+        def stepk(X, AX, _cols):
+            return 0.9 * AX.astype(np.float64) + 0.1 / n
+
+        single = run_power_method(walk_fmt, GTX_TITAN, x0, step1)
+        batch = run_power_method_batch(
+            walk_fmt, GTX_TITAN, x0[:, None], stepk
+        )
+        assert np.array_equal(batch.vectors[:, 0], single.vector)
+        assert batch.iterations[0] == single.iterations
+        assert batch.modeled_time_s == single.modeled_time_s
+
+    def test_shrinking_active_set(self, walk_fmt):
+        # A fast-converging column next to slow ones: the fast one must
+        # freeze early (fewer iterations) without disturbing the rest.
+        queries = [3, 17, 291]
+        batch = run_rwr_batch(walk_fmt, GTX_TITAN, queries, epsilon=1e-10)
+        assert batch.converged.all()
+        assert batch.iterations.min() >= 1
+        assert batch.max_iterations_run == batch.iterations.max()
+
+    def test_x0_shape_validated(self, walk_fmt):
+        with pytest.raises(ValueError):
+            run_power_method_batch(
+                walk_fmt,
+                GTX_TITAN,
+                np.ones(walk_fmt.n_cols),
+                lambda X, AX, c: AX,
+            )

@@ -102,7 +102,7 @@ class TestAdaptivity:
 
     def test_dp_disabled_param_respected(self):
         m = make_powerlaw_csr(seed=77, max_degree=2000)
-        no_dp = ACSRFormat.from_csr(m, ACSRParams(enable_dp=False))
+        no_dp = ACSRFormat.from_csr(m, params=ACSRParams(enable_dp=False))
         assert no_dp.plan_for(GTX_TITAN).n_row_grids == 0
 
     def test_uniform_matrix_single_bin(self):

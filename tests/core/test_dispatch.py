@@ -142,7 +142,7 @@ class TestStreamedTiming:
         t = time_spmv(csr, titan_plan, GTX_TITAN, stream=True)
         assert t.n_bin_grids == titan_plan.n_bin_grids
         assert t.n_row_grids == titan_plan.n_row_grids
-        kernels = [e for e in t.trace.events if e.category == "kernel"]
+        kernels = [e for e in t.trace().events if e.category == "kernel"]
         assert len(kernels) == t.n_bin_grids + (1 if t.n_row_grids else 0)
         assert {e.stream for e in kernels} != {0}  # truly multi-stream
         assert "bound" in t.bound_summary()
@@ -176,6 +176,61 @@ class TestStreamedTiming:
         if plan.g1_rows.size == 0:
             pytest.skip("plan has no DP group")
         t = time_spmv(csr_big, plan, GTX_TITAN, stream=True)
-        dp = [e for e in t.trace.events if e.name == "acsr-dp"]
+        dp = [e for e in t.trace().events if e.name == "acsr-dp"]
         assert len(dp) == 1
         assert t.time_s > 0
+
+
+class TestTimingSurface:
+    """Satellite: the TimingLike protocol and the deprecated accessor."""
+
+    def test_timing_like_protocol(self, csr, titan_plan):
+        from repro.apps.power_method import vector_ops_work
+        from repro.gpu.simulator import simulate_kernel
+        from repro.gpu.timing import TimingLike
+
+        serial = time_spmv(csr, titan_plan, GTX_TITAN)
+        streamed = time_spmv(csr, titan_plan, GTX_TITAN, stream=True)
+        kernel = simulate_kernel(
+            GTX_TITAN, vector_ops_work(csr.n_rows, 2, Precision.SINGLE)
+        )
+        for t in (serial, streamed, kernel):
+            assert isinstance(t, TimingLike)
+            assert t.time_s > 0
+            assert t.trace().events
+            assert isinstance(t.bound_summary(), str)
+
+    def test_bin_timings_deprecated(self, csr, titan_plan):
+        t = time_spmv(csr, titan_plan, GTX_TITAN)
+        with pytest.warns(DeprecationWarning, match="bin_timings"):
+            legacy = t.bin_timings
+        assert legacy == (t.pool,)
+
+
+class TestBatchedDispatch:
+    """k > 1 flows through the whole ACSR dispatch path."""
+
+    def test_spmm_amortises(self, csr, titan_plan):
+        t1 = time_spmv(csr, titan_plan, GTX_TITAN, k=1)
+        t8 = time_spmv(csr, titan_plan, GTX_TITAN, k=8)
+        assert t1.time_s < t8.time_s < 8 * t1.time_s
+
+    def test_k1_identical_to_default(self, csr, titan_plan):
+        assert (
+            time_spmv(csr, titan_plan, GTX_TITAN, k=1).time_s
+            == time_spmv(csr, titan_plan, GTX_TITAN).time_s
+        )
+
+    def test_bin_works_cached_per_k(self, csr, titan_plan):
+        from repro.core.dispatch import bin_works
+
+        a = bin_works(csr, titan_plan, GTX_TITAN, k=4)
+        b = bin_works(csr, titan_plan, GTX_TITAN, k=4)
+        assert all(x is y for x, y in zip(a, b))
+        c = bin_works(csr, titan_plan, GTX_TITAN, k=2)
+        assert a[0] is not c[0]
+
+    def test_streamed_spmm_amortises(self, csr, titan_plan):
+        t1 = time_spmv(csr, titan_plan, GTX_TITAN, stream=True, k=1)
+        t8 = time_spmv(csr, titan_plan, GTX_TITAN, stream=True, k=8)
+        assert t1.time_s < t8.time_s < 8 * t1.time_s

@@ -23,10 +23,19 @@ class TestRunCase:
         assert r["total_entries"] <= r["total_warps"]
 
     def test_run_bench_payload(self):
-        payload = run_bench([("INT", 0.5)], GTX_TITAN, repeats=1)
+        payload = run_bench([("INT", 0.5, 1)], GTX_TITAN, repeats=1)
         assert payload["device"] == GTX_TITAN.name
         assert len(payload["cases"]) == 1
         json.dumps(payload)  # JSON-serialisable end to end
+
+    def test_batched_case(self):
+        r = run_case("INT", 0.5, GTX_TITAN, repeats=1, k=8)
+        assert r["k"] == 8
+        single = run_case("INT", 0.5, GTX_TITAN, repeats=1)
+        assert single["k"] == 1
+        # One 8-wide SpMM models faster than 8 sequential SpMVs.
+        assert single["model_time_s"] < r["model_time_s"]
+        assert r["model_time_s"] < 8 * single["model_time_s"]
 
 
 class TestCases:
@@ -34,8 +43,9 @@ class TestCases:
         quick, full = bench_cases(True), bench_cases(False)
         assert len(quick) >= 6
         assert full[: len(quick)] == quick
-        assert any(scale == 1.0 for _, scale in full)
-        assert all(scale < 1.0 for _, scale in quick)
+        assert any(scale == 1.0 for _, scale, _k in full)
+        assert all(scale < 1.0 for _, scale, _k in quick)
+        assert any(k > 1 for _, _scale, k in quick)  # the batched case
 
 
 class TestCheck:
@@ -63,7 +73,7 @@ class TestCli:
         out = tmp_path / "BENCH_speed.json"
         base = tmp_path / "base.json"
         monkeypatch.setattr(
-            "repro.harness.bench_speed.QUICK_CASES", (("INT", 0.5),)
+            "repro.harness.bench_speed.QUICK_CASES", (("INT", 0.5, 1),)
         )
         assert main(["--quick", "--repeats", "1", "--out", str(out)]) == 0
         base.write_text(out.read_text())

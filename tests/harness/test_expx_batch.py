@@ -1,0 +1,28 @@
+"""The ExpX batched-SpMM sweep: identity anchor, amortisation, rendering."""
+
+from repro.harness.experiments import expx_batch
+
+SUBSET = ("INT", "ENR")
+
+
+class TestExpXBatch:
+    def test_runs_and_reports_amortisation(self):
+        res = expx_batch.run(matrices=SUBSET, k_sweep=(1, 8))
+        assert res.experiment == "expx-batch"
+        assert len(res.rows) == len(SUBSET) * len(expx_batch.BACKENDS)
+        for row in res.rows:
+            # k=1 is the byte-identity anchor: exactly 1.0, no tolerance.
+            assert row["speedup_k1"] == 1.0
+            assert 1.0 < row["speedup_k8"] < 8.0
+            assert row["spmv_us"] > 0
+
+    def test_summary_and_render(self):
+        res = expx_batch.run(
+            matrices=("INT",), k_sweep=(1, 4), backends=("csr", "acsr")
+        )
+        assert res.summary["mean_speedup_k1"] == 1.0
+        assert res.summary["mean_speedup_k4"] > 1.0
+        table = res.render()
+        assert "ExpX" in table
+        assert "k=4" in table
+        assert "acsr" in table

@@ -111,7 +111,7 @@ class TestWholePipeline:
     def test_params_flow_through(self):
         csr = make_powerlaw_csr(n_rows=3000, seed=141, max_degree=1500)
         custom = ACSRFormat.from_csr(
-            csr, ACSRParams(thread_load=64, enable_dp=True)
+            csr, params=ACSRParams(thread_load=64, enable_dp=True)
         )
         plan = custom.plan_for(GTX_TITAN)
         assert plan.resolved.thread_load == 64
