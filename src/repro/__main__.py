@@ -117,6 +117,43 @@ def build_parser() -> argparse.ArgumentParser:
     corpus = sub.add_parser("corpus", help="inspect one synthetic analog")
     corpus.add_argument("matrix")
 
+    from .formats.convert import available_formats
+
+    prof = sub.add_parser(
+        "profile",
+        help="nvprof-style counter profile of one format's SpMV/SpMM",
+    )
+    prof.add_argument("matrix", help="Table I abbreviation (e.g. WIK)")
+    prof.add_argument("format", choices=available_formats())
+    prof.add_argument("device", help="device name (see 'repro devices')")
+    prof.add_argument(
+        "--k", type=int, default=1, help="vector-block width (SpMM when > 1)"
+    )
+    prof.add_argument(
+        "--scale", type=float, default=None, help="synthesis scale override"
+    )
+    prof.add_argument(
+        "--precision", choices=["single", "double"], default="single"
+    )
+    prof.add_argument(
+        "--jsonl", metavar="FILE", default=None, help="write profile JSONL"
+    )
+    prof.add_argument(
+        "--csv", metavar="FILE", default=None, help="write per-launch CSV"
+    )
+    prof.add_argument(
+        "--chrome",
+        metavar="FILE",
+        default=None,
+        help="write a Chrome counter-track trace (chrome://tracing)",
+    )
+
+    check = sub.add_parser(
+        "profile-check",
+        help="validate profile JSONL files against the record schema",
+    )
+    check.add_argument("files", nargs="+", help="JSONL files to validate")
+
     bench = sub.add_parser(
         "bench",
         help="time cost-model evaluation on the largest corpus matrices",
@@ -153,6 +190,10 @@ def main(argv: list[str] | None = None) -> int:
         from .harness.bench_speed import run_cli
 
         return run_cli(args)
+    if args.command == "profile":
+        return _profile_cli(args)
+    if args.command == "profile-check":
+        return _profile_check_cli(args)
     # run
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
@@ -170,6 +211,74 @@ def main(argv: list[str] | None = None) -> int:
     if args.trace:
         _dump_trace(args)
     return 0
+
+
+def _profile_cli(args) -> int:
+    """``repro profile``: print the counter table + roofline verdict."""
+    from .harness.runner import cell_counters
+
+    device = get_device(args.device)
+    profile = cell_counters(
+        args.matrix,
+        args.format,
+        device,
+        precision=Precision(args.precision),
+        scale=args.scale,
+        k=args.k,
+    )
+    print(profile.render())
+    if args.jsonl or args.csv or args.chrome:
+        from .obs import Profiler
+
+        prof = Profiler(f"{profile.matrix}-{args.format}-{device.name}")
+        with prof.span(
+            args.format,
+            matrix=profile.matrix,
+            device=device.name,
+            k=args.k,
+        ):
+            for cs in profile.launches:
+                prof.record(cs)
+        if args.jsonl:
+            prof.to_jsonl(
+                args.jsonl,
+                matrix=profile.matrix,
+                format=args.format,
+                device=device.name,
+                k=args.k,
+                precision=args.precision,
+                verdict=profile.verdict.bound,
+            )
+            print(f"wrote {args.jsonl}")
+        if args.csv:
+            prof.to_csv(args.csv)
+            print(f"wrote {args.csv}")
+        if args.chrome:
+            import json
+            from pathlib import Path
+
+            Path(args.chrome).write_text(
+                json.dumps(prof.to_chrome_counters()) + "\n"
+            )
+            print(f"wrote {args.chrome}")
+    return 0
+
+
+def _profile_check_cli(args) -> int:
+    """``repro profile-check``: schema-validate profile JSONL files."""
+    from .obs import validate_profile_jsonl
+
+    bad = 0
+    for file in args.files:
+        errors = validate_profile_jsonl(file)
+        if errors:
+            bad += 1
+            print(f"{file}: INVALID")
+            for error in errors:
+                print(f"  {error}")
+        else:
+            print(f"{file}: ok")
+    return 1 if bad else 0
 
 
 def _dump_trace(args) -> None:

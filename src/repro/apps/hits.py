@@ -16,6 +16,8 @@ epsilon, matching Section VI-B.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+
 import numpy as np
 
 from ..formats.base import SpMVFormat
@@ -63,10 +65,12 @@ def hits(
     epsilon: float = DEFAULT_EPSILON,
     x0: np.ndarray | None = None,
     max_iterations: int = MAX_ITERATIONS,
+    profiler=None,
 ) -> PowerMethodResult:
     """Run HITS with ``fmt`` built from :func:`stacked_matrix` output.
 
     The result vector holds ``[authority; hub]`` scores, L2-normalised.
+    ``profiler`` records a ``hits`` span with per-iteration counters.
     """
     n2 = fmt.n_rows
     if fmt.n_cols != n2 or n2 % 2:
@@ -92,15 +96,22 @@ def hits(
                 half /= norm
         return v
 
-    return run_power_method(
-        fmt,
-        device,
-        start,
-        step,
-        epsilon=epsilon,
-        max_iterations=max_iterations,
-        vector_passes=6,  # extra norm pass vs PageRank
+    scope = (
+        profiler.span("hits", format=fmt.name, device=device.name)
+        if profiler is not None
+        else nullcontext()
     )
+    with scope:
+        return run_power_method(
+            fmt,
+            device,
+            start,
+            step,
+            epsilon=epsilon,
+            max_iterations=max_iterations,
+            vector_passes=6,  # extra norm pass vs PageRank
+            profiler=profiler,
+        )
 
 
 def split_scores(vector: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

@@ -12,6 +12,8 @@ the modelled device time.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+
 import numpy as np
 
 from ..formats.base import SpMVFormat
@@ -64,12 +66,16 @@ def pagerank(
     epsilon: float = DEFAULT_EPSILON,
     x0: np.ndarray | None = None,
     max_iterations: int = MAX_ITERATIONS,
+    profiler=None,
 ) -> PowerMethodResult:
     """Run PageRank with ``fmt`` (built from :func:`google_matrix` output).
 
     ``x0`` warm-starts the iteration — the dynamic-graph pipeline of
     Section VII passes the previous epoch's converged ranks, which is what
     cuts the iteration count there.
+
+    ``profiler`` (a :class:`repro.obs.Profiler`) records one
+    ``pagerank`` span with a nested span + counters per iteration.
     """
     if not 0.0 < damping < 1.0:
         raise ValueError("damping must be in (0, 1)")
@@ -85,11 +91,18 @@ def pagerank(
     def step(_x: np.ndarray, ax: np.ndarray) -> np.ndarray:
         return teleport + damping * ax.astype(np.float64)
 
-    return run_power_method(
-        fmt,
-        device,
-        start,
-        step,
-        epsilon=epsilon,
-        max_iterations=max_iterations,
+    scope = (
+        profiler.span("pagerank", format=fmt.name, device=device.name)
+        if profiler is not None
+        else nullcontext()
     )
+    with scope:
+        return run_power_method(
+            fmt,
+            device,
+            start,
+            step,
+            epsilon=epsilon,
+            max_iterations=max_iterations,
+            profiler=profiler,
+        )

@@ -14,16 +14,20 @@ axpy/norm kernels don't depend on the matrix layout).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from ..formats.base import SpMVFormat
 from ..gpu.device import DeviceSpec, WARP_SIZE
-from ..gpu.kernel import KernelWork
+from ..gpu.kernel import CounterHints, KernelWork
 from ..gpu.memory import coalesced_bytes
 from ..gpu.simulator import simulate_kernel
 from ..kernels.common import launch_for_threads
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from ..obs.counters import CounterSet
+    from ..obs.profiler import Profiler
 
 #: Paper's convergence threshold (Section VI-C).
 DEFAULT_EPSILON = 1e-6
@@ -72,7 +76,36 @@ def vector_ops_work(n: int, passes: int, precision) -> KernelWork:
         precision=precision,
         launch=launch_for_threads(n),
         warp_weights=weights,
+        # Pure streaming kernel: every requested byte is payload.
+        hints=CounterHints(useful_bytes=float(n) * vb * passes),
     )
+
+
+def _iteration_counters(
+    fmt: SpMVFormat,
+    device: DeviceSpec,
+    n_elements: int,
+    vector_passes: int,
+    k: int,
+    profiler: "Profiler",
+) -> tuple["CounterSet", ...]:
+    """Counter sets billed once per iteration (SpMV/SpMM + vector kernel).
+
+    Derived under :meth:`Profiler.paused` so the derivation's own
+    ``simulate_kernel`` calls stay out of the span tree; the totals are
+    the *same floats* the iteration bill uses (``spmm_time_s`` and the
+    vector kernel's ``time_s``), so a profiled run's recorded device time
+    equals ``modeled_time_s`` exactly.
+    """
+    from ..obs.counters import launch_counters, with_totals
+    from ..obs.profile import profile_format
+
+    with profiler.paused():
+        spmv = profile_format(fmt, device, k=k).total
+        vec = vector_ops_work(n_elements, vector_passes, fmt.precision)
+        vec_cs = launch_counters(device, vec, simulate_kernel(device, vec))
+    label = f"spmm[k={k}]" if k > 1 else "spmv"
+    return (with_totals(spmv, name=label), vec_cs)
 
 
 @dataclass(frozen=True)
@@ -128,6 +161,7 @@ def run_power_method_batch(
     epsilon: float = DEFAULT_EPSILON,
     max_iterations: int = MAX_ITERATIONS,
     vector_passes: int = 5,
+    profiler: "Profiler | None" = None,
 ) -> BatchPowerMethodResult:
     """Iterate ``k`` power methods at once over a shrinking active set.
 
@@ -160,6 +194,8 @@ def run_power_method_batch(
     rounds: dict[int, int] = {}
     vec_s_cache: dict[int, float] = {}
     spmm_s_cache: dict[int, float] = {}
+    counters_cache: dict[int, tuple] = {}
+    round_no = 0
     while active.size:
         ka = int(active.size)
         if ka not in spmm_s_cache:
@@ -168,10 +204,19 @@ def run_power_method_batch(
                 device,
                 vector_ops_work(n * ka, vector_passes, fmt.precision),
             ).time_s
+        if profiler is not None and ka not in counters_cache:
+            counters_cache[ka] = _iteration_counters(
+                fmt, device, n * ka, vector_passes, ka, profiler
+            )
         AX = fmt.multiply_many(X[:, active])
         X_next = step(X[:, active], AX, active).astype(X.dtype, copy=False)
         iterations[active] += 1
         rounds[ka] = rounds.get(ka, 0) + 1
+        round_no += 1
+        if profiler is not None:
+            with profiler.span("iteration", i=round_no, k_active=ka):
+                for cs in counters_cache[ka]:
+                    profiler.record(cs)
         next64 = np.asarray(X_next, dtype=np.float64)
         dist = np.linalg.norm(next64 - X64[:, active], axis=0)
         X[:, active] = X_next
@@ -204,6 +249,7 @@ def run_power_method(
     epsilon: float = DEFAULT_EPSILON,
     max_iterations: int = MAX_ITERATIONS,
     vector_passes: int = 5,
+    profiler: "Profiler | None" = None,
 ) -> PowerMethodResult:
     """Iterate ``x <- step(x, A @ x)`` to convergence.
 
@@ -216,6 +262,11 @@ def run_power_method(
     vec_s = simulate_kernel(
         device, vector_ops_work(x0.shape[0], vector_passes, fmt.precision)
     ).time_s
+    iter_counters: tuple = ()
+    if profiler is not None:
+        iter_counters = _iteration_counters(
+            fmt, device, x0.shape[0], vector_passes, 1, profiler
+        )
     x = np.asarray(x0, dtype=fmt.precision.numpy_dtype).copy()
     # Hoist the convergence-check dtype handling: keep a float64 view of
     # the current iterate so each iteration converts only the *new*
@@ -228,6 +279,10 @@ def run_power_method(
         ax = fmt.multiply(x)
         x_next = step(x, ax).astype(x.dtype, copy=False)
         iters += 1
+        if profiler is not None:
+            with profiler.span("iteration", i=iters):
+                for cs in iter_counters:
+                    profiler.record(cs)
         next64 = np.asarray(x_next, dtype=np.float64)
         dist = float(np.linalg.norm(next64 - x64))
         x64 = next64

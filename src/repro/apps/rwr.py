@@ -8,6 +8,8 @@ query node.  Converges to the relevance of every node to node ``i``.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+
 import numpy as np
 
 from ..formats.base import SpMVFormat
@@ -58,10 +60,12 @@ def rwr(
     epsilon: float = DEFAULT_EPSILON,
     x0: np.ndarray | None = None,
     max_iterations: int = MAX_ITERATIONS,
+    profiler=None,
 ) -> PowerMethodResult:
     """Relevance of all nodes to ``seed_node`` under backend ``fmt``.
 
     ``fmt`` must be built from :func:`column_normalized` output.
+    ``profiler`` records an ``rwr`` span with per-iteration counters.
     """
     n = fmt.n_rows
     if fmt.n_cols != n:
@@ -80,14 +84,21 @@ def rwr(
     def step(_x: np.ndarray, ax: np.ndarray) -> np.ndarray:
         return restart * ax.astype(np.float64) + teleport
 
-    return run_power_method(
-        fmt,
-        device,
-        start,
-        step,
-        epsilon=epsilon,
-        max_iterations=max_iterations,
+    scope = (
+        profiler.span("rwr", format=fmt.name, device=device.name, seed=seed_node)
+        if profiler is not None
+        else nullcontext()
     )
+    with scope:
+        return run_power_method(
+            fmt,
+            device,
+            start,
+            step,
+            epsilon=epsilon,
+            max_iterations=max_iterations,
+            profiler=profiler,
+        )
 
 
 def run_rwr_batch(
@@ -97,6 +108,7 @@ def run_rwr_batch(
     restart: float = DEFAULT_RESTART,
     epsilon: float = DEFAULT_EPSILON,
     max_iterations: int = MAX_ITERATIONS,
+    profiler=None,
 ) -> BatchPowerMethodResult:
     """Relevance vectors for a *batch* of query nodes in one walk.
 
@@ -124,11 +136,20 @@ def run_rwr_batch(
     def step(_X: np.ndarray, AX: np.ndarray, cols: np.ndarray) -> np.ndarray:
         return restart * AX.astype(np.float64) + teleport[:, cols]
 
-    return run_power_method_batch(
-        fmt,
-        device,
-        E,
-        step,
-        epsilon=epsilon,
-        max_iterations=max_iterations,
+    scope = (
+        profiler.span(
+            "rwr-batch", format=fmt.name, device=device.name, k=int(queries.size)
+        )
+        if profiler is not None
+        else nullcontext()
     )
+    with scope:
+        return run_power_method_batch(
+            fmt,
+            device,
+            E,
+            step,
+            epsilon=epsilon,
+            max_iterations=max_iterations,
+            profiler=profiler,
+        )

@@ -25,6 +25,7 @@ from ..gpu.device import DeviceSpec
 from ..gpu.dynamic_parallelism import (
     DynamicParallelismUnsupported,
     child_launch_overhead_s,
+    pending_launch_overflow,
 )
 from ..gpu.kernel import KernelWork, merge_concurrent
 from ..gpu.simulator import KernelTiming, simulate_kernel
@@ -119,6 +120,9 @@ class ACSRTiming:
     enqueue_s: float
     #: Device the timing was modelled for (labels the trace).
     device_name: str = ""
+    #: Child launches beyond the device's pending-launch limit — each
+    #: paid the overflow penalty (the profiler's DP-stall counter).
+    dp_overflow: int = 0
 
     @property
     def bin_timings(self) -> tuple[KernelTiming, ...]:
@@ -241,6 +245,10 @@ class StreamedACSRTiming:
     def bound_summary(self) -> str:
         """Per-launch bound breakdown (:class:`TimingLike`)."""
         return self.result.bound_summary()
+
+    def counter_sets(self) -> tuple:
+        """Per-launch :class:`~repro.obs.CounterSet`\\s of the timeline."""
+        return self.result.counter_sets()
 
 
 def stream_spmv(
@@ -387,4 +395,5 @@ def time_spmv(
         launch_s=launch_s,
         enqueue_s=enqueue_s,
         device_name=device.name,
+        dp_overflow=pending_launch_overflow(device, n_children),
     )

@@ -77,8 +77,15 @@ class DynamicRunResult:
         return np.cumsum([e.total_s for e in self.epochs])
 
 
-def _iterate(fmt, device, x0, damping, epsilon):
-    res = pagerank(fmt, device, damping=damping, epsilon=epsilon, x0=x0)
+def _iterate(fmt, device, x0, damping, epsilon, profiler=None):
+    res = pagerank(
+        fmt,
+        device,
+        damping=damping,
+        epsilon=epsilon,
+        x0=x0,
+        profiler=profiler,
+    )
     return res
 
 
@@ -92,6 +99,7 @@ def run_dynamic_pagerank(
     seed: int = 7,
     backends: tuple[str, ...] = ("acsr", "csr", "hyb"),
     overlap: bool = True,
+    profiler=None,
 ) -> dict[str, DynamicRunResult]:
     """Run the Figure 7 experiment and return per-backend traces.
 
@@ -101,6 +109,11 @@ def run_dynamic_pagerank(
 
     ``overlap=False`` reverts ACSR to the sequential copy-then-compute
     model (back-to-back costs, no streams), for A/B comparison.
+
+    ``profiler`` (a :class:`repro.obs.Profiler`) records one ``epoch``
+    span per backend epoch (attrs carry the backend name; the explicit
+    ``duration_s`` includes maintenance, which has no kernel counters)
+    with the per-iteration PageRank spans nested inside.
     """
     if n_epochs < 1:
         raise ValueError("need at least one epoch")
@@ -206,7 +219,20 @@ def run_dynamic_pagerank(
             else:
                 raise ValueError(f"unknown backend {backend!r}")
 
-            res = _iterate(fmt, device, x0, damping, epsilon)
+            if profiler is not None:
+                # Explicit duration: maintenance (copies, host transform,
+                # update kernels) has no per-launch counters of its own.
+                with profiler.span(
+                    "epoch", backend=backend, epoch=epoch
+                ) as sp:
+                    res = _iterate(
+                        fmt, device, x0, damping, epsilon, profiler
+                    )
+                    sp.duration_s = maintenance + res.modeled_time_s
+                    sp.attrs["maintenance_s"] = maintenance
+                    sp.attrs["iterations"] = res.iterations
+            else:
+                res = _iterate(fmt, device, x0, damping, epsilon)
             x0 = res.vector
             records.append(
                 EpochRecord(

@@ -38,12 +38,22 @@ OVERFLOW_PENALTY = 8.0
 CONCURRENT_LAUNCH_WAYS = 32.0
 
 
-def child_launch_overhead_s(device: DeviceSpec, n_children: int) -> float:
-    """Total device-side launch overhead for ``n_children`` child grids."""
+def pending_launch_overflow(device: DeviceSpec, n_children: int) -> int:
+    """Children beyond ``pending_launch_limit`` (each pays the penalty).
+
+    This is the profiler's ``dp_overflow`` counter: non-zero means the
+    run tripped the Section III-B cliff the paper sets ``RowMax`` to
+    avoid.
+    """
     if n_children < 0:
         raise ValueError("child count must be non-negative")
-    within = min(n_children, device.pending_launch_limit)
-    overflow = max(0, n_children - device.pending_launch_limit)
+    return max(0, n_children - device.pending_launch_limit)
+
+
+def child_launch_overhead_s(device: DeviceSpec, n_children: int) -> float:
+    """Total device-side launch overhead for ``n_children`` child grids."""
+    overflow = pending_launch_overflow(device, n_children)
+    within = n_children - overflow
     base = within * device.dp_launch_overhead_s / CONCURRENT_LAUNCH_WAYS
     return base + overflow * device.dp_launch_overhead_s * OVERFLOW_PENALTY
 

@@ -40,6 +40,32 @@ class LaunchConfig:
 
 
 @dataclass(frozen=True)
+class CounterHints:
+    """Memory-system facts a kernel knows about its own launch.
+
+    The timing model only needs post-coalescing DRAM bytes, but the
+    observability layer (:mod:`repro.obs`) wants to *explain* them.
+    Kernels that compute a texture hit rate or know their ideal payload
+    attach the numbers here; the hints never enter the timing formula, so
+    attaching them cannot change a modelled time.
+    """
+
+    #: Texture-cache hit rate used for the ``x[col]`` gather stream.
+    tex_hit_rate: float | None = None
+    #: Bytes an ideal memory system would move for this launch: each
+    #: matrix element once, each distinct ``x`` entry once, each output
+    #: once.  ``useful_bytes / dram_bytes`` is the global-load coalescing
+    #: ratio (1.0 = every byte moved was asked for).
+    useful_bytes: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.tex_hit_rate is not None and not 0.0 <= self.tex_hit_rate <= 1.0:
+            raise ValueError("tex_hit_rate must be in [0, 1]")
+        if self.useful_bytes is not None and self.useful_bytes < 0:
+            raise ValueError("useful_bytes must be non-negative")
+
+
+@dataclass(frozen=True)
 class KernelWork:
     """Per-warp resource demands of one kernel launch.
 
@@ -75,6 +101,8 @@ class KernelWork:
     #: carried for reporting and so mergers can preserve it.  ``k == 1``
     #: is classic SpMV.
     k: int = 1
+    #: Optional observability hints (never consulted by the timing model).
+    hints: CounterHints | None = None
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -133,6 +161,40 @@ class KernelWork:
         )
 
 
+def merge_hints(works: list[KernelWork]) -> CounterHints | None:
+    """Combine observability hints across concurrently merged works.
+
+    ``useful_bytes`` sums, but only when *every* traffic-carrying input
+    declares it (a partial sum would understate the ideal payload and
+    overstate waste).  ``tex_hit_rate`` is DRAM-traffic-weighted across
+    the works that declare one.  Returns ``None`` when nothing survives.
+    """
+    active = [w for w in works if w.total_dram_bytes > 0]
+    if not active:
+        return None
+    useful = None
+    if all(
+        w.hints is not None and w.hints.useful_bytes is not None
+        for w in active
+    ):
+        useful = float(sum(w.hints.useful_bytes for w in active))
+    rated = [
+        w
+        for w in active
+        if w.hints is not None and w.hints.tex_hit_rate is not None
+    ]
+    rate = None
+    if rated:
+        weight = sum(w.total_dram_bytes for w in rated)
+        rate = float(
+            sum(w.hints.tex_hit_rate * w.total_dram_bytes for w in rated)
+            / weight
+        )
+    if useful is None and rate is None:
+        return None
+    return CounterHints(tex_hit_rate=rate, useful_bytes=useful)
+
+
 def merge_concurrent(works: list[KernelWork], name: str | None = None) -> KernelWork:
     """Merge kernels that run concurrently (e.g. DP child grids).
 
@@ -163,4 +225,5 @@ def merge_concurrent(works: list[KernelWork], name: str | None = None) -> Kernel
         resources=resources,
         warp_weights=weights,
         k=max(w.k for w in works),
+        hints=merge_hints(works),
     )

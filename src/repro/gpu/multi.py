@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from .device import DeviceSpec
 from .kernel import KernelWork
 from .simulator import SequenceTiming
-from .streams import StreamEngine
+from .streams import EngineResult, StreamEngine
 from .trace import KernelTrace
 
 #: Cross-device synchronisation (event record + stream sync), seconds.
@@ -37,6 +37,8 @@ class MultiGPUTiming:
     sync_overhead_s: float
     #: Multi-stream timeline from the engine run that produced this timing.
     trace: KernelTrace | None = field(default=None, compare=False)
+    #: The engine result behind the timing (source of per-launch counters).
+    result: EngineResult | None = field(default=None, compare=False)
 
     @property
     def time_s(self) -> float:
@@ -47,6 +49,18 @@ class MultiGPUTiming:
     @property
     def n_devices(self) -> int:
         return len(self.per_device)
+
+    def counter_sets(self, device: int | None = None) -> tuple:
+        """Per-launch :class:`~repro.obs.CounterSet`\\s of the run.
+
+        Pass ``device`` to restrict to one GPU; aggregate the full tuple
+        with :func:`repro.obs.aggregate` for the whole-board view.
+        """
+        if self.result is None:
+            raise ValueError(
+                "this MultiGPUTiming was built without an engine result"
+            )
+        return self.result.counter_sets(device)
 
 
 @dataclass(frozen=True)
@@ -101,5 +115,8 @@ class MultiGPUContext:
             for d in range(self.n_devices)
         )
         return MultiGPUTiming(
-            per_device=timings, sync_overhead_s=sync, trace=result.trace
+            per_device=timings,
+            sync_overhead_s=sync,
+            trace=result.trace,
+            result=result,
         )

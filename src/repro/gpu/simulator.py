@@ -43,6 +43,25 @@ from .memory import bandwidth_efficiency
 #: independent load addresses give SpMV inner loops substantial MLP).
 MLP_PER_WARP = 8.0
 
+#: Launch observers: callables ``(device, work, timing) -> None`` invoked
+#: after every :func:`simulate_kernel` call.  This is the profiler's tap —
+#: observers see exactly the work/timing pair the model produced and can
+#: never alter it (the timing is frozen before they run).
+_LAUNCH_OBSERVERS: list = []
+
+
+def add_launch_observer(observer) -> None:
+    """Register a ``(device, work, timing)`` callback on every launch."""
+    _LAUNCH_OBSERVERS.append(observer)
+
+
+def remove_launch_observer(observer) -> None:
+    """Unregister a previously added launch observer (idempotent)."""
+    try:
+        _LAUNCH_OBSERVERS.remove(observer)
+    except ValueError:
+        pass
+
 
 @dataclass(frozen=True)
 class KernelTiming:
@@ -57,6 +76,8 @@ class KernelTiming:
     dram_bytes: float
     n_warps: int
     occupancy: float
+    #: Vector-block width of the launch (``> 1`` for batched SpMM).
+    k: int = 1
 
     @property
     def bound(self) -> str:
@@ -176,7 +197,7 @@ def simulate_kernel(
     )
     n_warps = work.n_warps
     if n_warps == 0 or work.total_insts == 0:
-        return KernelTiming(
+        timing = KernelTiming(
             name=work.name,
             time_s=overhead,
             compute_s=0.0,
@@ -186,7 +207,11 @@ def simulate_kernel(
             dram_bytes=0.0,
             n_warps=n_warps,
             occupancy=0.0,
+            k=work.k,
         )
+        for observer in tuple(_LAUNCH_OBSERVERS):
+            observer(device, work, timing)
+        return timing
 
     clock_hz = device.clock_ghz * 1e9
     inflation = _dp_inflation(device, work)
@@ -222,7 +247,7 @@ def simulate_kernel(
     critical_s = float(chain_cycles.max()) / clock_hz
 
     body = max(compute_s, memory_s, critical_s)
-    return KernelTiming(
+    timing = KernelTiming(
         name=work.name,
         time_s=body + overhead,
         compute_s=compute_s,
@@ -232,7 +257,11 @@ def simulate_kernel(
         dram_bytes=total_dram,
         n_warps=n_warps,
         occupancy=float(occupancy),
+        k=work.k,
     )
+    for observer in tuple(_LAUNCH_OBSERVERS):
+        observer(device, work, timing)
+    return timing
 
 
 @dataclass(frozen=True)

@@ -219,6 +219,14 @@ class OpRecord:
     #: Standalone roofline timing (kernels only); its ``time_s`` is the
     #: exclusive-device duration, which co-residency may stretch.
     timing: KernelTiming | None = None
+    #: DP child grids this launch enqueued (0 for non-DP launches).
+    dp_children: int = 0
+    #: Children enqueued past the device's remaining pending-launch
+    #: budget; each paid the overflow penalty.
+    dp_overflow: int = 0
+    #: The launch's work description (kernels only) — kept so counters
+    #: can be derived from the exact quantities the timing used.
+    work: KernelWork | None = None
 
     @property
     def duration_s(self) -> float:
@@ -239,6 +247,9 @@ class EngineResult:
     records: tuple[OpRecord, ...]
     duration_s: float
     trace: KernelTrace
+    #: The engine's device registry, so per-record counters can be
+    #: derived without the engine itself (empty for legacy construction).
+    devices: tuple[DeviceSpec, ...] = ()
 
     def stream_end_s(self, stream: int) -> float:
         """When the last op of ``stream`` finished (0.0 if it had none)."""
@@ -252,6 +263,34 @@ class EngineResult:
             for r in self.records
             if r.kind == "kernel" and (device is None or r.device == device)
         )
+
+    def counter_sets(self, device: int | None = None) -> tuple:
+        """Per-launch :class:`~repro.obs.CounterSet`\\s for the timeline.
+
+        Derived from the exact work/timing pairs the engine scheduled, so
+        they agree with the trace by construction.  Requires the engine to
+        have recorded its ``devices`` (always true for engine-run results).
+        """
+        from ..obs.counters import launch_counters  # lazy: obs imports gpu
+
+        if not self.devices:
+            raise ValueError(
+                "EngineResult has no device registry; counters need one"
+            )
+        sets = []
+        for r in self.kernel_records(device):
+            if r.timing is None or r.work is None:
+                continue
+            sets.append(
+                launch_counters(
+                    self.devices[r.device],
+                    r.work,
+                    r.timing,
+                    dp_children=r.dp_children,
+                    dp_overflow=r.dp_overflow,
+                )
+            )
+        return tuple(sets)
 
     def bound_summary(self) -> str:
         """Per-launch roofline-bound breakdown (one line per kernel)."""
@@ -281,6 +320,7 @@ class _Running:
     timing: KernelTiming | None = None
     channel: tuple[int, CopyDirection] | None = None
     category: str = "kernel"
+    dp_overflow: int = 0
 
 
 class StreamEngine:
@@ -352,13 +392,22 @@ class StreamEngine:
         u = min(1.0, max(bw_share, issue_share, warp_share))
         return timing, u
 
+    @staticmethod
+    def _enqueue_split(
+        device: DeviceSpec, n_children: int, already_pending: int
+    ) -> tuple[int, int]:
+        """``(within, overflow)`` split against the remaining DP budget."""
+        available = max(0, device.pending_launch_limit - already_pending)
+        within = min(n_children, available)
+        return within, n_children - within
+
     def _enqueue_cost_s(
         self, device: DeviceSpec, n_children: int, already_pending: int
     ) -> float:
         """Device-side child-launch cost against the remaining budget."""
-        available = max(0, device.pending_launch_limit - already_pending)
-        within = min(n_children, available)
-        overflow = n_children - within
+        within, overflow = self._enqueue_split(
+            device, n_children, already_pending
+        )
         return (
             within * device.dp_launch_overhead_s / CONCURRENT_LAUNCH_WAYS
             + overflow * device.dp_launch_overhead_s * OVERFLOW_PENALTY
@@ -459,6 +508,7 @@ class StreamEngine:
             records=tuple(records),
             duration_s=t,
             trace=trace,
+            devices=self.devices,
         )
 
     def _start(
@@ -505,10 +555,13 @@ class StreamEngine:
         elif op.kind == "launch":
             timing, u = self._launch_profile(device, op)
             duration = timing.time_s
+            dp_overflow = 0
             if op.dp_children:
-                enqueue = self._enqueue_cost_s(
-                    device, op.dp_children, pending_children[device_index]
+                already = pending_children[device_index]
+                _, dp_overflow = self._enqueue_split(
+                    device, op.dp_children, already
                 )
+                enqueue = self._enqueue_cost_s(device, op.dp_children, already)
                 duration = max(duration, enqueue)
                 pending_children[device_index] += op.dp_children
             r = _Running(
@@ -520,6 +573,7 @@ class StreamEngine:
                 utilization=u,
                 timing=timing,
                 category="kernel",
+                dp_overflow=dp_overflow,
             )
         else:  # pragma: no cover - record/wait handled by the caller
             raise AssertionError(f"unschedulable op kind {op.kind!r}")
@@ -558,22 +612,26 @@ class StreamEngine:
             start_s=r.start_s,
             end_s=t,
             timing=r.timing,
+            dp_children=r.op.dp_children,
+            dp_overflow=r.dp_overflow,
+            work=r.op.work,
         )
         records.append(rec)
         if r.timing is not None:
-            from .trace import TraceEvent
+            from .trace import TraceEvent, label_with_k
 
             args = {
                 "bound": r.timing.bound,
                 "warps": r.timing.n_warps,
                 "dram_bytes": r.timing.dram_bytes,
                 "occupancy": round(r.timing.occupancy, 3),
+                "k": r.timing.k,
             }
             if rec.stretched:
                 args["shared"] = True
             trace.add(
                 TraceEvent(
-                    name=r.op.name,
+                    name=label_with_k(r.op.name, r.timing.k),
                     start_s=r.start_s,
                     duration_s=rec.duration_s,
                     stream=r.stream,

@@ -21,6 +21,18 @@ from pathlib import Path
 from .simulator import KernelTiming
 
 
+def label_with_k(name: str, k: int) -> str:
+    """Suffix a launch name with its vector-block width when batched.
+
+    ``csr_vector`` at ``k=8`` renders as ``csr_vector[k=8]`` so batched
+    (SpMM) and scalar launches are distinguishable at a glance in
+    ``chrome://tracing``.  ``k == 1`` launches keep their plain name.
+    """
+    if k > 1 and f"[k={k}]" not in name:
+        return f"{name}[k={k}]"
+    return name
+
+
 @dataclass(frozen=True)
 class TraceEvent:
     """One span on the timeline."""
@@ -82,7 +94,7 @@ class KernelTrace:
         the path the stream engine uses to emit true start times.
         """
         ev = TraceEvent(
-            name=timing.name,
+            name=label_with_k(timing.name, timing.k),
             start_s=self.cursor_s(stream) if start_s is None else start_s,
             duration_s=timing.time_s,
             stream=stream,
@@ -92,6 +104,7 @@ class KernelTrace:
                 "warps": timing.n_warps,
                 "dram_bytes": timing.dram_bytes,
                 "occupancy": round(timing.occupancy, 3),
+                "k": timing.k,
             },
             device=device,
         )

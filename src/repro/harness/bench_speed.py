@@ -32,6 +32,21 @@ DEFAULT_OUTPUT = "BENCH_speed.json"
 #: baseline's by more than this factor.
 REGRESSION_FACTOR = 2.0
 
+#: Efficiency counters are deterministic model outputs (no machine noise),
+#: so the gate allows only a small absolute drop before failing.
+EFFICIENCY_TOLERANCE = 0.02
+
+#: Modelled DRAM traffic may grow at most this factor vs the baseline.
+DRAM_GROWTH_FACTOR = 1.05
+
+#: Counter columns recorded per case and gated by ``--check`` (ratios in
+#: [0, 1]; a drop beyond ``EFFICIENCY_TOLERANCE`` fails the gate).
+EFFICIENCY_COLUMNS = (
+    "achieved_occupancy",
+    "warp_execution_efficiency",
+    "gld_coalescing_ratio",
+)
+
 #: CI-friendly cases: every analog stays at or below the ~4M-nnz default
 #: scale, so the whole quick set runs in seconds.  The third element is
 #: the vector-block width ``k`` — ``k > 1`` times the batched (SpMM)
@@ -86,6 +101,11 @@ def run_case(
     works = fmt.kernel_works(device, k=k)
     entries = [w.n_entries for w in works]
     warps = [w.n_warps for w in works]
+    # Hardware-counter columns: deterministic model outputs, so the CI
+    # gate can hold efficiency (not just wall-clock) to the baseline.
+    from ..obs.profile import profile_format
+
+    total = profile_format(fmt, device, k=k).total
     return {
         "name": spec.abbrev,
         "scale": scale,
@@ -97,6 +117,14 @@ def run_case(
         "total_warps": int(sum(warps)),
         "n_launches": len(works),
         "nnz": csr.nnz,
+        "achieved_occupancy": total.achieved_occupancy,
+        "warp_execution_efficiency": total.warp_execution_efficiency,
+        "gld_coalescing_ratio": total.gld_coalescing_ratio,
+        "dram_bytes": total.dram_bytes,
+        "dram_bw_fraction": total.dram_bw_fraction,
+        "dp_children": total.dp_children,
+        "dp_overflow": total.dp_overflow,
+        "bound": total.bound,
     }
 
 
@@ -133,20 +161,54 @@ def _case_key(record: dict) -> tuple[str, float, int]:
 def check_regressions(
     current: dict, baseline: dict, factor: float = REGRESSION_FACTOR
 ) -> list[str]:
-    """Compare against a baseline payload; returns failure messages."""
+    """Compare against a baseline payload; returns failure messages.
+
+    Two gates per case: wall-clock (noisy; wide ``factor``) and the
+    counter columns (deterministic; tight tolerances).  Counter checks
+    only run when the baseline carries the column, so pre-counter
+    baselines still work.
+    """
     base = {_case_key(r): r for r in baseline.get("cases", [])}
     failures = []
     for record in current.get("cases", []):
         ref = base.get(_case_key(record))
         if ref is None:
             continue  # new case: nothing to regress against
+        label = f"{record['name']}@{record['scale']:g}"
+        if int(record.get("k", 1)) != 1:
+            label += f" k={record['k']}"
         limit = factor * float(ref["wall_s"])
         if float(record["wall_s"]) > limit:
             failures.append(
-                f"{record['name']}@{record['scale']:g}: "
+                f"{label}: "
                 f"{record['wall_s']:.4f}s > {factor:g}x baseline "
                 f"({ref['wall_s']:.4f}s)"
             )
+        for column in EFFICIENCY_COLUMNS:
+            if column not in ref or column not in record:
+                continue
+            floor = float(ref[column]) - EFFICIENCY_TOLERANCE
+            if float(record[column]) < floor:
+                failures.append(
+                    f"{label}: {column} {float(record[column]):.3f} "
+                    f"< baseline {float(ref[column]):.3f} - "
+                    f"{EFFICIENCY_TOLERANCE:g}"
+                )
+        if "dram_bytes" in ref and "dram_bytes" in record:
+            ceiling = DRAM_GROWTH_FACTOR * float(ref["dram_bytes"])
+            if float(record["dram_bytes"]) > ceiling:
+                failures.append(
+                    f"{label}: dram_bytes {float(record['dram_bytes']):.0f} "
+                    f"> {DRAM_GROWTH_FACTOR:g}x baseline "
+                    f"({float(ref['dram_bytes']):.0f})"
+                )
+        if "dp_overflow" in ref and "dp_overflow" in record:
+            if int(record["dp_overflow"]) > int(ref["dp_overflow"]):
+                failures.append(
+                    f"{label}: dp_overflow {record['dp_overflow']} > "
+                    f"baseline {ref['dp_overflow']} "
+                    "(pending-launch-limit stalls introduced)"
+                )
     return failures
 
 

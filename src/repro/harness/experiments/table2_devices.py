@@ -22,13 +22,28 @@ def run() -> ExperimentResult:
                 "bw_gbps": dev.dram_bandwidth_gbps,
                 "mem_gib": dev.memory_gib,
                 "dp": dev.supports_dynamic_parallelism,
+                "tex_kib_per_sm": dev.tex_cache_kib_per_sm,
+                "pending_launch_limit": dev.pending_launch_limit,
+                "peak_sp_gflops": dev.sp_peak_gflops,
             }
         )
 
     def renderer(res: ExperimentResult) -> str:
         return render_table(
             "Table II — devices",
-            ["device", "cc", "SMs", "cores", "GHz", "GB/s", "GiB", "DP"],
+            [
+                "device",
+                "cc",
+                "SMs",
+                "cores",
+                "GHz",
+                "GB/s",
+                "GFLOP/s",
+                "GiB",
+                "tex KiB/SM",
+                "RowMax",
+                "DP",
+            ],
             [
                 [
                     r["device"],
@@ -37,7 +52,10 @@ def run() -> ExperimentResult:
                     r["cores"],
                     r["clock_ghz"],
                     r["bw_gbps"],
+                    round(r["peak_sp_gflops"]),
                     r["mem_gib"],
+                    r["tex_kib_per_sm"],
+                    r["pending_launch_limit"],
                     str(r["dp"]),
                 ]
                 for r in res.rows

@@ -83,16 +83,18 @@ class CellResult:
 
 _CELLS: dict[tuple, CellResult] = {}
 _FORMATS: dict[tuple, object] = {}
+_PROFILES: dict[tuple, object] = {}
 
 
 def clear_caches() -> None:
-    """Drop cached cells and format builds (tests / fresh sweeps).
+    """Drop cached cells, format builds, and profiles (tests / sweeps).
 
     Only the in-session caches are dropped; the opt-in disk cache is
     invalidated by version bump or by deleting its directory.
     """
     _CELLS.clear()
     _FORMATS.clear()
+    _PROFILES.clear()
 
 
 def disk_cache_dir() -> Path | None:
@@ -161,6 +163,45 @@ def get_format(
         fmt = build_format(format_name, csr, **format_kwargs)
         _FORMATS[key] = fmt
     return fmt
+
+
+def cell_counters(
+    matrix_key: str,
+    format_name: str,
+    device: DeviceSpec,
+    precision: Precision = Precision.SINGLE,
+    scale: float | None = None,
+    k: int = 1,
+    **format_kwargs,
+):
+    """Hardware-counter profile of one cell (session-cached).
+
+    Returns the :class:`repro.obs.FormatProfile` for the cell's SpMV
+    (``k=1``) or ``k``-wide SpMM — per-launch counter sets, aggregate,
+    and roofline verdict.  The profile's ``total.time_s`` is the same
+    float as the matching :attr:`CellResult.st_s`; profiling a cell
+    never changes what :func:`run_cell` reports.  Cached alongside cells
+    and dropped by :func:`clear_caches`.
+    """
+    spec = get_spec(matrix_key)
+    s = spec.default_scale if scale is None else scale
+    key = (
+        spec.name,
+        format_name,
+        device.name,
+        precision,
+        round(s, 9),
+        int(k),
+        _kwargs_key(format_kwargs),
+    )
+    profile = _PROFILES.get(key)
+    if profile is None:
+        from ..obs.profile import profile_format
+
+        fmt = get_format(matrix_key, format_name, precision, s, **format_kwargs)
+        profile = profile_format(fmt, device, k=k, matrix=spec.abbrev)
+        _PROFILES[key] = profile
+    return profile
 
 
 def run_cell(

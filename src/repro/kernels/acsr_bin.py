@@ -166,6 +166,9 @@ def pooled_work(
     )
     dram = share * total_bytes
 
+    from ..gpu.kernel import CounterHints
+    from .common import _spmv_useful_bytes
+
     return KernelWork(
         name=name,
         compute_insts=compute,
@@ -175,6 +178,17 @@ def pooled_work(
         precision=precision,
         warp_weights=weights,
         k=k,
+        hints=CounterHints(
+            tex_hit_rate=hit,
+            useful_bytes=_spmv_useful_bytes(
+                total_nnz,
+                float(all_rows.shape[0]),
+                value_bytes=vb,
+                index_bytes_per_elem=4.0,
+                profile=csr.gather_profile,
+                k=k,
+            ),
+        ),
     )
 
 

@@ -17,7 +17,7 @@ import numpy as np
 
 from ..formats.csr import CSRMatrix
 from ..gpu.device import DeviceSpec, Precision, WARP_SIZE
-from ..gpu.kernel import KernelWork
+from ..gpu.kernel import CounterHints, KernelWork
 from ..gpu.memory import (
     SECTOR_BYTES,
     block_gather_dram_bytes,
@@ -30,6 +30,7 @@ from .common import (
     INST_PER_ITER,
     ROW_SETUP_INSTS,
     SHUFFLE_INST,
+    _spmv_useful_bytes,
     launch_for_threads,
     x_hit_rate,
 )
@@ -85,6 +86,8 @@ def parent_work(n_children: int, precision: Precision) -> KernelWork:
         precision=precision,
         launch=launch_for_threads(n_children),
         warp_weights=weights,
+        # Control metadata only: one row id + one row_off pair per child.
+        hints=CounterHints(useful_bytes=float(n_children) * 12.0),
     )
 
 
@@ -150,6 +153,17 @@ def child_work(
         launch=launch_for_threads(n_threads),
         warp_weights=np.full(1, float(n_warps)),
         k=k,
+        hints=CounterHints(
+            tex_hit_rate=hit,
+            useful_bytes=_spmv_useful_bytes(
+                float(nnz),
+                1.0,
+                value_bytes=vb,
+                index_bytes_per_elem=4.0,
+                profile=csr.gather_profile,
+                k=k,
+            ),
+        ),
     )
 
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..gpu.device import Precision, WARP_SIZE, DeviceSpec
-from ..gpu.kernel import KernelWork, LaunchConfig
+from ..gpu.kernel import CounterHints, KernelWork, LaunchConfig
 from ..gpu.memory import (
     SECTOR_BYTES,
     GatherProfile,
@@ -50,6 +50,32 @@ INST_PER_EXTRA_VEC = 2.0
 
 #: Default CUDA block size used by every kernel's launch geometry.
 BLOCK_THREADS = 128
+
+
+def _spmv_useful_bytes(
+    nnz: float,
+    n_rows: float,
+    *,
+    value_bytes: int,
+    index_bytes_per_elem: float,
+    profile: GatherProfile,
+    k: int,
+) -> float:
+    """Ideal DRAM payload of one SpMV/SpMM launch (for coalescing ratios).
+
+    Each matrix element moves once (value + index), each *distinct* ``x``
+    entry (``nnz / reuse``) moves once per vector of the block, each
+    output row writes ``k`` values, and the row-offset array streams once.
+    Anything a kernel moves beyond this — wasted sector fractions, texture
+    misses re-fetching hot entries, ELL padding — is coalescing loss.
+    """
+    distinct_x = nnz / profile.reuse
+    return (
+        nnz * (value_bytes + index_bytes_per_elem)
+        + distinct_x * value_bytes * k
+        + n_rows * value_bytes * k
+        + (n_rows + 1.0) * 4.0
+    )
 
 
 def x_hit_rate(
@@ -248,6 +274,17 @@ def gang_row_work(
             else None
         ),
         k=k,
+        hints=CounterHints(
+            tex_hit_rate=hit,
+            useful_bytes=_spmv_useful_bytes(
+                total_nnz,
+                float(nnz_per_row.shape[0]),
+                value_bytes=vb,
+                index_bytes_per_elem=4.0,
+                profile=profile,
+                k=k,
+            ),
+        ),
     )
 
 
@@ -350,6 +387,17 @@ def elementwise_work(
         launch=launch_for_threads(total_elements),
         warp_weights=weights,
         k=k,
+        hints=CounterHints(
+            tex_hit_rate=hit,
+            useful_bytes=_spmv_useful_bytes(
+                float(total_elements),
+                float(rows_spanned),
+                value_bytes=vb,
+                index_bytes_per_elem=index_bytes_per_elem,
+                profile=profile,
+                k=k,
+            ),
+        ),
     )
 
 
@@ -422,4 +470,17 @@ def ell_work(
         launch=launch_for_threads(n_rows),
         warp_weights=np.full(1, float(n_warps)),
         k=k,
+        # Useful payload excludes the zero padding ELL streams, so the
+        # coalescing ratio directly exposes the padding waste.
+        hints=CounterHints(
+            tex_hit_rate=hit,
+            useful_bytes=_spmv_useful_bytes(
+                float(real_nnz),
+                float(n_rows),
+                value_bytes=vb,
+                index_bytes_per_elem=4.0,
+                profile=profile,
+                k=k,
+            ),
+        ),
     )

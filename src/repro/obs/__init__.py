@@ -1,0 +1,56 @@
+"""``repro.obs`` — the observability layer: counters, spans, exporters.
+
+The simulator computes occupancy, load balance, coalesced traffic and
+launch overheads internally; this package makes those quantities
+first-class telemetry, in the vocabulary of CUPTI/nvprof:
+
+* :mod:`~repro.obs.counters` — per-launch :class:`CounterSet` derived
+  from the exact ``(work, timing)`` pairs the timing model produced,
+  plus aggregation across sequences / streams / devices / SpMM batches.
+* :mod:`~repro.obs.profiler` — the zero-dependency :class:`Profiler`
+  context manager with nested spans, feeding a
+  :class:`~repro.obs.registry.MetricsRegistry`.
+* :mod:`~repro.obs.profile` — ``nvprof``-style :func:`profile_format`
+  with a :class:`RooflineVerdict` (limiting resource + headroom).
+* :mod:`~repro.obs.export` — JSONL / CSV / Chrome-counter-track
+  exporters and the JSONL schema validator CI gates on.
+"""
+
+from .counters import CounterSet, aggregate, launch_counters, with_totals
+from .export import (
+    chrome_counter_trace,
+    counter_set_dict,
+    validate_profile_jsonl,
+    write_csv,
+    write_jsonl,
+)
+from .profile import (
+    FormatProfile,
+    RooflineVerdict,
+    profile_format,
+    verdict_for,
+)
+from .profiler import Profiler, Span
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "CounterSet",
+    "aggregate",
+    "launch_counters",
+    "with_totals",
+    "Profiler",
+    "Span",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "FormatProfile",
+    "RooflineVerdict",
+    "profile_format",
+    "verdict_for",
+    "counter_set_dict",
+    "write_jsonl",
+    "write_csv",
+    "chrome_counter_trace",
+    "validate_profile_jsonl",
+]

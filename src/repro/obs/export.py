@@ -1,0 +1,280 @@
+"""Exporters + schema validation for profiler output.
+
+Three formats, all dependency-free:
+
+* **JSONL** — one JSON object per line, each tagged with a ``record``
+  kind (``meta`` / ``launch`` / ``span`` / ``aggregate`` / ``metrics``).
+  This is the machine-readable artifact CI uploads and gates on;
+  :func:`validate_profile_jsonl` is the gate.
+* **CSV** — one row per launch, for spreadsheets.
+* **Chrome counter tracks** — ``"ph": "C"`` events that render as stacked
+  counter charts alongside the kernel timeline in ``chrome://tracing`` /
+  Perfetto.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from .counters import CounterSet
+
+#: Fields every launch/aggregate JSONL record must carry.
+_REQUIRED_COUNTER_FIELDS = (
+    "name",
+    "device",
+    "n_launches",
+    "k",
+    "time_s",
+    "launch_overhead_s",
+    "dram_bytes",
+    "flops",
+    "n_warps",
+    "achieved_occupancy",
+    "warp_execution_efficiency",
+    "gld_coalescing_ratio",
+    "dp_children",
+    "dp_overflow",
+    "bound",
+)
+
+#: Counter fields constrained to [0, 1].
+_UNIT_INTERVAL_FIELDS = (
+    "achieved_occupancy",
+    "warp_execution_efficiency",
+    "gld_coalescing_ratio",
+    "launch_overhead_share",
+)
+
+_RECORD_KINDS = ("meta", "launch", "span", "aggregate", "metrics")
+
+#: CSV column order (stable; append-only for compatibility).
+CSV_COLUMNS = (
+    "name",
+    "device",
+    "n_launches",
+    "k",
+    "time_s",
+    "launch_overhead_s",
+    "compute_s",
+    "memory_s",
+    "critical_path_s",
+    "dram_bytes",
+    "flops",
+    "n_warps",
+    "achieved_occupancy",
+    "warp_execution_efficiency",
+    "gld_coalescing_ratio",
+    "tex_hit_rate",
+    "dp_children",
+    "dp_overflow",
+    "bound",
+    "dram_bw_fraction",
+    "flop_fraction",
+    "launch_overhead_share",
+    "gflops",
+)
+
+
+def counter_set_dict(cs: CounterSet) -> dict:
+    """JSON-ready dict of a counter set, derived ratios included."""
+    return {
+        "name": cs.name,
+        "device": cs.device,
+        "n_launches": cs.n_launches,
+        "k": cs.k,
+        "time_s": cs.time_s,
+        "launch_overhead_s": cs.launch_overhead_s,
+        "compute_s": cs.compute_s,
+        "memory_s": cs.memory_s,
+        "critical_path_s": cs.critical_path_s,
+        "dram_bytes": cs.dram_bytes,
+        "flops": cs.flops,
+        "n_warps": cs.n_warps,
+        "achieved_occupancy": cs.achieved_occupancy,
+        "warp_execution_efficiency": cs.warp_execution_efficiency,
+        "gld_coalescing_ratio": cs.gld_coalescing_ratio,
+        "tex_hit_rate": cs.tex_hit_rate,
+        "dp_children": cs.dp_children,
+        "dp_overflow": cs.dp_overflow,
+        "bound": cs.bound,
+        "dram_bw_fraction": cs.dram_bw_fraction,
+        "flop_fraction": cs.flop_fraction,
+        "launch_overhead_share": cs.launch_overhead_share,
+        "gflops": cs.gflops,
+        "peak_dram_gbps": cs.peak_dram_gbps,
+        "peak_gflops": cs.peak_gflops,
+    }
+
+
+def write_jsonl(profiler, path, **meta) -> Path:
+    """Dump a profiler's span tree + metrics as JSON lines.
+
+    Layout: one ``meta`` line, one ``span`` line per span (with its
+    aggregate when non-empty), one ``launch`` line per recorded counter
+    set (tagged with its span path), one ``aggregate`` line for the
+    grand total, one ``metrics`` line with the registry snapshot.
+    """
+    path = Path(path)
+    lines = [
+        json.dumps(
+            {"record": "meta", "profile": profiler.name, **meta}
+        )
+    ]
+    for span_path, span in profiler.root.walk():
+        entry: dict = {
+            "record": "span",
+            "name": span.name,
+            "path": "/".join(span_path),
+            "attrs": span.attrs,
+            "time_s": span.total_time_s,
+        }
+        total = span.total()
+        if total is not None:
+            entry["counters"] = counter_set_dict(total)
+        lines.append(json.dumps(entry))
+        for cs in span.records:
+            lines.append(
+                json.dumps(
+                    {
+                        "record": "launch",
+                        "span": "/".join(span_path),
+                        **counter_set_dict(cs),
+                    }
+                )
+            )
+    grand = profiler.total()
+    if grand is not None:
+        lines.append(
+            json.dumps({"record": "aggregate", **counter_set_dict(grand)})
+        )
+    lines.append(
+        json.dumps(
+            {"record": "metrics", "metrics": profiler.registry.snapshot()}
+        )
+    )
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def write_csv(records, path) -> Path:
+    """One CSV row per counter set (launch-level export)."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=CSV_COLUMNS)
+        writer.writeheader()
+        for cs in records:
+            row = counter_set_dict(cs)
+            writer.writerow({col: row.get(col) for col in CSV_COLUMNS})
+    return path
+
+
+def chrome_counter_trace(records, name: str = "profile") -> dict:
+    """Chrome ``"ph": "C"`` counter-track events for a launch stream.
+
+    Launches are laid end to end (the sequence model); each contributes
+    points on four counter tracks — occupancy, warp efficiency, DRAM
+    %-of-peak, and coalescing — so the tracks render as stepped charts
+    above the kernel timeline.
+    """
+    events = []
+    t_us = 0.0
+    for cs in records:
+        args_by_track = {
+            "occupancy": {"value": round(cs.achieved_occupancy, 4)},
+            "warp_efficiency": {
+                "value": round(cs.warp_execution_efficiency, 4)
+            },
+            "dram_pct_of_peak": {
+                "value": round(100.0 * cs.dram_bw_fraction, 2)
+            },
+            "gld_coalescing": {"value": round(cs.gld_coalescing_ratio, 4)},
+        }
+        for track, args in args_by_track.items():
+            events.append(
+                {
+                    "name": track,
+                    "cat": "counters",
+                    "ph": "C",
+                    "ts": t_us,
+                    "pid": cs.device or name,
+                    "args": args,
+                }
+            )
+        t_us += cs.time_s * 1e6
+    return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+
+def _validate_counter_fields(obj: dict, where: str) -> list[str]:
+    errors = []
+    for field in _REQUIRED_COUNTER_FIELDS:
+        if field not in obj:
+            errors.append(f"{where}: missing field {field!r}")
+    for field in _UNIT_INTERVAL_FIELDS:
+        v = obj.get(field)
+        if isinstance(v, (int, float)) and not -1e-9 <= v <= 1.0 + 1e-9:
+            errors.append(f"{where}: {field}={v} outside [0, 1]")
+    for field in ("time_s", "dram_bytes", "flops"):
+        v = obj.get(field)
+        if isinstance(v, (int, float)) and v < 0:
+            errors.append(f"{where}: {field}={v} negative")
+    bound = obj.get("bound")
+    if bound is not None and bound not in (
+        "compute",
+        "memory",
+        "latency",
+        "launch",
+    ):
+        errors.append(f"{where}: unknown bound {bound!r}")
+    return errors
+
+
+def validate_profile_jsonl(path) -> list[str]:
+    """Schema-check one profile JSONL file; returns error messages.
+
+    An empty list means the file is valid.  Checked: every line parses as
+    a JSON object with a known ``record`` kind; exactly one ``meta`` line
+    comes first; launch/aggregate records carry the full counter field
+    set with ratios in range; at least one launch or aggregate exists.
+    """
+    path = Path(path)
+    errors: list[str] = []
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as exc:
+        return [f"{path}: unreadable ({exc})"]
+    if not lines:
+        return [f"{path}: empty file"]
+    n_counter_records = 0
+    for i, line in enumerate(lines, start=1):
+        where = f"{path}:{i}"
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"{where}: invalid JSON ({exc})")
+            continue
+        if not isinstance(obj, dict):
+            errors.append(f"{where}: line is not a JSON object")
+            continue
+        kind = obj.get("record")
+        if kind not in _RECORD_KINDS:
+            errors.append(f"{where}: unknown record kind {kind!r}")
+            continue
+        if i == 1 and kind != "meta":
+            errors.append(f"{where}: first record must be 'meta'")
+        if kind in ("launch", "aggregate"):
+            n_counter_records += 1
+            errors.extend(_validate_counter_fields(obj, where))
+        elif kind == "span":
+            for field in ("name", "path", "time_s"):
+                if field not in obj:
+                    errors.append(f"{where}: span missing {field!r}")
+        elif kind == "metrics":
+            if not isinstance(obj.get("metrics"), dict):
+                errors.append(f"{where}: metrics record missing 'metrics'")
+    if n_counter_records == 0:
+        errors.append(f"{path}: no launch/aggregate records")
+    return errors

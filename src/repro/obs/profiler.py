@@ -1,0 +1,222 @@
+"""Span-structured profiler over the simulator's launch stream.
+
+A :class:`Profiler` is a zero-dependency context manager.  While active
+it observes every :func:`~repro.gpu.simulator.simulate_kernel` call
+(via the simulator's launch-observer hook) and records its
+:class:`~repro.obs.counters.CounterSet` into the *current span*; nested
+``with profiler.span("pagerank-iter", iter=3):`` blocks give the launch
+stream the shape of the computation — per app iteration, per
+dynamic-pipeline epoch, per bin grid.
+
+Drivers whose inner loop reuses a *memoised* timing (the app drivers
+compute one SpMV cost and bill it per iteration) record counters
+explicitly with :meth:`Profiler.record` instead — the span tree is the
+same either way.
+
+Every record also feeds the profiler's :class:`MetricsRegistry`
+(launch totals, DRAM bytes, flops, a launch-duration histogram), and the
+whole tree exports to JSONL / CSV / Chrome counter tracks via
+:mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from ..gpu.device import DeviceSpec
+from ..gpu.kernel import KernelWork
+from ..gpu.simulator import (
+    KernelTiming,
+    add_launch_observer,
+    remove_launch_observer,
+)
+from .counters import CounterSet, aggregate, launch_counters
+from .registry import MetricsRegistry
+
+
+@dataclass
+class Span:
+    """One named region of the profiled computation."""
+
+    name: str
+    attrs: dict = field(default_factory=dict)
+    #: Counter sets recorded directly inside this span (not in children).
+    records: list[CounterSet] = field(default_factory=list)
+    children: list["Span"] = field(default_factory=list)
+    #: Optional explicit wall-time of the region; when ``None`` the span's
+    #: duration is the summed ``time_s`` of everything recorded under it.
+    duration_s: float | None = None
+
+    def all_records(self) -> list[CounterSet]:
+        """Every counter set under this span, depth-first."""
+        out = list(self.records)
+        for child in self.children:
+            out.extend(child.all_records())
+        return out
+
+    def total(self) -> CounterSet | None:
+        """Aggregate of everything under the span (``None`` if empty)."""
+        records = self.all_records()
+        if not records:
+            return None
+        return aggregate(records, name=self.name)
+
+    @property
+    def total_time_s(self) -> float:
+        if self.duration_s is not None:
+            return self.duration_s
+        return sum(cs.time_s for cs in self.all_records())
+
+    def walk(self, path: tuple[str, ...] = ()):
+        """Yield ``(path, span)`` pairs depth-first, root included."""
+        here = path + (self.name,)
+        yield here, self
+        for child in self.children:
+            yield from child.walk(here)
+
+
+class Profiler:
+    """Collects spans + counters; optionally taps the simulator live.
+
+    Use as a context manager to capture every simulated launch within
+    the block::
+
+        prof = Profiler("spmv")
+        with prof:
+            fmt.spmv_time_s(device)     # launches recorded automatically
+        print(prof.root.total())
+
+    or drive it explicitly (``prof.record(cs)``) when launch costs come
+    from memoised timings rather than fresh simulation.
+    """
+
+    def __init__(
+        self, name: str = "profile", registry: MetricsRegistry | None = None
+    ) -> None:
+        self.name = name
+        self.registry = registry or MetricsRegistry()
+        self.root = Span(name=name)
+        self._stack: list[Span] = [self.root]
+        self._active = 0
+
+    # -- span structure -------------------------------------------------
+    @property
+    def current(self) -> Span:
+        return self._stack[-1]
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Open a nested named span; records inside land under it."""
+        child = Span(name=name, attrs=dict(attrs))
+        self.current.children.append(child)
+        self._stack.append(child)
+        try:
+            yield child
+        finally:
+            popped = self._stack.pop()
+            assert popped is child, "span stack corrupted"
+
+    # -- recording ------------------------------------------------------
+    def record(self, cs: CounterSet) -> CounterSet:
+        """Attach a counter set to the current span + update metrics."""
+        self.current.records.append(cs)
+        reg = self.registry
+        reg.counter("launches_total", "kernel launches recorded").inc(
+            cs.n_launches
+        )
+        reg.counter("dram_bytes_total", "modelled DRAM traffic").inc(
+            cs.dram_bytes
+        )
+        reg.counter("flops_total", "useful floating-point ops").inc(cs.flops)
+        reg.counter("device_time_seconds_total", "modelled device time").inc(
+            cs.time_s
+        )
+        reg.counter(
+            "dp_children_total", "dynamic-parallelism child grids"
+        ).inc(cs.dp_children)
+        reg.counter(
+            "dp_overflow_total", "children past the pending-launch limit"
+        ).inc(cs.dp_overflow)
+        reg.histogram(
+            "launch_duration_seconds", "per-launch modelled duration"
+        ).observe(cs.time_s)
+        reg.gauge("achieved_occupancy", "last launch's occupancy").set(
+            cs.achieved_occupancy
+        )
+        reg.gauge(
+            "warp_execution_efficiency", "last launch's load balance"
+        ).set(cs.warp_execution_efficiency)
+        reg.gauge(
+            "gld_coalescing_ratio", "last launch's useful-byte fraction"
+        ).set(cs.gld_coalescing_ratio)
+        return cs
+
+    def record_launch(
+        self,
+        device: DeviceSpec,
+        work: KernelWork,
+        timing: KernelTiming,
+        **kwargs,
+    ) -> CounterSet:
+        """Derive counters from a (work, timing) pair and record them."""
+        return self.record(launch_counters(device, work, timing, **kwargs))
+
+    # -- live capture ---------------------------------------------------
+    def _observe(
+        self, device: DeviceSpec, work: KernelWork, timing: KernelTiming
+    ) -> None:
+        self.record_launch(device, work, timing)
+
+    def __enter__(self) -> "Profiler":
+        if self._active == 0:
+            add_launch_observer(self._observe)
+        self._active += 1
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._active -= 1
+        if self._active == 0:
+            remove_launch_observer(self._observe)
+
+    @contextmanager
+    def paused(self):
+        """Suspend live capture inside the block.
+
+        Drivers that bill a *memoised* cost per iteration derive their
+        per-iteration counters once (which calls ``simulate_kernel``) and
+        then :meth:`record` them explicitly each round; deriving under
+        ``paused()`` keeps those derivation launches out of the span tree
+        even when the profiler is also entered as a context manager.
+        """
+        live = self._active > 0
+        if live:
+            remove_launch_observer(self._observe)
+        try:
+            yield
+        finally:
+            if live:
+                add_launch_observer(self._observe)
+
+    # -- results --------------------------------------------------------
+    def all_records(self) -> list[CounterSet]:
+        return self.root.all_records()
+
+    def total(self) -> CounterSet | None:
+        return self.root.total()
+
+    # -- export (delegates; see repro.obs.export) -----------------------
+    def to_jsonl(self, path, **meta):
+        from .export import write_jsonl
+
+        return write_jsonl(self, path, **meta)
+
+    def to_csv(self, path):
+        from .export import write_csv
+
+        return write_csv(self.all_records(), path)
+
+    def to_chrome_counters(self) -> dict:
+        from .export import chrome_counter_trace
+
+        return chrome_counter_trace(self.all_records(), name=self.name)

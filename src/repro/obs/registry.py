@@ -1,0 +1,172 @@
+"""A zero-dependency metrics registry: counters, gauges, histograms.
+
+The :class:`~repro.obs.profiler.Profiler` feeds launch telemetry into a
+:class:`MetricsRegistry`; experiments and the harness may register their
+own series alongside.  The design follows the Prometheus client model —
+named instruments with optional label sets, get-or-create semantics — but
+stores everything in plain Python so a snapshot is always JSON-ready.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+def _key(name: str, labels: dict | None) -> tuple:
+    if labels:
+        return (name, tuple(sorted(labels.items())))
+    return (name, ())
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing total."""
+
+    name: str
+    help: str = ""
+    labels: dict = field(default_factory=dict)
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    name: str
+    help: str = ""
+    labels: dict = field(default_factory=dict)
+    value: float = math.nan
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """Streaming distribution summary (count/sum/min/max + buckets).
+
+    ``counts[i]`` tallies observations falling in ``(bounds[i-1],
+    bounds[i]]`` (the first bucket covers everything ``<= bounds[0]``);
+    ``counts[-1]`` is the overflow bucket past the last bound.
+    """
+
+    name: str
+    help: str = ""
+    labels: dict = field(default_factory=dict)
+    bounds: tuple[float, ...] = (
+        1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0,
+    )
+    counts: list[int] = field(default_factory=list)
+    count: int = 0
+    sum: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    def __post_init__(self) -> None:
+        if tuple(self.bounds) != tuple(sorted(self.bounds)):
+            raise ValueError("histogram bounds must be sorted")
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else math.nan
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create semantics."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, labels, **kwargs):
+        key = _key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(
+                name=name, help=help, labels=dict(labels or {}), **kwargs
+            )
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}"
+            )
+        return metric
+
+    def counter(
+        self, name: str, help: str = "", labels: dict | None = None
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(
+        self, name: str, help: str = "", labels: dict | None = None
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: dict | None = None,
+        bounds: tuple[float, ...] | None = None,
+    ) -> Histogram:
+        kwargs = {"bounds": bounds} if bounds is not None else {}
+        return self._get_or_create(Histogram, name, help, labels, **kwargs)
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> dict:
+        """JSON-ready dump of every instrument's current state."""
+        out: dict = {}
+        for metric in self._metrics.values():
+            label_suffix = (
+                "{"
+                + ",".join(f"{k}={v}" for k, v in sorted(metric.labels.items()))
+                + "}"
+                if metric.labels
+                else ""
+            )
+            key = metric.name + label_suffix
+            if isinstance(metric, Histogram):
+                out[key] = {
+                    "type": "histogram",
+                    "count": metric.count,
+                    "sum": metric.sum,
+                    "min": None if metric.count == 0 else metric.min,
+                    "max": None if metric.count == 0 else metric.max,
+                    "mean": None if metric.count == 0 else metric.mean,
+                    "bounds": list(metric.bounds),
+                    "counts": list(metric.counts),
+                }
+            else:
+                kind = "counter" if isinstance(metric, Counter) else "gauge"
+                value = metric.value
+                out[key] = {
+                    "type": kind,
+                    "value": None if isinstance(value, float)
+                    and math.isnan(value) else value,
+                }
+        return out

@@ -1,0 +1,95 @@
+"""``SequenceTiming`` aggregation and ``bound_summary`` on weighted works."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import DEVICES, GTX_TITAN, Precision
+from repro.gpu.memory import GatherProfile
+from repro.gpu.simulator import simulate_kernel, simulate_sequence
+from repro.kernels.common import gang_row_work
+
+PROFILE = GatherProfile(reuse=4.0, clustering=0.4)
+
+
+def _work(lengths, *, compress=True, name="seq"):
+    return gang_row_work(
+        name,
+        np.asarray(lengths, dtype=np.int64),
+        vector_size=32,
+        device=GTX_TITAN,
+        n_cols=4096,
+        precision=Precision.SINGLE,
+        profile=PROFILE,
+        compress=compress,
+    )
+
+
+class TestSequenceAggregation:
+    def test_sums_over_launches(self):
+        works = [_work([64] * 12), _work([1] * 200), _work([500, 3])]
+        seq = simulate_sequence(GTX_TITAN, works)
+        singles = [simulate_kernel(GTX_TITAN, w) for w in works]
+        assert seq.time_s == sum(t.time_s for t in singles)
+        assert seq.launch_overhead_s == sum(
+            t.launch_overhead_s for t in singles
+        )
+        assert seq.dram_bytes == sum(t.dram_bytes for t in singles)
+        assert len(seq.timings) == 3
+
+    def test_empty_sequence_is_zero(self):
+        seq = simulate_sequence(GTX_TITAN, [])
+        assert seq.time_s == 0.0
+        assert seq.launch_overhead_s == 0.0
+        assert seq.dram_bytes == 0.0
+
+    def test_launch_overhead_toggle(self):
+        works = [_work([64] * 12), _work([500, 3])]
+        with_oh = simulate_sequence(GTX_TITAN, works)
+        without = simulate_sequence(
+            GTX_TITAN, works, include_launch_overhead=False
+        )
+        assert without.launch_overhead_s == 0.0
+        assert with_oh.launch_overhead_s > 0.0
+        assert with_oh.time_s == pytest.approx(
+            without.time_s + with_oh.launch_overhead_s
+        )
+
+    def test_aggregates_match_on_every_device(self):
+        lengths = [7, 400, 31, 64, 0, 9]
+        for device in DEVICES.values():
+            w = gang_row_work(
+                "d",
+                np.asarray(lengths, dtype=np.int64),
+                vector_size=32,
+                device=device,
+                n_cols=4096,
+                precision=Precision.SINGLE,
+                profile=PROFILE,
+            )
+            seq = simulate_sequence(device, [w, w])
+            one = simulate_kernel(device, w)
+            assert seq.time_s == 2 * one.time_s
+            assert seq.dram_bytes == 2 * one.dram_bytes
+
+
+class TestBoundSummaryOnWeightedEntries:
+    def test_compressed_and_dense_summaries_identical(self):
+        """Weighted compression changes nothing the summary reports."""
+        lengths = [64] * 500 + [1] * 3000 + [900] * 4
+        dense = simulate_kernel(GTX_TITAN, _work(lengths, compress=False))
+        packed = simulate_kernel(GTX_TITAN, _work(lengths, compress=True))
+        assert packed.bound_summary() == dense.bound_summary()
+
+    def test_summary_names_the_binding_term(self):
+        big = _work([2000] * 800, name="big")
+        t = simulate_kernel(GTX_TITAN, big)
+        s = t.bound_summary()
+        assert s.startswith("big: ")
+        assert f"{t.bound}-bound" in s
+        for term in ("compute", "memory", "latency", "launch"):
+            assert term in s
+
+    def test_launch_bound_summary_for_empty_body(self):
+        t = simulate_kernel(GTX_TITAN, _work([0]))
+        if t.compute_s == 0.0 and t.memory_s == 0.0:
+            assert "launch-bound" in t.bound_summary()

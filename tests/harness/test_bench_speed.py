@@ -92,3 +92,85 @@ class TestCli:
             == 0
         )
         assert "no regressions" in capsys.readouterr().out
+
+
+class TestCounterColumns:
+    def test_record_carries_efficiency_counters(self):
+        from repro.harness.bench_speed import EFFICIENCY_COLUMNS
+
+        r = run_case("INT", 0.5, GTX_TITAN, repeats=1)
+        for column in EFFICIENCY_COLUMNS:
+            assert 0.0 <= r[column] <= 1.0
+        assert r["dram_bytes"] > 0
+        assert 0.0 <= r["dram_bw_fraction"] <= 1.0
+        assert r["dp_children"] >= 0
+        assert r["dp_overflow"] >= 0
+        assert r["bound"] in ("compute", "memory", "latency", "launch")
+        json.dumps(r)
+
+    def test_counters_are_deterministic(self):
+        a = run_case("INT", 0.5, GTX_TITAN, repeats=1)
+        b = run_case("INT", 0.5, GTX_TITAN, repeats=1)
+        for col in ("dram_bytes", "achieved_occupancy", "bound"):
+            assert a[col] == b[col]
+
+
+class TestEfficiencyGate:
+    def _case(self, **extra):
+        base = {
+            "name": "INT",
+            "scale": 0.5,
+            "k": 1,
+            "wall_s": 1.0,
+            "peak_entries": 1,
+            "achieved_occupancy": 0.8,
+            "warp_execution_efficiency": 0.9,
+            "gld_coalescing_ratio": 0.7,
+            "dram_bytes": 1e6,
+            "dp_overflow": 0,
+        }
+        base.update(extra)
+        return {"cases": [base]}
+
+    def test_identical_counters_pass(self):
+        assert check_regressions(self._case(), self._case()) == []
+
+    def test_occupancy_drop_fails(self):
+        failures = check_regressions(
+            self._case(achieved_occupancy=0.7), self._case()
+        )
+        assert any("achieved_occupancy" in f for f in failures)
+
+    def test_drop_within_tolerance_passes(self):
+        assert (
+            check_regressions(
+                self._case(achieved_occupancy=0.79), self._case()
+            )
+            == []
+        )
+
+    def test_dram_growth_fails(self):
+        failures = check_regressions(
+            self._case(dram_bytes=1.1e6), self._case()
+        )
+        assert any("dram_bytes" in f for f in failures)
+
+    def test_dp_overflow_increase_fails(self):
+        failures = check_regressions(
+            self._case(dp_overflow=2), self._case()
+        )
+        assert any("dp_overflow" in f for f in failures)
+
+    def test_missing_counter_columns_skipped(self):
+        """Old baselines without counters still gate on wall time only."""
+        old = self._case()
+        for case in old["cases"]:
+            for col in (
+                "achieved_occupancy",
+                "warp_execution_efficiency",
+                "gld_coalescing_ratio",
+                "dram_bytes",
+                "dp_overflow",
+            ):
+                del case[col]
+        assert check_regressions(self._case(), old) == []

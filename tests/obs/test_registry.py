@@ -1,0 +1,90 @@
+"""The zero-dependency metrics registry primitives."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("launches")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        c = Counter("launches")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set(self):
+        g = Gauge("occupancy")
+        assert math.isnan(g.value)
+        g.set(0.75)
+        assert g.value == 0.75
+
+
+class TestHistogram:
+    def test_observe_and_stats(self):
+        h = Histogram("lat", bounds=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(555.5)
+        assert h.min == 0.5 and h.max == 500.0
+        assert h.mean == pytest.approx(555.5 / 4)
+
+    def test_buckets(self):
+        h = Histogram("lat", bounds=(1.0, 10.0))
+        for v in (0.5, 0.6, 5.0, 50.0):
+            h.observe(v)
+        # <=1.0 holds two, (1.0, 10.0] holds one, overflow holds one.
+        assert h.counts == [2, 1, 1]
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", bounds=(10.0, 1.0))
+
+    def test_default_bounds_sorted(self):
+        h = Histogram("lat")
+        bounds = list(h.bounds)
+        assert bounds == sorted(bounds)
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", "help")
+        b = reg.counter("x")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_labels_create_distinct_series(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", labels={"device": "GTX580"})
+        b = reg.counter("x", labels={"device": "GTXTitan"})
+        assert a is not b
+        assert len(reg) == 2
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_snapshot_is_json_ready(self):
+        reg = MetricsRegistry()
+        reg.counter("launches").inc(3)
+        reg.gauge("occ").set(0.5)
+        reg.gauge("unset")  # NaN -> None in the snapshot
+        reg.histogram("lat").observe(1e-5)
+        snap = reg.snapshot()
+        json.dumps(snap)  # round-trippable
+        assert snap["launches"]["value"] == 3
+        assert snap["unset"]["value"] is None
+        assert snap["lat"]["count"] == 1

@@ -92,3 +92,69 @@ class TestTraceFlag:
         doc = json.loads(out.read_text())
         assert doc["traceEvents"]
         assert {e["ph"] for e in doc["traceEvents"]} == {"X"}
+
+
+class TestProfileCli:
+    def test_profile_prints_table_and_verdict(self, capsys):
+        assert main(["profile", "INT", "csr", "GTXTitan"]) == 0
+        out = capsys.readouterr().out
+        assert "== profile:" in out
+        assert "GTXTitan" in out
+        assert "verdict:" in out
+        assert "TOTAL" in out or "total" in out
+
+    def test_profile_k_flag_shows_batch_width(self, capsys):
+        assert main(["profile", "INT", "csr", "GTXTitan", "--k", "8"]) == 0
+        assert "k=8" in capsys.readouterr().out
+
+    def test_profile_acsr_reports_dp(self, capsys):
+        assert main(["profile", "INT", "acsr", "GTXTitan"]) == 0
+        out = capsys.readouterr().out
+        assert "DP" in out
+
+    def test_profile_exports_validate(self, capsys, tmp_path):
+        import json
+
+        jsonl = tmp_path / "p.jsonl"
+        csv_path = tmp_path / "p.csv"
+        chrome = tmp_path / "p.json"
+        assert (
+            main(
+                [
+                    "profile",
+                    "INT",
+                    "acsr",
+                    "GTXTitan",
+                    "--jsonl",
+                    str(jsonl),
+                    "--csv",
+                    str(csv_path),
+                    "--chrome",
+                    str(chrome),
+                ]
+            )
+            == 0
+        )
+        assert jsonl.exists() and csv_path.exists() and chrome.exists()
+        doc = json.loads(chrome.read_text())
+        assert {e["ph"] for e in doc["traceEvents"]} == {"C"}
+        # The written JSONL passes its own validator via profile-check.
+        assert main(["profile-check", str(jsonl)]) == 0
+        assert ": ok" in capsys.readouterr().out
+
+    def test_profile_check_flags_garbage(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json at all\n")
+        assert main(["profile-check", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "INT", "nope", "GTXTitan"])
+
+    def test_devices_table_lists_hardware_limits(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "tex KiB/SM" in out
+        assert "RowMax" in out
+        assert "GFLOP/s" in out
