@@ -151,8 +151,76 @@ def build_parser() -> argparse.ArgumentParser:
     check = sub.add_parser(
         "profile-check",
         help="validate profile JSONL files against the record schema",
+        description=(
+            "Validate profile/diff JSONL files against the record "
+            "schema. Exit codes: 0 = all valid, 1 = at least one file "
+            "failed schema validation, 2 = at least one file is missing "
+            "or unreadable (2 wins when both occur)."
+        ),
     )
     check.add_argument("files", nargs="+", help="JSONL files to validate")
+
+    diff = sub.add_parser(
+        "diff",
+        help="differential profile: why format B beats format A",
+        description=(
+            "Compare two (format, device, k) cells on one corpus matrix "
+            "and decompose the time gap into ranked attribution terms "
+            "that float-sum exactly to timeA - timeB. Exit codes: 0 = "
+            "ok, 2 = unknown matrix/format/device, 3 = a --assert-* "
+            "check failed."
+        ),
+    )
+    diff.add_argument("matrix", help="Table I abbreviation (e.g. WIK)")
+    diff.add_argument("format_a", choices=available_formats())
+    diff.add_argument("format_b", choices=available_formats())
+    diff.add_argument("device", help="A-side device (see 'repro devices')")
+    diff.add_argument(
+        "--device-b",
+        default=None,
+        help="B-side device (default: same as the A side)",
+    )
+    diff.add_argument(
+        "--k", type=int, default=1, help="A-side vector-block width"
+    )
+    diff.add_argument(
+        "--k-b",
+        type=int,
+        default=None,
+        help="B-side vector-block width (default: --k)",
+    )
+    diff.add_argument(
+        "--scale", type=float, default=None, help="synthesis scale override"
+    )
+    diff.add_argument(
+        "--precision", choices=["single", "double"], default="single"
+    )
+    diff.add_argument(
+        "--jsonl", metavar="FILE", default=None, help="write diff JSONL"
+    )
+    diff.add_argument(
+        "--html",
+        metavar="FILE",
+        default=None,
+        help="write the self-contained HTML report (SVG Gantt + waterfall)",
+    )
+    diff.add_argument(
+        "--gantt",
+        action="store_true",
+        help="also print both sides' ASCII timelines",
+    )
+    diff.add_argument(
+        "--assert-winner",
+        choices=["a", "b"],
+        default=None,
+        help="exit 3 unless this side wins on modelled time",
+    )
+    diff.add_argument(
+        "--assert-top",
+        metavar="TERM",
+        default=None,
+        help="exit 3 unless this attribution term moves the most time",
+    )
 
     bench = sub.add_parser(
         "bench",
@@ -194,6 +262,8 @@ def main(argv: list[str] | None = None) -> int:
         return _profile_cli(args)
     if args.command == "profile-check":
         return _profile_check_cli(args)
+    if args.command == "diff":
+        return _diff_cli(args)
     # run
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
@@ -265,20 +335,91 @@ def _profile_cli(args) -> int:
 
 
 def _profile_check_cli(args) -> int:
-    """``repro profile-check``: schema-validate profile JSONL files."""
+    """``repro profile-check``: schema-validate profile JSONL files.
+
+    Exit codes: 0 = every file valid, 1 = at least one file failed
+    schema validation, 2 = at least one file missing or unreadable
+    (2 wins when both occur).  Every failing field prints its own
+    ``file:line: message`` line.
+    """
+    from pathlib import Path
+
     from .obs import validate_profile_jsonl
 
-    bad = 0
+    worst = 0
     for file in args.files:
+        if not Path(file).is_file():
+            print(f"{file}: MISSING (no such file)")
+            worst = max(worst, 2)
+            continue
         errors = validate_profile_jsonl(file)
         if errors:
-            bad += 1
-            print(f"{file}: INVALID")
+            unreadable = any(": unreadable" in e for e in errors)
+            print(f"{file}: {'UNREADABLE' if unreadable else 'INVALID'}")
             for error in errors:
                 print(f"  {error}")
+            worst = max(worst, 2 if unreadable else 1)
         else:
             print(f"{file}: ok")
-    return 1 if bad else 0
+    return worst
+
+
+def _diff_cli(args) -> int:
+    """``repro diff``: print (and export) a differential profile.
+
+    Exit codes: 0 = ok, 2 = unknown matrix/format/device, 3 = a
+    ``--assert-winner`` / ``--assert-top`` check failed.
+    """
+    from .obs.diff import diff_formats
+
+    try:
+        device_a = get_device(args.device)
+        device_b = get_device(args.device_b) if args.device_b else None
+        report = diff_formats(
+            args.matrix,
+            args.format_a,
+            args.format_b,
+            device_a,
+            device_b=device_b,
+            k_a=args.k,
+            k_b=args.k_b,
+            precision=Precision(args.precision),
+            scale=args.scale,
+        )
+    except KeyError as exc:
+        print(f"error: unknown key {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.gantt:
+        print()
+        print(report.a.timeline.gantt())
+        print()
+        print(report.b.timeline.gantt())
+    if args.jsonl:
+        from .obs import write_diff_jsonl
+
+        write_diff_jsonl(report, args.jsonl, precision=args.precision)
+        print(f"wrote {args.jsonl}")
+    if args.html:
+        from .obs import write_html_report
+
+        write_html_report(report, args.html)
+        print(f"wrote {args.html}")
+    failed = []
+    if args.assert_winner and report.winner != args.assert_winner:
+        failed.append(
+            f"--assert-winner {args.assert_winner}: winner is "
+            f"{report.winner} (A {report.a.time_s * 1e6:.3f} us, "
+            f"B {report.b.time_s * 1e6:.3f} us)"
+        )
+    if args.assert_top and report.top_term() != args.assert_top:
+        failed.append(
+            f"--assert-top {args.assert_top}: top term is "
+            f"{report.top_term()}"
+        )
+    for message in failed:
+        print(f"ASSERTION FAILED: {message}", file=sys.stderr)
+    return 3 if failed else 0
 
 
 def _dump_trace(args) -> None:

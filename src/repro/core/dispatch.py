@@ -219,6 +219,30 @@ def dp_children_works(
     return works
 
 
+def pooled_kernel_work(
+    csr: CSRMatrix, plan: ACSRPlan, device: DeviceSpec, k: int = 1
+) -> KernelWork:
+    """The single pooled work of the serial ACSR model.
+
+    G2 bin grids, the DP parent and the DP children all share the device
+    as one warp pool (see :class:`ACSRTiming`); this is the exact work
+    :func:`time_spmv` simulates, factored out so the observability layer
+    can replay the same floats without going through the timing model.
+    """
+    works: list[KernelWork] = []
+    n_children = int(plan.g1_rows.shape[0])
+    if plan.g2:
+        works.append(acsr_bin.pooled_work(csr, list(plan.g2), device, k=k))
+    if n_children:
+        works.append(acsr_dp.parent_work(n_children, csr.precision))
+        works.extend(dp_children_works(csr, plan, device, k=k))
+    if works:
+        return works[0] if len(works) == 1 else merge_concurrent(
+            works, name="acsr"
+        )
+    return KernelWork.empty("acsr", csr.precision)
+
+
 @dataclass(frozen=True)
 class StreamedACSRTiming:
     """Modelled time of one ACSR SpMV issued through the stream engine.
@@ -368,18 +392,7 @@ def time_spmv(
             f"plan has a DP group but {device.name} lacks dynamic "
             "parallelism; build the plan for this device"
         )
-    works: list[KernelWork] = []
-    if plan.g2:
-        works.append(acsr_bin.pooled_work(csr, list(plan.g2), device, k=k))
-    if n_children:
-        works.append(acsr_dp.parent_work(n_children, csr.precision))
-        works.extend(dp_children_works(csr, plan, device, k=k))
-    if works:
-        pooled = works[0] if len(works) == 1 else merge_concurrent(
-            works, name="acsr"
-        )
-    else:
-        pooled = KernelWork.empty("acsr", csr.precision)
+    pooled = pooled_kernel_work(csr, plan, device, k=k)
     pool = simulate_kernel(device, pooled, include_launch_overhead=False)
 
     n_host_launches = len(plan.g2) + (1 if n_children else 0)

@@ -50,6 +50,19 @@ def pending_launch_overflow(device: DeviceSpec, n_children: int) -> int:
     return max(0, n_children - device.pending_launch_limit)
 
 
+def child_launch_split(device: DeviceSpec, n_children: int) -> tuple[int, int]:
+    """``(within, overflow)`` fan-out of a DP group under the launch cap.
+
+    ``within`` children amortise their enqueue across
+    ``CONCURRENT_LAUNCH_WAYS`` in-flight ways; ``overflow`` children
+    exceed ``pending_launch_limit`` and serialise at the
+    ``OVERFLOW_PENALTY`` rate.  This is the per-launch fan-out detail the
+    timeline layer draws on the DP child lane.
+    """
+    overflow = pending_launch_overflow(device, n_children)
+    return n_children - overflow, overflow
+
+
 def child_launch_overhead_s(device: DeviceSpec, n_children: int) -> float:
     """Total device-side launch overhead for ``n_children`` child grids."""
     overflow = pending_launch_overflow(device, n_children)

@@ -57,12 +57,19 @@ class CounterHints:
     #: once.  ``useful_bytes / dram_bytes`` is the global-load coalescing
     #: ratio (1.0 = every byte moved was asked for).
     useful_bytes: float | None = None
+    #: DRAM traffic caused by texture-cache misses on the ``x[col]``
+    #: gather stream (the ``gather_dram_bytes`` term of the traffic
+    #: model).  Lets attribution split coalescing waste from texture-miss
+    #: re-fetches; like every hint it never enters the timing formula.
+    tex_miss_bytes: float | None = None
 
     def __post_init__(self) -> None:
         if self.tex_hit_rate is not None and not 0.0 <= self.tex_hit_rate <= 1.0:
             raise ValueError("tex_hit_rate must be in [0, 1]")
         if self.useful_bytes is not None and self.useful_bytes < 0:
             raise ValueError("useful_bytes must be non-negative")
+        if self.tex_miss_bytes is not None and self.tex_miss_bytes < 0:
+            raise ValueError("tex_miss_bytes must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -166,8 +173,10 @@ def merge_hints(works: list[KernelWork]) -> CounterHints | None:
 
     ``useful_bytes`` sums, but only when *every* traffic-carrying input
     declares it (a partial sum would understate the ideal payload and
-    overstate waste).  ``tex_hit_rate`` is DRAM-traffic-weighted across
-    the works that declare one.  Returns ``None`` when nothing survives.
+    overstate waste).  ``tex_miss_bytes`` sums over the works that
+    declare it (a partial sum is a safe lower bound on known miss
+    traffic).  ``tex_hit_rate`` is DRAM-traffic-weighted across the works
+    that declare one.  Returns ``None`` when nothing survives.
     """
     active = [w for w in works if w.total_dram_bytes > 0]
     if not active:
@@ -178,6 +187,12 @@ def merge_hints(works: list[KernelWork]) -> CounterHints | None:
         for w in active
     ):
         useful = float(sum(w.hints.useful_bytes for w in active))
+    missed = [
+        w.hints.tex_miss_bytes
+        for w in active
+        if w.hints is not None and w.hints.tex_miss_bytes is not None
+    ]
+    tex_miss = float(sum(missed)) if missed else None
     rated = [
         w
         for w in active
@@ -190,9 +205,11 @@ def merge_hints(works: list[KernelWork]) -> CounterHints | None:
             sum(w.hints.tex_hit_rate * w.total_dram_bytes for w in rated)
             / weight
         )
-    if useful is None and rate is None:
+    if useful is None and rate is None and tex_miss is None:
         return None
-    return CounterHints(tex_hit_rate=rate, useful_bytes=useful)
+    return CounterHints(
+        tex_hit_rate=rate, useful_bytes=useful, tex_miss_bytes=tex_miss
+    )
 
 
 def merge_concurrent(works: list[KernelWork], name: str | None = None) -> KernelWork:

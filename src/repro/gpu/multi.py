@@ -50,6 +50,19 @@ class MultiGPUTiming:
     def n_devices(self) -> int:
         return len(self.per_device)
 
+    @property
+    def critical_device(self) -> int:
+        """Index of the slowest device — the one the sync waits on.
+
+        The whole-board time is this device's sequence plus the sync
+        overhead; every other device idles at the barrier for the
+        difference (the imperfect-scaling gap of Section VIII).
+        """
+        if not self.per_device:
+            return 0
+        times = [t.time_s for t in self.per_device]
+        return times.index(max(times))
+
     def counter_sets(self, device: int | None = None) -> tuple:
         """Per-launch :class:`~repro.obs.CounterSet`\\s of the run.
 

@@ -31,6 +31,7 @@ billions of warps in a handful of entries (see
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
@@ -61,6 +62,26 @@ def remove_launch_observer(observer) -> None:
         _LAUNCH_OBSERVERS.remove(observer)
     except ValueError:
         pass
+
+
+@contextmanager
+def observers_suspended():
+    """Temporarily detach every launch observer inside the block.
+
+    The observability layer (:mod:`repro.obs`) re-runs ``simulate_kernel``
+    on the very works a timing model already evaluated — to rebuild
+    timelines or attribute time, never to change it.  Those replay
+    launches must not leak into a live :class:`~repro.obs.Profiler`'s
+    span tree, so replay code wraps itself in this context manager.  The
+    observer list is restored verbatim on exit.
+    """
+    saved = list(_LAUNCH_OBSERVERS)
+    _LAUNCH_OBSERVERS.clear()
+    try:
+        yield
+    finally:
+        _LAUNCH_OBSERVERS.clear()
+        _LAUNCH_OBSERVERS.extend(saved)
 
 
 @dataclass(frozen=True)
@@ -180,6 +201,63 @@ def _busiest_sm_insts(
         diff[0] += float(v[wmask].sum())
         np.add.at(diff, wrapped[wmask], -v[wmask])
     return base + float(np.cumsum(diff[:n_sms]).max())
+
+
+def sm_inst_loads(
+    insts: np.ndarray, counts: np.ndarray, n_sms: int
+) -> np.ndarray:
+    """Per-SM instruction loads under the same round-robin placement.
+
+    The full vector behind :func:`_busiest_sm_insts`: element ``s`` is the
+    warp-instruction count dealt to SM ``s``.  Because ``base + x`` rounds
+    monotonically, ``sm_inst_loads(...).max()`` equals the busiest-SM
+    scalar bit-for-bit — the timeline layer leans on that to reconstruct
+    the compute critical path exactly without touching the timing code.
+    """
+    c = np.rint(counts).astype(np.int64)
+    base = float(np.sum(insts * (c // n_sms).astype(np.float64)))
+    rem = c % n_sms
+    mask = rem > 0
+    if not np.any(mask):
+        return np.full(n_sms, base, dtype=np.float64)
+    starts = (np.cumsum(c) - c)[mask] % n_sms
+    v = insts[mask]
+    r = rem[mask]
+    first = np.minimum(r, n_sms - starts)
+    diff = np.zeros(n_sms + 1, dtype=np.float64)
+    np.add.at(diff, starts, v)
+    np.add.at(diff, starts + first, -v)
+    wrapped = r - first
+    wmask = wrapped > 0
+    if np.any(wmask):
+        diff[0] += float(v[wmask].sum())
+        np.add.at(diff, wrapped[wmask], -v[wmask])
+    return base + np.cumsum(diff[:n_sms])
+
+
+def warp_chain_detail(
+    device: DeviceSpec, work: KernelWork
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-entry dependent-chain cycles behind the latency bound.
+
+    Returns ``(chain_cycles, counts, insts)`` over the launch's canonical
+    weighted entries: ``chain_cycles[i]`` is the dependent-chain length of
+    the warps entry ``i`` stands for (``counts[i]`` of them), computed
+    with exactly the expression ``simulate_kernel`` uses, and ``insts``
+    their DP-inflated instruction counts.  ``chain_cycles.max()`` divided
+    by the clock is therefore bit-identical to
+    :attr:`KernelTiming.critical_path_s`.  Empty works return empty
+    arrays.
+    """
+    if work.n_warps == 0 or work.total_insts == 0:
+        z = np.zeros(0, dtype=np.float64)
+        return z, z.copy(), z.copy()
+    inflation = _dp_inflation(device, work)
+    u_insts, _, u_mem, counts = _canonical_entries(work)
+    insts = u_insts * inflation
+    exposed_latency_cycles = device.dram_latency_cycles / MLP_PER_WARP
+    chain_cycles = insts / device.warp_issue_rate + u_mem * exposed_latency_cycles
+    return chain_cycles, counts, insts
 
 
 def simulate_kernel(

@@ -227,6 +227,13 @@ class OpRecord:
     #: The launch's work description (kernels only) — kept so counters
     #: can be derived from the exact quantities the timing used.
     work: KernelWork | None = None
+    #: Device utilisation the processor-sharing model charged this op
+    #: (kernels/spans; 0.0 for copies) — previously computed internally
+    #: and discarded, now kept so timelines can name the critical op.
+    utilization: float = 0.0
+    #: Start-order identity of the op within its engine run; links the
+    #: record to the :class:`TimeSegment`\\s it was critical in.
+    op_id: int = -1
 
     @property
     def duration_s(self) -> float:
@@ -241,6 +248,32 @@ class OpRecord:
 
 
 @dataclass(frozen=True)
+class TimeSegment:
+    """One piecewise-constant interval of an engine run.
+
+    The event loop advances modelled time in steps (``t += dt``); each
+    step becomes one segment tagged with the *critical op* that held the
+    device during it — the running kernel/span with the highest
+    utilisation (ties to the earliest-started op), or the oldest copy
+    when only transfers are in flight.  Replaying ``dt_s`` in order
+    re-accumulates ``EngineResult.duration_s`` bit-for-bit, which is how
+    the timeline layer reconstructs the engine's critical path exactly.
+    """
+
+    start_s: float
+    dt_s: float
+    #: ``op_id`` of the critical op (see :attr:`OpRecord.op_id`).
+    op_id: int
+    #: The critical op's category: ``kernel`` | ``span`` | ``copy``.
+    category: str
+
+    @property
+    def end_s(self) -> float:
+        """Where the segment's time step landed (``start + dt``)."""
+        return self.start_s + self.dt_s
+
+
+@dataclass(frozen=True)
 class EngineResult:
     """The outcome of one :meth:`StreamEngine.run`."""
 
@@ -250,6 +283,16 @@ class EngineResult:
     #: The engine's device registry, so per-record counters can be
     #: derived without the engine itself (empty for legacy construction).
     devices: tuple[DeviceSpec, ...] = ()
+    #: Piecewise segments of the run, one per event-loop time step
+    #: (empty for legacy construction).
+    segments: tuple[TimeSegment, ...] = ()
+
+    def record_by_op_id(self, op_id: int) -> OpRecord | None:
+        """The record whose :attr:`OpRecord.op_id` matches (or ``None``)."""
+        for r in self.records:
+            if r.op_id == op_id:
+                return r
+        return None
 
     def stream_end_s(self, stream: int) -> float:
         """When the last op of ``stream`` finished (0.0 if it had none)."""
@@ -321,6 +364,7 @@ class _Running:
     channel: tuple[int, CopyDirection] | None = None
     category: str = "kernel"
     dp_overflow: int = 0
+    op_id: int = -1
 
 
 class StreamEngine:
@@ -428,7 +472,9 @@ class StreamEngine:
         channel_busy: dict[tuple[int, CopyDirection], bool] = {}
         pending_children = [0] * len(self.devices)
         records: list[OpRecord] = []
+        segments: list[TimeSegment] = []
         trace = KernelTrace(device_name=self.name)
+        op_seq = [0]
         t = 0.0
 
         def try_start() -> None:
@@ -460,6 +506,7 @@ class StreamEngine:
                             running,
                             channel_busy,
                             pending_children,
+                            op_seq,
                         )
                         if started:
                             pc[i] += 1
@@ -488,6 +535,15 @@ class StreamEngine:
                 for r, rate in zip(running, rates)
                 if rate > 0
             )
+            critical = self._critical_op(running)
+            segments.append(
+                TimeSegment(
+                    start_s=t,
+                    dt_s=dt,
+                    op_id=critical.op_id,
+                    category=critical.category,
+                )
+            )
             t += dt
             finished: list[_Running] = []
             for r, rate in zip(running, rates):
@@ -509,7 +565,20 @@ class StreamEngine:
             duration_s=t,
             trace=trace,
             devices=self.devices,
+            segments=tuple(segments),
         )
+
+    @staticmethod
+    def _critical_op(running: list[_Running]) -> _Running:
+        """The op holding the device in the current segment.
+
+        Kernels and spans rank by utilisation (ties to the op started
+        earliest); copies only become critical when nothing computes.
+        """
+        device_ops = [r for r in running if r.category in ("kernel", "span")]
+        if device_ops:
+            return min(device_ops, key=lambda r: (-r.utilization, r.op_id))
+        return min(running, key=lambda r: r.op_id)
 
     def _start(
         self,
@@ -521,6 +590,7 @@ class StreamEngine:
         running: list[_Running],
         channel_busy: dict[tuple[int, CopyDirection], bool],
         pending_children: list[int],
+        op_seq: list[int],
     ) -> bool:
         """Try to start ``op``; returns False if a resource is busy."""
         device = self.devices[device_index]
@@ -577,6 +647,8 @@ class StreamEngine:
             )
         else:  # pragma: no cover - record/wait handled by the caller
             raise AssertionError(f"unschedulable op kind {op.kind!r}")
+        r.op_id = op_seq[0]
+        op_seq[0] += 1
         busy[stream] = r
         running.append(r)
         return True
@@ -615,6 +687,8 @@ class StreamEngine:
             dp_children=r.op.dp_children,
             dp_overflow=r.dp_overflow,
             work=r.op.work,
+            utilization=r.utilization,
+            op_id=r.op_id,
         )
         records.append(rec)
         if r.timing is not None:

@@ -284,6 +284,16 @@ def gang_row_work(
                 profile=profile,
                 k=k,
             ),
+            tex_miss_bytes=float(
+                np.sum(
+                    np.asarray(gather, dtype=np.float64)
+                    * (
+                        gang.weights.astype(np.float64)
+                        if gang.weights is not None
+                        else 1.0
+                    )
+                )
+            ),
         ),
     )
 
@@ -397,6 +407,9 @@ def elementwise_work(
                 profile=profile,
                 k=k,
             ),
+            tex_miss_bytes=float(
+                np.sum(np.asarray(gather, dtype=np.float64) * weights)
+            ),
         ),
     )
 
@@ -481,6 +494,9 @@ def ell_work(
                 index_bytes_per_elem=4.0,
                 profile=profile,
                 k=k,
+            ),
+            tex_miss_bytes=float(
+                np.sum(np.asarray(gather, dtype=np.float64)) * float(n_warps)
             ),
         ),
     )

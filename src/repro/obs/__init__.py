@@ -12,17 +12,48 @@ first-class telemetry, in the vocabulary of CUPTI/nvprof:
   :class:`~repro.obs.registry.MetricsRegistry`.
 * :mod:`~repro.obs.profile` — ``nvprof``-style :func:`profile_format`
   with a :class:`RooflineVerdict` (limiting resource + headroom).
+* :mod:`~repro.obs.imbalance` — warp-skew statistics (Gini, tail-warp
+  share) behind the paper's Figures 2/3 argument.
+* :mod:`~repro.obs.attribution` — critical-path attribution: named
+  contributions that float-sum exactly to every modelled time.
+* :mod:`~repro.obs.timeline` — read-only timeline reconstruction with
+  per-SM / per-stream lanes whose critical path equals the model's
+  ``time_s`` bit-for-bit.
+* :mod:`~repro.obs.diff` — differential profiling (``repro diff``):
+  ranked "why B beats A" tables whose deltas sum exactly to the gap.
 * :mod:`~repro.obs.export` — JSONL / CSV / Chrome-counter-track
-  exporters and the JSONL schema validator CI gates on.
+  exporters plus the JSONL and Chrome-trace schema validators CI gates
+  on; :mod:`~repro.obs.report_html` renders the self-contained HTML
+  diff artifact.
 """
 
+from .attribution import (
+    TERM_ORDER,
+    Attribution,
+    attribute_engine,
+    attribute_format,
+    attribute_launch,
+    attribute_multigpu,
+    attribute_sequence,
+    merge_attributions,
+)
 from .counters import CounterSet, aggregate, launch_counters, with_totals
+from .diff import DiffReport, DiffSide, build_side, diff_formats, diff_sides
 from .export import (
     chrome_counter_trace,
     counter_set_dict,
+    validate_chrome_trace,
     validate_profile_jsonl,
     write_csv,
+    write_diff_jsonl,
     write_jsonl,
+)
+from .imbalance import (
+    TAIL_THRESHOLD,
+    tail_warp_count,
+    tail_warp_mask,
+    tail_warp_share,
+    warp_work_gini,
 )
 from .profile import (
     FormatProfile,
@@ -32,6 +63,19 @@ from .profile import (
 )
 from .profiler import Profiler, Span
 from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .report_html import diff_report_html, write_html_report
+from .timeline import (
+    Lane,
+    LaneEvent,
+    LaunchDetail,
+    Timeline,
+    launch_detail,
+    timeline_from_acsr,
+    timeline_from_engine,
+    timeline_from_format,
+    timeline_from_multigpu,
+    timeline_from_sequence,
+)
 
 __all__ = [
     "CounterSet",
@@ -51,6 +95,38 @@ __all__ = [
     "counter_set_dict",
     "write_jsonl",
     "write_csv",
+    "write_diff_jsonl",
     "chrome_counter_trace",
     "validate_profile_jsonl",
+    "validate_chrome_trace",
+    "TERM_ORDER",
+    "Attribution",
+    "attribute_launch",
+    "attribute_sequence",
+    "attribute_format",
+    "attribute_engine",
+    "attribute_multigpu",
+    "merge_attributions",
+    "TAIL_THRESHOLD",
+    "warp_work_gini",
+    "tail_warp_share",
+    "tail_warp_mask",
+    "tail_warp_count",
+    "Timeline",
+    "Lane",
+    "LaneEvent",
+    "LaunchDetail",
+    "launch_detail",
+    "timeline_from_sequence",
+    "timeline_from_acsr",
+    "timeline_from_engine",
+    "timeline_from_multigpu",
+    "timeline_from_format",
+    "DiffReport",
+    "DiffSide",
+    "build_side",
+    "diff_sides",
+    "diff_formats",
+    "diff_report_html",
+    "write_html_report",
 ]

@@ -1,0 +1,232 @@
+"""Differential profiling: explain *why* format B beats format A.
+
+``repro diff`` compares two (matrix, format, device, k) cells — two
+formats on one device, one format across devices, or SpMV against a
+``k``-wide SpMM — and decomposes the end-to-end time difference into the
+attribution vocabulary of :mod:`repro.obs.attribution`:
+
+* each side gets a full profile (counters), attribution (waterfall) and
+  reconstructed timeline (Gantt);
+* launches are paired positionally and their counters diffed;
+* the per-term attribution deltas are ranked by magnitude into a
+  "why B beats A" table whose values float-sum **exactly** to
+  ``timeA − timeB`` (the same fix-point forcing the attributions use).
+
+Everything is read-only over the frozen timing models: building a diff
+never changes a modelled time, and the two sides' totals are the very
+floats ``spmm_time_s`` returns for those cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.device import DeviceSpec, Precision
+from .attribution import TERM_ORDER, Attribution, _force_exact, attribute_format
+from .counters import CounterSet
+from .profile import FormatProfile, profile_format
+from .timeline import Timeline, timeline_from_format
+
+
+@dataclass(frozen=True)
+class DiffSide:
+    """One side of a differential profile: a fully observed cell."""
+
+    label: str
+    format_name: str
+    device: str
+    k: int
+    time_s: float
+    attribution: Attribution
+    profile: FormatProfile
+    timeline: Timeline
+
+
+def build_side(
+    fmt,
+    device: DeviceSpec,
+    *,
+    k: int = 1,
+    matrix: str = "",
+    name: str | None = None,
+) -> DiffSide:
+    """Observe one cell: profile + attribution + timeline, coherently.
+
+    All three views are built from the same format instance on the same
+    device, so their totals are the same float — the format's own
+    modelled time.  ``name`` overrides the format's own name in the
+    label (registry names like ``csr-vector`` are more precise).
+    """
+    name = name or fmt.name
+    label = f"{name}@{device.name}" + (f" k={k}" if k > 1 else "")
+    profile = profile_format(fmt, device, k=k, matrix=matrix)
+    attribution = attribute_format(fmt, device, k=k)
+    timeline = timeline_from_format(fmt, device, k=k)
+    return DiffSide(
+        label=label,
+        format_name=name,
+        device=device.name,
+        k=k,
+        time_s=profile.model_time_s,
+        attribution=attribution,
+        profile=profile,
+        timeline=timeline,
+    )
+
+
+@dataclass(frozen=True)
+class DiffReport:
+    """A paired comparison of two observed cells.
+
+    ``deltas`` holds ``(term, seconds)`` in canonical term order with
+    positive values favouring B (time A spends that B does not); their
+    left-to-right float sum equals ``delta_s`` exactly.
+    """
+
+    matrix: str
+    a: DiffSide
+    b: DiffSide
+    deltas: tuple[tuple[str, float], ...]
+
+    @property
+    def delta_s(self) -> float:
+        """``timeA − timeB``: positive when B is faster."""
+        return self.a.time_s - self.b.time_s
+
+    @property
+    def speedup(self) -> float:
+        """B's speedup over A (``timeA / timeB``)."""
+        if self.b.time_s <= 0:
+            return float("inf") if self.a.time_s > 0 else 1.0
+        return self.a.time_s / self.b.time_s
+
+    @property
+    def winner(self) -> str:
+        """``"a"``, ``"b"``, or ``"tie"`` on modelled time."""
+        if self.a.time_s < self.b.time_s:
+            return "a"
+        if self.b.time_s < self.a.time_s:
+            return "b"
+        return "tie"
+
+    def ranked(self) -> tuple[tuple[str, float], ...]:
+        """The term deltas sorted by magnitude, largest first."""
+        return tuple(
+            sorted(self.deltas, key=lambda kv: abs(kv[1]), reverse=True)
+        )
+
+    def top_term(self) -> str:
+        """The term moving the most time between the sides."""
+        return self.ranked()[0][0]
+
+    def check_exact(self) -> bool:
+        """Whether the canonical-order delta sum equals ``delta_s``."""
+        s = 0.0
+        for _, v in self.deltas:
+            s += v
+        return s == self.delta_s
+
+    def launch_pairs(
+        self,
+    ) -> tuple[tuple[CounterSet | None, CounterSet | None], ...]:
+        """Positionally paired per-launch counter sets of the two sides."""
+        la, lb = self.a.profile.launches, self.b.profile.launches
+        n = max(len(la), len(lb))
+        return tuple(
+            (la[i] if i < len(la) else None, lb[i] if i < len(lb) else None)
+            for i in range(n)
+        )
+
+    def render(self) -> str:
+        """The ranked "why B beats A" table plus paired launch counters."""
+        title = (
+            f"== diff: {self.matrix} — A: {self.a.label}  vs  "
+            f"B: {self.b.label} =="
+        )
+        lines = [
+            title,
+            f"A {self.a.time_s * 1e6:>10.3f} us   "
+            f"B {self.b.time_s * 1e6:>10.3f} us   "
+            f"delta {self.delta_s * 1e6:>+10.3f} us   "
+            f"speedup x{self.speedup:.2f}   winner: {self.winner.upper()}",
+            "",
+            f"{'term':<16} {'A (us)':>10} {'B (us)':>10} "
+            f"{'delta (us)':>11}  why",
+        ]
+        denom = abs(self.delta_s) if self.delta_s != 0 else 0.0
+        for term, delta in self.ranked():
+            if delta == 0.0:
+                continue
+            ta = self.a.attribution.term(term)
+            tb = self.b.attribution.term(term)
+            share = f"{delta / denom:+.0%} of gap" if denom else ""
+            lines.append(
+                f"{term:<16} {ta * 1e6:>10.3f} {tb * 1e6:>10.3f} "
+                f"{delta * 1e6:>+11.3f}  {share}"
+            )
+        lines.append("")
+        lines.append(
+            f"{'launch pair':<30} {'A time':>9} {'B time':>9} "
+            f"{'A occ':>5} {'B occ':>5} {'A WEff':>6} {'B WEff':>6}"
+        )
+        for cs_a, cs_b in self.launch_pairs():
+            name = (cs_a or cs_b).name[:30]
+            fa = f"{cs_a.time_s * 1e6:9.2f}" if cs_a else "        -"
+            fb = f"{cs_b.time_s * 1e6:9.2f}" if cs_b else "        -"
+            oa = f"{cs_a.achieved_occupancy:5.2f}" if cs_a else "    -"
+            ob = f"{cs_b.achieved_occupancy:5.2f}" if cs_b else "    -"
+            wa = f"{cs_a.warp_execution_efficiency:6.2f}" if cs_a else "     -"
+            wb = f"{cs_b.warp_execution_efficiency:6.2f}" if cs_b else "     -"
+            lines.append(f"{name:<30} {fa} {fb} {oa} {ob} {wa} {wb}")
+        return "\n".join(lines)
+
+
+def diff_sides(matrix: str, a: DiffSide, b: DiffSide) -> DiffReport:
+    """Assemble a :class:`DiffReport` with exactness-forced term deltas."""
+    terms = {}
+    for key in TERM_ORDER:
+        terms[key] = a.attribution.term(key) - b.attribution.term(key)
+    target = a.time_s - b.time_s
+    forced = _force_exact(terms, target)
+    return DiffReport(
+        matrix=matrix,
+        a=a,
+        b=b,
+        deltas=tuple((key, forced[key]) for key in TERM_ORDER),
+    )
+
+
+def diff_formats(
+    matrix_key: str,
+    format_a: str,
+    format_b: str,
+    device_a: DeviceSpec,
+    *,
+    device_b: DeviceSpec | None = None,
+    k_a: int = 1,
+    k_b: int | None = None,
+    precision: Precision = Precision.SINGLE,
+    scale: float | None = None,
+) -> DiffReport:
+    """Differentially profile two formats on a corpus matrix.
+
+    ``device_b`` and ``k_b`` default to the A side's, so the same call
+    compares formats on one device, one format across devices, or SpMV
+    against a batched SpMM.  Formats come from the harness's session
+    cache, so the totals match the bench/table cells for those keys.
+    """
+    from ..data.corpus import get_spec
+    from ..harness.runner import get_format
+
+    device_b = device_b or device_a
+    k_b = k_a if k_b is None else k_b
+    spec = get_spec(matrix_key)
+    fmt_a = get_format(matrix_key, format_a, precision, scale)
+    fmt_b = get_format(matrix_key, format_b, precision, scale)
+    side_a = build_side(
+        fmt_a, device_a, k=k_a, matrix=spec.abbrev, name=format_a
+    )
+    side_b = build_side(
+        fmt_b, device_b, k=k_b, matrix=spec.abbrev, name=format_b
+    )
+    return diff_sides(spec.abbrev, side_a, side_b)

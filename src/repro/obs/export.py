@@ -3,13 +3,16 @@
 Three formats, all dependency-free:
 
 * **JSONL** — one JSON object per line, each tagged with a ``record``
-  kind (``meta`` / ``launch`` / ``span`` / ``aggregate`` / ``metrics``).
-  This is the machine-readable artifact CI uploads and gates on;
-  :func:`validate_profile_jsonl` is the gate.
+  kind (``meta`` / ``launch`` / ``span`` / ``aggregate`` / ``metrics``,
+  plus ``attribution`` / ``delta`` for differential profiles).  This is
+  the machine-readable artifact CI uploads and gates on;
+  :func:`validate_profile_jsonl` is the gate and
+  :func:`write_diff_jsonl` the diff-report writer.
 * **CSV** — one row per launch, for spreadsheets.
 * **Chrome counter tracks** — ``"ph": "C"`` events that render as stacked
   counter charts alongside the kernel timeline in ``chrome://tracing`` /
-  Perfetto.
+  Perfetto; :func:`validate_chrome_trace` schema-checks any exported
+  trace dict (kernel timelines included).
 """
 
 from __future__ import annotations
@@ -47,7 +50,15 @@ _UNIT_INTERVAL_FIELDS = (
     "launch_overhead_share",
 )
 
-_RECORD_KINDS = ("meta", "launch", "span", "aggregate", "metrics")
+_RECORD_KINDS = (
+    "meta",
+    "launch",
+    "span",
+    "aggregate",
+    "metrics",
+    "attribution",
+    "delta",
+)
 
 #: CSV column order (stable; append-only for compatibility).
 CSV_COLUMNS = (
@@ -206,6 +217,126 @@ def chrome_counter_trace(records, name: str = "profile") -> dict:
     return {"traceEvents": events, "displayTimeUnit": "ns"}
 
 
+def write_diff_jsonl(report, path, **meta) -> Path:
+    """Dump one :class:`~repro.obs.diff.DiffReport` as JSON lines.
+
+    Layout: one ``meta`` line, one ``aggregate`` line per side (full
+    counter dict — so the file also passes
+    :func:`validate_profile_jsonl`), one ``attribution`` line per side,
+    and one ``delta`` line whose per-term values float-sum exactly to
+    ``timeA − timeB``.
+    """
+    path = Path(path)
+    lines = [
+        json.dumps(
+            {
+                "record": "meta",
+                "kind": "diff",
+                "matrix": report.matrix,
+                "a": report.a.label,
+                "b": report.b.label,
+                **meta,
+            }
+        )
+    ]
+    for side_key in ("a", "b"):
+        side = getattr(report, side_key)
+        lines.append(
+            json.dumps(
+                {
+                    "record": "aggregate",
+                    "side": side_key,
+                    **counter_set_dict(side.profile.total),
+                }
+            )
+        )
+        lines.append(
+            json.dumps(
+                {
+                    "record": "attribution",
+                    "side": side_key,
+                    "name": side.attribution.name,
+                    "device": side.attribution.device,
+                    "time_s": side.attribution.time_s,
+                    "terms": side.attribution.as_dict(),
+                }
+            )
+        )
+    lines.append(
+        json.dumps(
+            {
+                "record": "delta",
+                "time_a_s": report.a.time_s,
+                "time_b_s": report.b.time_s,
+                "delta_s": report.delta_s,
+                "speedup": report.speedup,
+                "winner": report.winner,
+                "top_term": report.top_term(),
+                "terms": dict(report.deltas),
+            }
+        )
+    )
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def validate_chrome_trace(trace: dict) -> list[str]:
+    """Schema-check a Chrome trace-event dict; returns error messages.
+
+    Checked: ``traceEvents`` is a list of objects; every event carries
+    ``name``/``cat``/``ph``/``ts``/``pid``; ``ph`` is a complete event
+    (``X``, which additionally needs ``dur`` and ``tid``) or a counter
+    sample (``C``, which needs numeric ``args`` values); and within each
+    ``(pid, tid)`` lane — or ``(pid, name)`` counter track — timestamps
+    never run backwards.
+    """
+    errors: list[str] = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    last_ts: dict[tuple, float] = {}
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for key in ("name", "cat", "ph", "ts", "pid"):
+            if key not in ev:
+                errors.append(f"{where}: missing key {key!r}")
+        ph = ev.get("ph")
+        if ph not in ("X", "C"):
+            errors.append(f"{where}: unsupported ph {ph!r}")
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"{where}: ts={ts!r} not a non-negative number")
+            continue
+        if ph == "X":
+            if "tid" not in ev:
+                errors.append(f"{where}: complete event missing 'tid'")
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(
+                    f"{where}: dur={dur!r} not a non-negative number"
+                )
+            lane = ("X", ev.get("pid"), ev.get("tid"))
+        else:
+            args = ev.get("args")
+            if not isinstance(args, dict) or not all(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                errors.append(f"{where}: counter args must be numeric")
+            lane = ("C", ev.get("pid"), ev.get("name"))
+        prev = last_ts.get(lane)
+        if prev is not None and ts < prev:
+            errors.append(
+                f"{where}: ts runs backwards on {lane} "
+                f"({ts} < {prev})"
+            )
+        last_ts[lane] = max(prev, ts) if prev is not None else ts
+    return errors
+
+
 def _validate_counter_fields(obj: dict, where: str) -> list[str]:
     errors = []
     for field in _REQUIRED_COUNTER_FIELDS:
@@ -275,6 +406,12 @@ def validate_profile_jsonl(path) -> list[str]:
         elif kind == "metrics":
             if not isinstance(obj.get("metrics"), dict):
                 errors.append(f"{where}: metrics record missing 'metrics'")
+        elif kind in ("attribution", "delta"):
+            terms = obj.get("terms")
+            if not isinstance(terms, dict) or not all(
+                isinstance(v, (int, float)) for v in terms.values()
+            ):
+                errors.append(f"{where}: {kind} record needs numeric 'terms'")
     if n_counter_records == 0:
         errors.append(f"{path}: no launch/aggregate records")
     return errors

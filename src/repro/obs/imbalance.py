@@ -1,0 +1,102 @@
+"""Warp-level load-imbalance statistics (the paper's Figures 2/3 lens).
+
+The paper motivates ACSR with the skew of per-row work in power-law
+graphs: a handful of hub rows carry most of the nonzeros, so one warp
+("the tail warp") runs long after every other warp has drained.  These
+helpers quantify that skew on any :class:`~repro.gpu.kernel.KernelWork`
+in two standard numbers:
+
+* :func:`warp_work_gini` — the Gini coefficient of per-warp instruction
+  counts (0 = perfectly balanced, →1 = one warp does everything);
+* :func:`tail_warp_share` — the fraction of total warp work carried by
+  warps whose instruction count exceeds ``threshold ×`` the mean (the
+  "tail-warp set" the timeline layer highlights).
+
+Both respect ``warp_weights`` compression, so a weighted work and its
+dense expansion score identically, and both are pure observations — they
+never touch the timing model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.kernel import KernelWork
+
+#: A warp belongs to the tail-warp set when its instruction count exceeds
+#: this multiple of the mean per-warp count.
+TAIL_THRESHOLD = 2.0
+
+
+def _insts_and_weights(work: KernelWork) -> tuple[np.ndarray, np.ndarray]:
+    """Per-entry instruction counts and warp multiplicities as float64."""
+    insts = np.asarray(work.compute_insts, dtype=np.float64)
+    return insts, work._weights()
+
+
+def warp_work_gini(work: KernelWork) -> float:
+    """Weighted Gini coefficient of per-warp instruction counts.
+
+    0.0 for a perfectly uniform launch (every warp issues the same
+    instruction count — COO, ELL), approaching 1.0 when a single hub-row
+    warp dominates (CSR-vector on a power-law graph).  Empty or zero-work
+    launches score 0.0.
+    """
+    insts, weights = _insts_and_weights(work)
+    total_w = float(weights.sum())
+    total_x = float(np.sum(insts * weights))
+    if insts.size == 0 or total_w <= 0 or total_x <= 0:
+        return 0.0
+    order = np.argsort(insts, kind="stable")
+    x = insts[order]
+    w = weights[order]
+    cum = np.cumsum(w)
+    # Weighted Lorenz form: reduces to the classic (2Σ i·x)/(nΣx) − (n+1)/n
+    # when every weight is 1.
+    g = float(np.sum(w * x * (2.0 * cum - w)) / (total_w * total_x)) - 1.0
+    return max(0.0, min(1.0, g))
+
+
+def tail_warp_mask(
+    work: KernelWork, threshold: float = TAIL_THRESHOLD
+) -> np.ndarray:
+    """Boolean mask over the work's entries selecting the tail-warp set.
+
+    An entry is in the tail when its instruction count exceeds
+    ``threshold`` times the (weight-respecting) mean per-warp count.
+    """
+    insts, weights = _insts_and_weights(work)
+    total_w = float(weights.sum())
+    if insts.size == 0 or total_w <= 0:
+        return np.zeros(0, dtype=bool)
+    mean = float(np.sum(insts * weights)) / total_w
+    return insts > threshold * mean
+
+
+def tail_warp_share(
+    work: KernelWork, threshold: float = TAIL_THRESHOLD
+) -> float:
+    """Fraction of total warp work carried by the tail-warp set.
+
+    0.0 when no warp exceeds ``threshold ×`` the mean (balanced launches:
+    every ACSR bin, ELL, COO); close to 1.0 when hub rows dominate.  This
+    is the per-row-skew summary the bench harness reports next to Gini.
+    """
+    insts, weights = _insts_and_weights(work)
+    total = float(np.sum(insts * weights))
+    if insts.size == 0 or total <= 0:
+        return 0.0
+    mask = tail_warp_mask(work, threshold)
+    share = float(np.sum(insts[mask] * weights[mask])) / total
+    return max(0.0, min(1.0, share))
+
+
+def tail_warp_count(
+    work: KernelWork, threshold: float = TAIL_THRESHOLD
+) -> int:
+    """Number of warps (not entries) in the tail-warp set."""
+    mask = tail_warp_mask(work, threshold)
+    if mask.size == 0:
+        return 0
+    _, weights = _insts_and_weights(work)
+    return int(round(float(weights[mask].sum())))

@@ -99,6 +99,7 @@ class Profiler:
         self.root = Span(name=name)
         self._stack: list[Span] = [self.root]
         self._active = 0
+        self._pause_depth = 0
 
     # -- span structure -------------------------------------------------
     @property
@@ -188,14 +189,19 @@ class Profiler:
         then :meth:`record` them explicitly each round; deriving under
         ``paused()`` keeps those derivation launches out of the span tree
         even when the profiler is also entered as a context manager.
+        Nests safely: only the outermost ``paused()`` detaches and
+        re-attaches the observer, so an inner pause cannot resume
+        capture while an outer pause is still in force.
         """
-        live = self._active > 0
-        if live:
+        detach = self._active > 0 and self._pause_depth == 0
+        self._pause_depth += 1
+        if detach:
             remove_launch_observer(self._observe)
         try:
             yield
         finally:
-            if live:
+            self._pause_depth -= 1
+            if detach:
                 add_launch_observer(self._observe)
 
     # -- results --------------------------------------------------------

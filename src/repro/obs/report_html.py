@@ -1,0 +1,214 @@
+"""Self-contained HTML reports for differential profiles.
+
+One ``repro diff --html`` artifact = one file: embedded SVG Gantt charts
+of both sides' reconstructed timelines, an SVG waterfall of the ranked
+attribution deltas, and the paired-launch counter table.  No external
+scripts, stylesheets, fonts, or network fetches — the file renders
+identically from a CI artifact store, an email attachment, or ``file://``.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+
+from .diff import DiffReport
+from .timeline import Timeline
+
+_CATEGORY_FILL = {
+    "kernel": "#4c78a8",
+    "overhead": "#f58518",
+    "copy": "#54a24b",
+    "sync": "#b279a2",
+}
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2em;
+       color: #222; max-width: 960px; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.05em; margin-top: 1.6em; }
+table { border-collapse: collapse; font-size: 0.85em; margin: 0.6em 0; }
+th, td { border: 1px solid #ccc; padding: 3px 8px; text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+.pos { color: #1a7f37; } .neg { color: #b42318; }
+.verdict { background: #f2f6fc; padding: 0.6em 1em; border-radius: 6px; }
+svg { background: #fafafa; border: 1px solid #ddd; margin: 0.4em 0; }
+.legend span { display: inline-block; margin-right: 1.2em;
+               font-size: 0.8em; }
+.swatch { display: inline-block; width: 10px; height: 10px;
+          margin-right: 4px; }
+"""
+
+
+def _svg_gantt(timeline: Timeline, width: int = 860) -> str:
+    """An inline SVG Gantt of one reconstructed timeline."""
+    lane_h, pad_l, pad_t = 26, 110, 24
+    span = max(
+        timeline.time_s,
+        max((ln.end_s for ln in timeline.lanes), default=0.0),
+        1e-12,
+    )
+    height = pad_t + lane_h * max(1, len(timeline.lanes)) + 20
+    parts = [
+        f'<svg width="{width}" height="{height}" '
+        f'xmlns="http://www.w3.org/2000/svg">',
+        f'<text x="4" y="14" font-size="12" fill="#444">'
+        f"{html.escape(timeline.name)} — "
+        f"{timeline.time_s * 1e6:.3f} us ({timeline.source})</text>",
+    ]
+    plot_w = width - pad_l - 10
+    for i, lane in enumerate(timeline.lanes):
+        y = pad_t + i * lane_h
+        mark = " *" if i == timeline.critical_lane else ""
+        parts.append(
+            f'<text x="4" y="{y + 15}" font-size="11" fill="#333">'
+            f"{html.escape(lane.label)}{mark}</text>"
+        )
+        parts.append(
+            f'<line x1="{pad_l}" y1="{y + lane_h - 3}" '
+            f'x2="{pad_l + plot_w}" y2="{y + lane_h - 3}" '
+            f'stroke="#eee"/>'
+        )
+        for ev in lane.events:
+            x = pad_l + ev.start_s / span * plot_w
+            w = max(1.5, ev.duration_s / span * plot_w)
+            fill = _CATEGORY_FILL.get(ev.category, "#4c78a8")
+            title = (
+                f"{ev.name}: {ev.start_s * 1e6:.3f} us "
+                f"+{ev.duration_s * 1e6:.3f} us"
+            )
+            parts.append(
+                f'<rect x="{x:.2f}" y="{y + 3}" width="{w:.2f}" '
+                f'height="{lane_h - 9}" fill="{fill}" opacity="0.85">'
+                f"<title>{html.escape(title)}</title></rect>"
+            )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _svg_waterfall(report: DiffReport, width: int = 860) -> str:
+    """An inline SVG waterfall of the ranked attribution deltas."""
+    bars = [(k, v) for k, v in report.ranked() if v != 0.0]
+    bar_h, pad_l, pad_t = 24, 130, 8
+    height = pad_t + bar_h * max(1, len(bars)) + 12
+    peak = max((abs(v) for _, v in bars), default=1e-12)
+    mid = pad_l + (width - pad_l - 10) / 2.0
+    half = (width - pad_l - 10) / 2.0
+    parts = [
+        f'<svg width="{width}" height="{height}" '
+        f'xmlns="http://www.w3.org/2000/svg">',
+        f'<line x1="{mid}" y1="{pad_t}" x2="{mid}" '
+        f'y2="{height - 8}" stroke="#bbb"/>',
+    ]
+    for i, (term, delta) in enumerate(bars):
+        y = pad_t + i * bar_h
+        w = abs(delta) / peak * (half - 6)
+        x = mid if delta > 0 else mid - w
+        fill = "#1a7f37" if delta > 0 else "#b42318"
+        parts.append(
+            f'<text x="4" y="{y + 15}" font-size="11" '
+            f'fill="#333">{html.escape(term)}</text>'
+        )
+        parts.append(
+            f'<rect x="{x:.2f}" y="{y + 4}" width="{max(w, 1.0):.2f}" '
+            f'height="{bar_h - 10}" fill="{fill}" opacity="0.8">'
+            f"<title>{html.escape(term)}: {delta * 1e6:+.3f} us</title>"
+            f"</rect>"
+        )
+        tx = mid + w + 6 if delta > 0 else mid - w - 6
+        anchor = "start" if delta > 0 else "end"
+        parts.append(
+            f'<text x="{tx:.2f}" y="{y + 16}" font-size="10" '
+            f'text-anchor="{anchor}" fill="#555">'
+            f"{delta * 1e6:+.3f} us</text>"
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _terms_table(report: DiffReport) -> str:
+    rows = [
+        "<tr><th>term</th><th>A (us)</th><th>B (us)</th>"
+        "<th>delta (us)</th></tr>"
+    ]
+    for term, delta in report.ranked():
+        ta = report.a.attribution.term(term)
+        tb = report.b.attribution.term(term)
+        cls = "pos" if delta > 0 else ("neg" if delta < 0 else "")
+        rows.append(
+            f"<tr><td>{html.escape(term)}</td>"
+            f"<td>{ta * 1e6:.3f}</td><td>{tb * 1e6:.3f}</td>"
+            f'<td class="{cls}">{delta * 1e6:+.3f}</td></tr>'
+        )
+    return "<table>" + "".join(rows) + "</table>"
+
+
+def _pairs_table(report: DiffReport) -> str:
+    rows = [
+        "<tr><th>launch pair</th><th>A time (us)</th><th>B time (us)</th>"
+        "<th>A occ</th><th>B occ</th><th>A WEff</th><th>B WEff</th>"
+        "<th>A coal</th><th>B coal</th></tr>"
+    ]
+
+    def fmt(v, spec: str) -> str:
+        return format(v, spec) if v is not None else "-"
+
+    for cs_a, cs_b in report.launch_pairs():
+        name = (cs_a or cs_b).name
+        rows.append(
+            "<tr>"
+            f"<td>{html.escape(name)}</td>"
+            f"<td>{fmt(cs_a.time_s * 1e6 if cs_a else None, '.3f')}</td>"
+            f"<td>{fmt(cs_b.time_s * 1e6 if cs_b else None, '.3f')}</td>"
+            f"<td>{fmt(cs_a.achieved_occupancy if cs_a else None, '.2f')}</td>"
+            f"<td>{fmt(cs_b.achieved_occupancy if cs_b else None, '.2f')}</td>"
+            f"<td>{fmt(cs_a.warp_execution_efficiency if cs_a else None, '.2f')}</td>"
+            f"<td>{fmt(cs_b.warp_execution_efficiency if cs_b else None, '.2f')}</td>"
+            f"<td>{fmt(cs_a.gld_coalescing_ratio if cs_a else None, '.2f')}</td>"
+            f"<td>{fmt(cs_b.gld_coalescing_ratio if cs_b else None, '.2f')}</td>"
+            "</tr>"
+        )
+    return "<table>" + "".join(rows) + "</table>"
+
+
+def diff_report_html(report: DiffReport) -> str:
+    """The full self-contained HTML document for one diff report."""
+    legend = "".join(
+        f'<span><span class="swatch" style="background:{color}"></span>'
+        f"{html.escape(cat)}</span>"
+        for cat, color in _CATEGORY_FILL.items()
+    )
+    top = report.top_term()
+    verdict = (
+        f"winner: <b>{report.winner.upper()}</b> "
+        f"(speedup ×{report.speedup:.2f}, gap "
+        f"{report.delta_s * 1e6:+.3f} us) — largest mover: <b>{html.escape(top)}</b>"
+    )
+    return f"""<!DOCTYPE html>
+<html><head><meta charset="utf-8">
+<title>repro diff: {html.escape(report.matrix)}</title>
+<style>{_CSS}</style></head>
+<body>
+<h1>repro diff — {html.escape(report.matrix)}</h1>
+<p class="verdict">A: {html.escape(report.a.label)}
+({report.a.time_s * 1e6:.3f} us) &nbsp;vs&nbsp;
+B: {html.escape(report.b.label)}
+({report.b.time_s * 1e6:.3f} us)<br>{verdict}</p>
+<h2>Why B differs from A (attribution waterfall)</h2>
+{_svg_waterfall(report)}
+{_terms_table(report)}
+<h2>Timeline A — {html.escape(report.a.label)}</h2>
+{_svg_gantt(report.a.timeline)}
+<h2>Timeline B — {html.escape(report.b.label)}</h2>
+{_svg_gantt(report.b.timeline)}
+<p class="legend">{legend}</p>
+<h2>Paired launches</h2>
+{_pairs_table(report)}
+</body></html>
+"""
+
+
+def write_html_report(report: DiffReport, path) -> Path:
+    """Write the diff's self-contained HTML artifact to ``path``."""
+    path = Path(path)
+    path.write_text(diff_report_html(report))
+    return path

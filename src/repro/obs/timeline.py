@@ -1,0 +1,496 @@
+"""Timeline reconstruction: per-SM / per-stream Gantt views of a model.
+
+The timing models already *know* where every nanosecond goes — the
+simulator computes per-SM loads and per-warp chains and then keeps only
+their maxima; the stream engine walks true start times and keeps only
+the records.  This module rebuilds the full picture, read-only:
+
+* a :class:`Timeline` of :class:`Lane`\\s (streams, the ACSR pool, the DP
+  enqueue window, one lane per device on a multi-GPU board), each a list
+  of placed :class:`LaneEvent`\\s;
+* per-launch :class:`LaunchDetail` — the per-SM busy/idle split under
+  round-robin placement, the tail-warp set and its skew statistics, and
+  the DP child fan-out against the pending-launch cap.
+
+**Exactness invariant.**  Every builder reconstructs the source model's
+total by replaying the *same float operations in the same order* the
+model used (a running cursor for sequences, the engine's ``t += dt``
+segment walk, the literal timing expressions for ACSR and multi-GPU), so
+``Timeline.time_s`` equals the model's ``time_s`` bit-for-bit — the
+reconstructed critical path *is* the modelled time, not an estimate.
+Re-simulation happens under
+:func:`~repro.gpu.simulator.observers_suspended`, so building a timeline
+never pollutes a live profiler and never changes a modelled time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gpu.device import DeviceSpec
+from ..gpu.dynamic_parallelism import child_launch_split
+from ..gpu.kernel import KernelWork
+from ..gpu.simulator import (
+    KernelTiming,
+    observers_suspended,
+    simulate_kernel,
+    sm_inst_loads,
+    warp_chain_detail,
+)
+from .imbalance import tail_warp_count, tail_warp_share, warp_work_gini
+
+
+@dataclass(frozen=True)
+class LaneEvent:
+    """One placed span on a timeline lane."""
+
+    name: str
+    start_s: float
+    duration_s: float
+    #: ``kernel`` | ``overhead`` | ``copy`` | ``sync``.
+    category: str = "kernel"
+
+    @property
+    def end_s(self) -> float:
+        """Where the span finishes on the timeline."""
+        return self.start_s + self.duration_s
+
+
+@dataclass(frozen=True)
+class Lane:
+    """A horizontal row of the Gantt (a stream, a device, a window)."""
+
+    label: str
+    events: tuple[LaneEvent, ...]
+
+    @property
+    def end_s(self) -> float:
+        """When the lane's last event finishes (0.0 when empty)."""
+        return max((e.end_s for e in self.events), default=0.0)
+
+
+@dataclass(frozen=True)
+class LaunchDetail:
+    """Per-launch lane detail the simulator computed but discarded.
+
+    ``sm_busy_s`` is the compute time each SM spends on its dealt warps
+    (round-robin placement, exactly the vector behind the busiest-SM
+    bound); ``idle_s`` is each SM's gap to the busiest one — the white
+    space of the per-SM Gantt.  Tail-warp statistics describe the skew
+    that fills the ``tail_warp`` attribution term, and the DP fan-out
+    splits child grids against the device's pending-launch cap.
+    """
+
+    name: str
+    start_s: float
+    duration_s: float
+    sm_busy_s: tuple[float, ...]
+    busiest_sm: int
+    idle_s: tuple[float, ...]
+    n_warps: int
+    tail_warps: int
+    tail_share: float
+    gini: float
+    #: Straggler warp's dependent chain (the latency bound), seconds.
+    chain_max_s: float
+    #: Mean warp's dependent chain, seconds.
+    chain_mean_s: float
+    dp_within: int = 0
+    dp_overflow: int = 0
+
+    @property
+    def mean_idle_s(self) -> float:
+        """Average per-SM idle gap below the busiest SM."""
+        if not self.idle_s:
+            return 0.0
+        return float(sum(self.idle_s)) / len(self.idle_s)
+
+    def render(self, width: int = 40) -> str:
+        """Per-SM busy bars for one launch (busiest SM marked ``*``)."""
+        lines = [
+            f"{self.name}: {self.n_warps} warps, "
+            f"tail {self.tail_warps} warps / {self.tail_share:.1%} of work, "
+            f"gini {self.gini:.3f}"
+        ]
+        if self.dp_within or self.dp_overflow:
+            lines.append(
+                f"  dp fan-out: {self.dp_within} within cap, "
+                f"{self.dp_overflow} overflow"
+            )
+        peak = max(self.sm_busy_s, default=0.0)
+        for s, busy in enumerate(self.sm_busy_s):
+            frac = busy / peak if peak > 0 else 0.0
+            bar = "#" * max(1 if busy > 0 else 0, int(round(width * frac)))
+            mark = "*" if s == self.busiest_sm else " "
+            lines.append(
+                f"  SM{s:>3}{mark} {busy * 1e6:>9.3f} us |{bar:<{width}}|"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Timeline:
+    """A reconstructed execution timeline of one timing model."""
+
+    name: str
+    device_name: str
+    #: ``sequence`` | ``acsr`` | ``engine`` | ``multi-gpu``.
+    source: str
+    #: The reconstructed critical path — bit-identical to the source
+    #: model's ``time_s`` (the builders replay its float operations).
+    time_s: float
+    lanes: tuple[Lane, ...]
+    details: tuple[LaunchDetail, ...] = ()
+    #: Index into ``lanes`` of the lane the total time waits on
+    #: (multi-GPU: the critical device; others: the busiest lane).
+    critical_lane: int = 0
+    notes: str = field(default="", compare=False)
+
+    def detail_for(self, name: str) -> LaunchDetail | None:
+        """The first launch detail matching ``name`` (or ``None``)."""
+        for d in self.details:
+            if d.name == name:
+                return d
+        return None
+
+    def gantt(self, width: int = 64) -> str:
+        """A one-screen text Gantt of the lanes."""
+        span = max(self.time_s, max((ln.end_s for ln in self.lanes), default=0.0))
+        lines = [
+            f"timeline: {self.name} on {self.device_name} "
+            f"({self.source}) — {self.time_s * 1e6:.3f} us"
+        ]
+        glyph = {"kernel": "#", "overhead": "o", "copy": "=", "sync": "~"}
+        for i, lane in enumerate(self.lanes):
+            row = [" "] * width
+            for ev in lane.events:
+                if span <= 0:
+                    continue
+                a = int(ev.start_s / span * (width - 1))
+                b = max(a + 1, int(round(ev.end_s / span * (width - 1))) + 1)
+                ch = glyph.get(ev.category, "#")
+                for p in range(a, min(b, width)):
+                    row[p] = ch
+            mark = "*" if i == self.critical_lane else " "
+            lines.append(f"  {lane.label:<14}{mark}|{''.join(row)}|")
+        legend = "  (#=kernel o=launch ==copy ~=sync/enqueue, *=critical lane)"
+        lines.append(legend)
+        if self.notes:
+            lines.append(f"  {self.notes}")
+        return "\n".join(lines)
+
+
+def launch_detail(
+    device: DeviceSpec,
+    work: KernelWork,
+    timing: KernelTiming,
+    *,
+    start_s: float = 0.0,
+    dp_children: int = 0,
+) -> LaunchDetail:
+    """Reconstruct the per-SM / tail-warp detail of one launch."""
+    chain_cycles, counts, insts = warp_chain_detail(device, work)
+    clock_hz = device.clock_ghz * 1e9
+    if insts.size == 0:
+        busy: tuple[float, ...] = ()
+        idle: tuple[float, ...] = ()
+        busiest = 0
+        chain_max = 0.0
+        chain_mean = 0.0
+    else:
+        loads = sm_inst_loads(insts, counts, device.num_sms)
+        busy_arr = loads / device.warp_issue_rate / clock_hz
+        busiest = int(np.argmax(busy_arr))
+        idle_arr = busy_arr[busiest] - busy_arr
+        busy = tuple(float(v) for v in busy_arr)
+        idle = tuple(float(v) for v in idle_arr)
+        chain_max = float(chain_cycles.max()) / clock_hz
+        total_w = float(counts.sum())
+        chain_mean = (
+            float(np.sum(chain_cycles * counts)) / total_w / clock_hz
+            if total_w > 0
+            else 0.0
+        )
+    within, overflow = (
+        child_launch_split(device, dp_children) if dp_children else (0, 0)
+    )
+    return LaunchDetail(
+        name=timing.name,
+        start_s=start_s,
+        duration_s=timing.time_s,
+        sm_busy_s=busy,
+        busiest_sm=busiest,
+        idle_s=idle,
+        n_warps=work.n_warps,
+        tail_warps=tail_warp_count(work),
+        tail_share=tail_warp_share(work),
+        gini=warp_work_gini(work),
+        chain_max_s=chain_max,
+        chain_mean_s=chain_mean,
+        dp_within=within,
+        dp_overflow=overflow,
+    )
+
+
+def timeline_from_sequence(
+    device: DeviceSpec,
+    works: list[KernelWork],
+    *,
+    name: str = "sequence",
+    include_launch_overhead: bool = True,
+) -> Timeline:
+    """Rebuild a back-to-back launch sequence as a single-lane timeline.
+
+    The cursor accumulates ``timing.time_s`` launch by launch — the same
+    left-to-right float sum ``SequenceTiming.time_s`` performs — so the
+    reconstructed total equals the sequence model's time exactly.
+    """
+    events: list[LaneEvent] = []
+    details: list[LaunchDetail] = []
+    cursor = 0.0
+    with observers_suspended():
+        for w in works:
+            timing = simulate_kernel(
+                device, w, include_launch_overhead=include_launch_overhead
+            )
+            events.append(
+                LaneEvent(
+                    name=timing.name,
+                    start_s=cursor,
+                    duration_s=timing.time_s,
+                    category="kernel",
+                )
+            )
+            details.append(
+                launch_detail(device, w, timing, start_s=cursor)
+            )
+            cursor += timing.time_s
+    return Timeline(
+        name=name,
+        device_name=device.name,
+        source="sequence",
+        time_s=cursor,
+        lanes=(Lane(label="stream 0", events=tuple(events)),),
+        details=tuple(details),
+    )
+
+
+def timeline_from_acsr(fmt, device: DeviceSpec, *, k: int = 1) -> Timeline:
+    """Rebuild the serial ACSR model: launch bill, pool, enqueue window.
+
+    The total replays ``ACSRTiming.time_s``'s own expression
+    (``launch_s + max(pool, enqueue)``) on the frozen timing's floats.
+    """
+    from ..core.dispatch import pooled_kernel_work, time_spmv
+
+    plan = fmt.plan_for(device)
+    with observers_suspended():
+        acsr = time_spmv(fmt.csr, plan, device, k=k)
+        pooled = pooled_kernel_work(fmt.csr, plan, device, k=k)
+    lanes = [
+        Lane(
+            label="host",
+            events=(
+                LaneEvent(
+                    name="launch-bill",
+                    start_s=0.0,
+                    duration_s=acsr.launch_s,
+                    category="overhead",
+                ),
+            ),
+        ),
+        Lane(
+            label="pool",
+            events=(
+                LaneEvent(
+                    name=acsr.pool.name,
+                    start_s=acsr.launch_s,
+                    duration_s=acsr.pool.time_s,
+                    category="kernel",
+                ),
+            ),
+        ),
+    ]
+    critical = 1
+    if acsr.n_row_grids:
+        lanes.append(
+            Lane(
+                label="dp-enqueue",
+                events=(
+                    LaneEvent(
+                        name="child-enqueue",
+                        start_s=acsr.launch_s,
+                        duration_s=acsr.enqueue_s,
+                        category="sync",
+                    ),
+                ),
+            )
+        )
+        if acsr.enqueue_s > acsr.pool.time_s:
+            critical = 2
+    detail = launch_detail(
+        device,
+        pooled,
+        acsr.pool,
+        start_s=acsr.launch_s,
+        dp_children=acsr.n_row_grids,
+    )
+    notes = (
+        f"{acsr.n_bin_grids} bin grids + {acsr.n_row_grids} DP children"
+        + (f", {acsr.dp_overflow} past the launch cap" if acsr.dp_overflow else "")
+    )
+    return Timeline(
+        name=fmt.name + (f"[k={k}]" if k > 1 else ""),
+        device_name=device.name,
+        source="acsr",
+        time_s=acsr.launch_s + max(acsr.pool.time_s, acsr.enqueue_s),
+        lanes=tuple(lanes),
+        details=(detail,),
+        critical_lane=critical,
+        notes=notes,
+    )
+
+
+def timeline_from_engine(result, *, name: str = "engine") -> Timeline:
+    """Rebuild a stream-engine run, one lane per stream.
+
+    The total replays the event loop's ``t += dt`` walk over the run's
+    recorded :class:`~repro.gpu.streams.TimeSegment`\\s, re-accumulating
+    ``duration_s`` bit-for-bit.
+    """
+    category = {"kernel": "kernel", "copy": "copy", "span": "sync"}
+    by_stream: dict[int, list[LaneEvent]] = {}
+    details: list[LaunchDetail] = []
+    for r in result.records:
+        by_stream.setdefault(r.stream, []).append(
+            LaneEvent(
+                name=r.name,
+                start_s=r.start_s,
+                duration_s=r.duration_s,
+                category=category.get(r.kind, "kernel"),
+            )
+        )
+        if r.kind == "kernel" and r.work is not None and result.devices:
+            details.append(
+                launch_detail(
+                    result.devices[r.device],
+                    r.work,
+                    r.timing,
+                    start_s=r.start_s,
+                    dp_children=r.dp_children,
+                )
+            )
+    lanes = tuple(
+        Lane(label=f"stream {s}", events=tuple(evs))
+        for s, evs in sorted(by_stream.items())
+    )
+    t = 0.0
+    for seg in result.segments:
+        t += seg.dt_s
+    if not result.segments:
+        t = result.duration_s
+    critical = 0
+    if lanes:
+        critical = max(range(len(lanes)), key=lambda i: lanes[i].end_s)
+    device_name = "+".join(
+        dict.fromkeys(d.name for d in result.devices)
+    ) or "GPU"
+    return Timeline(
+        name=name,
+        device_name=device_name,
+        source="engine",
+        time_s=t,
+        lanes=lanes,
+        details=tuple(details),
+        critical_lane=critical,
+    )
+
+
+def timeline_from_multigpu(mg, *, name: str = "multi-gpu") -> Timeline:
+    """Rebuild a multi-GPU run, one lane per device plus the barrier.
+
+    The total replays ``MultiGPUTiming.time_s``'s expression — the max of
+    the per-device sequence sums plus the sync overhead — on the same
+    frozen floats, so it matches the board-level verdict exactly.  Idle
+    devices' gap to the critical device is the imperfect-scaling slack.
+    """
+    if mg.result is None:
+        raise ValueError("this MultiGPUTiming was built without an engine result")
+    cd = mg.critical_device
+    lanes = []
+    details: list[LaunchDetail] = []
+    for d in range(mg.n_devices):
+        events = []
+        for r in mg.result.records:
+            if r.device != d or r.kind == "span":
+                continue
+            events.append(
+                LaneEvent(
+                    name=r.name,
+                    start_s=r.start_s,
+                    duration_s=r.duration_s,
+                    category="kernel" if r.kind == "kernel" else "copy",
+                )
+            )
+            if r.kind == "kernel" and r.work is not None:
+                details.append(
+                    launch_detail(
+                        mg.result.devices[r.device],
+                        r.work,
+                        r.timing,
+                        start_s=r.start_s,
+                        dp_children=r.dp_children,
+                    )
+                )
+        lanes.append(Lane(label=f"dev{d}", events=tuple(events)))
+    if mg.n_devices > 1:
+        start = max(t.time_s for t in mg.per_device)
+        lanes.append(
+            Lane(
+                label="barrier",
+                events=(
+                    LaneEvent(
+                        name="device-sync",
+                        start_s=start,
+                        duration_s=mg.sync_overhead_s,
+                        category="sync",
+                    ),
+                ),
+            )
+        )
+    if not mg.per_device:
+        total = 0.0
+    else:
+        total = max(t.time_s for t in mg.per_device) + mg.sync_overhead_s
+    device_name = "+".join(
+        dict.fromkeys(d.name for d in mg.result.devices)
+    )
+    return Timeline(
+        name=name,
+        device_name=device_name,
+        source="multi-gpu",
+        time_s=total,
+        lanes=tuple(lanes),
+        details=tuple(details),
+        critical_lane=cd,
+        notes=f"critical device: dev{cd}",
+    )
+
+
+def timeline_from_format(fmt, device: DeviceSpec, *, k: int = 1) -> Timeline:
+    """Rebuild one SpMV/SpMM of any registered format.
+
+    ACSR goes through its pooled model; every other format through its
+    launch sequence.  ``Timeline.time_s`` equals the format's own
+    ``spmm_time_s(device, k)`` bit-for-bit.
+    """
+    from ..core.acsr import ACSRFormat  # local: core imports formats
+
+    if isinstance(fmt, ACSRFormat):
+        return timeline_from_acsr(fmt, device, k=k)
+    works = fmt.cached_kernel_works(device, k=k)
+    return timeline_from_sequence(
+        device, works, name=fmt.name + (f"[k={k}]" if k > 1 else "")
+    )

@@ -138,6 +138,145 @@ class TestChromeExport:
         assert by_name["h2d"]["ts"] == 0.0  # overlapped, not serialised
 
 
+class TestMultiStreamCursors:
+    def test_overlapping_streams_keep_independent_cursors(self):
+        """Concurrent events on different streams never push each
+        other's cursors, even when their windows overlap."""
+        tr = KernelTrace()
+        a = tr.append_timing(timing(), stream=0)
+        b = tr.append_timing(timing(), stream=1, concurrent=True)
+        assert b.start_s == 0.0
+        assert tr.cursor_s(0) == a.end_s
+        # A concurrent overlay never advances its stream's cursor.
+        assert tr.cursor_s(1) == 0.0
+        # A later-placed span on stream 1 inside stream 0's window.
+        sp = tr.add_span("sync", 1e-6, stream=1, start_s=b.end_s / 2)
+        assert sp.start_s == b.end_s / 2
+        # Spans do advance: the cursor jumps to the span's end.
+        assert tr.cursor_s(1) == sp.end_s
+        assert tr.cursor_s(0) == a.end_s  # stream 0 untouched
+
+    def test_cursor_of_untouched_stream_is_zero(self):
+        tr = KernelTrace()
+        tr.add_span("launch", 5e-6, stream=3)
+        assert tr.cursor_s(0) == 0.0
+        assert tr.cursor_s(3) == pytest.approx(5e-6)
+
+    def test_zero_duration_span_advances_nothing(self):
+        tr = KernelTrace()
+        tr.add_span("marker", 0.0, stream=0)
+        assert tr.cursor_s(0) == 0.0
+        ev = tr.append_timing(timing())
+        assert ev.start_s == 0.0
+
+    def test_back_to_back_spans_tile_their_stream(self):
+        tr = KernelTrace()
+        a = tr.add_span("a", 2e-6, stream=1)
+        b = tr.add_span("b", 3e-6, stream=1)
+        assert b.start_s == a.end_s
+        assert tr.cursor_s(1) == pytest.approx(5e-6)
+
+    def test_interleaved_explicit_starts_never_rewind(self):
+        """An early explicit start inside an occupied window records the
+        overlap but leaves the high-water cursor alone."""
+        tr = KernelTrace()
+        first = tr.add_span("long", 10e-6, stream=0)
+        tr.add_span("overlap", 1e-6, stream=0, start_s=2e-6)
+        assert tr.cursor_s(0) == first.end_s
+        nxt = tr.append_timing(timing(), stream=0)
+        assert nxt.start_s == first.end_s
+
+
+class TestChromeSchemaValidator:
+    def test_kernel_trace_passes(self):
+        from repro.obs import validate_chrome_trace
+
+        tr = KernelTrace("dev")
+        tr.add_span("launch", 1e-6)
+        tr.append_timing(timing(), stream=2)
+        tr.append_timing(timing(), stream=2)
+        assert validate_chrome_trace(tr.to_chrome_trace()) == []
+
+    def test_engine_trace_passes(self):
+        from repro.gpu.streams import StreamEngine
+        from repro.obs import validate_chrome_trace
+
+        eng = StreamEngine(GTX_TITAN)
+        eng.stream().span("compute", 50e-6)
+        eng.stream().copy("h2d", 100_000)
+        assert validate_chrome_trace(eng.run().trace.to_chrome_trace()) == []
+
+    def test_counter_track_passes(self):
+        from repro.gpu.simulator import simulate_kernel as sim
+        from repro.obs import (
+            Profiler,
+            launch_counters,
+            validate_chrome_trace,
+        )
+
+        prof = Profiler("p")
+        for n in (50, 100):
+            w = KernelWork(
+                name="k",
+                compute_insts=np.full(n, 10.0),
+                dram_bytes=np.full(n, 256.0),
+                mem_ops=np.full(n, 2.0),
+                flops=1.0,
+            )
+            prof.record(launch_counters(GTX_TITAN, w, sim(GTX_TITAN, w)))
+        doc = prof.to_chrome_counters()
+        assert {e["ph"] for e in doc["traceEvents"]} == {"C"}
+        assert validate_chrome_trace(doc) == []
+
+    def test_flags_missing_fields_and_bad_ph(self):
+        from repro.obs import validate_chrome_trace
+
+        errors = validate_chrome_trace(
+            {
+                "traceEvents": [
+                    {"name": "a", "cat": "c", "ph": "X", "ts": 0.0,
+                     "pid": "p", "tid": "t", "dur": 1.0},
+                    {"name": "b", "cat": "c", "ph": "B", "ts": 0.0,
+                     "pid": "p", "tid": "t"},
+                    {"cat": "c", "ph": "X", "ts": 0.0, "pid": "p"},
+                ]
+            }
+        )
+        assert any("ph" in e for e in errors)
+        assert any("name" in e for e in errors)
+
+    def test_flags_ts_regression_within_a_lane(self):
+        from repro.obs import validate_chrome_trace
+
+        ev = {"name": "a", "cat": "c", "ph": "X", "pid": "p",
+              "tid": "t", "dur": 1.0}
+        errors = validate_chrome_trace(
+            {"traceEvents": [
+                {**ev, "ts": 5.0},
+                {**ev, "ts": 1.0},
+            ]}
+        )
+        assert any("monoton" in e or "ts" in e for e in errors)
+        # Different lanes may interleave freely.
+        assert validate_chrome_trace(
+            {"traceEvents": [
+                {**ev, "ts": 5.0},
+                {**ev, "tid": "u", "ts": 1.0},
+            ]}
+        ) == []
+
+    def test_flags_non_numeric_counter_args(self):
+        from repro.obs import validate_chrome_trace
+
+        errors = validate_chrome_trace(
+            {"traceEvents": [
+                {"name": "m", "cat": "c", "ph": "C", "ts": 0.0,
+                 "pid": "p", "args": {"v": "high"}},
+            ]}
+        )
+        assert errors
+
+
 class TestAcsrTrace:
     def test_spmv_trace(self, tmp_path):
         csr = make_powerlaw_csr(n_rows=4000, seed=151, max_degree=1200)

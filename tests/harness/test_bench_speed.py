@@ -28,6 +28,42 @@ class TestRunCase:
         assert len(payload["cases"]) == 1
         json.dumps(payload)  # JSON-serialisable end to end
 
+    def test_wall_s_is_median_of_repeats(self, monkeypatch):
+        """wall_s = median of the per-repeat timings; wall_s_min = best."""
+        import itertools
+        from types import SimpleNamespace
+
+        durations = itertools.chain([5.0, 1.0, 3.0], itertools.repeat(0.0))
+        clock = {"t": 0.0, "calls": 0}
+
+        def fake_perf():
+            # run_case reads the clock twice per repeat (start, end);
+            # advance it by one scripted duration on every second read.
+            if clock["calls"] % 2 == 1:
+                clock["t"] += next(durations)
+            clock["calls"] += 1
+            return clock["t"]
+
+        # Patch only bench_speed's view of the time module, so nothing
+        # else in the process sees the scripted clock.
+        monkeypatch.setattr(
+            "repro.harness.bench_speed.time",
+            SimpleNamespace(perf_counter=fake_perf),
+        )
+        r = run_case("INT", 0.5, GTX_TITAN, repeats=3)
+        assert r["wall_s"] == 3.0  # median of 5, 1, 3
+        assert r["wall_s_min"] == 1.0
+
+    def test_min_never_exceeds_median(self):
+        r = run_case("INT", 0.5, GTX_TITAN, repeats=3)
+        assert 0 < r["wall_s_min"] <= r["wall_s"]
+
+    def test_record_carries_imbalance_columns(self):
+        r = run_case("INT", 0.5, GTX_TITAN, repeats=1)
+        assert 0.0 <= r["tail_warp_share"] <= 1.0
+        assert 0.0 <= r["warp_work_gini"] <= 1.0
+        json.dumps(r)
+
     def test_batched_case(self):
         r = run_case("INT", 0.5, GTX_TITAN, repeats=1, k=8)
         assert r["k"] == 8
@@ -66,6 +102,15 @@ class TestCheck:
 
     def test_new_case_ignored(self):
         assert check_regressions(self._payload(9.9), {"cases": []}) == []
+
+    def test_pre_median_baseline_still_checks(self):
+        """A baseline recorded before wall_s_min / imbalance columns
+        existed gates the new-schema payload without complaint."""
+        current = self._payload(1.5)
+        current["cases"][0]["wall_s_min"] = 1.2
+        current["cases"][0]["tail_warp_share"] = 0.4
+        current["cases"][0]["warp_work_gini"] = 0.5
+        assert check_regressions(current, self._payload(1.0)) == []
 
 
 class TestCli:

@@ -1,0 +1,160 @@
+"""Differential profiling: deltas sum exactly to timeA - timeB."""
+
+import json
+
+import pytest
+
+from repro.formats.base import FormatCapacityError
+from repro.formats.convert import build_format
+from repro.gpu.device import GTX_580, GTX_TITAN, TESLA_K10
+from repro.obs import (
+    TERM_ORDER,
+    build_side,
+    diff_report_html,
+    diff_sides,
+    validate_profile_jsonl,
+    write_diff_jsonl,
+    write_html_report,
+)
+from tests.conftest import make_powerlaw_csr
+
+DEVICES3 = (GTX_580, TESLA_K10, GTX_TITAN)
+
+
+def _build(name, csr, device):
+    kwargs = {"device": device} if name == "acsr" else {}
+    try:
+        return build_format(name, csr, **kwargs)
+    except (FormatCapacityError, ValueError) as exc:
+        pytest.skip(f"{name}: {exc}")
+
+
+@pytest.fixture(scope="module")
+def csr():
+    return make_powerlaw_csr(n_rows=1500, seed=5)
+
+
+def _report(csr, name_a, name_b, dev_a, dev_b=None, k_a=1, k_b=None):
+    dev_b = dev_b or dev_a
+    k_b = k_a if k_b is None else k_b
+    a = build_side(_build(name_a, csr, dev_a), dev_a, k=k_a, name=name_a)
+    b = build_side(_build(name_b, csr, dev_b), dev_b, k=k_b, name=name_b)
+    return diff_sides("SYN", a, b)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("name_b", ("acsr", "coo", "hyb"))
+    def test_deltas_sum_to_gap_on_every_device(self, csr, name_b):
+        """The headline invariant: fl(sum deltas) == timeA - timeB."""
+        for device in DEVICES3:
+            r = _report(csr, "csr", name_b, device)
+            assert r.check_exact()
+            assert r.delta_s == r.a.time_s - r.b.time_s
+
+    def test_sides_carry_the_models_floats(self, csr):
+        r = _report(csr, "csr", "acsr", GTX_TITAN)
+        fmt_a = _build("csr", csr, GTX_TITAN)
+        fmt_b = _build("acsr", csr, GTX_TITAN)
+        assert r.a.time_s == fmt_a.spmv_time_s(GTX_TITAN)
+        assert r.b.time_s == fmt_b.spmv_time_s(GTX_TITAN)
+        # Profile, attribution and timeline all agree per side.
+        for side in (r.a, r.b):
+            assert side.attribution.time_s == side.time_s
+            assert side.timeline.time_s == side.time_s
+            assert side.profile.model_time_s == side.time_s
+
+    def test_cross_device_diff(self, csr):
+        r = _report(csr, "acsr", "acsr", GTX_580, dev_b=GTX_TITAN)
+        assert r.check_exact()
+        assert r.a.device == "GTX580" and r.b.device == "GTXTitan"
+
+    def test_spmv_vs_spmm_diff(self, csr):
+        r = _report(csr, "csr", "csr", GTX_TITAN, k_a=1, k_b=8)
+        assert r.check_exact()
+        assert r.b.k == 8
+        fmt = _build("csr", csr, GTX_TITAN)
+        assert r.b.time_s == fmt.spmm_time_s(GTX_TITAN, k=8)
+
+    def test_self_diff_is_a_tie_with_zero_deltas(self, csr):
+        r = _report(csr, "hyb", "hyb", GTX_TITAN)
+        assert r.winner == "tie"
+        assert r.delta_s == 0.0
+        assert all(v == 0.0 for _, v in r.deltas)
+        assert r.speedup == 1.0
+
+
+class TestVerdict:
+    def test_winner_and_speedup_consistent(self, csr):
+        r = _report(csr, "csr-scalar", "acsr", GTX_TITAN)
+        if r.winner == "b":
+            assert r.delta_s > 0 and r.speedup > 1.0
+        elif r.winner == "a":
+            assert r.delta_s < 0 and r.speedup < 1.0
+
+    def test_ranked_orders_by_magnitude(self, csr):
+        r = _report(csr, "csr-scalar", "acsr", GTX_TITAN)
+        mags = [abs(v) for _, v in r.ranked()]
+        assert mags == sorted(mags, reverse=True)
+        assert r.top_term() == r.ranked()[0][0]
+
+    def test_skew_moves_tail_warp_against_scalar_csr(self, csr):
+        """ACSR's binning removes tail-warp time on the hub matrix."""
+        r = _report(csr, "csr-scalar", "acsr", GTX_TITAN)
+        assert dict(r.deltas)["tail_warp"] > 0.0
+
+    def test_launch_pairs_pad_shorter_side(self, csr):
+        r = _report(csr, "hyb", "coo", GTX_TITAN)
+        pairs = r.launch_pairs()
+        assert len(pairs) == max(
+            len(r.a.profile.launches), len(r.b.profile.launches)
+        )
+        for cs_a, cs_b in pairs:
+            assert cs_a is not None or cs_b is not None
+
+    def test_render_mentions_terms_and_winner(self, csr):
+        out = _report(csr, "csr-scalar", "acsr", GTX_TITAN).render()
+        assert "winner:" in out and "delta" in out
+        assert "launch pair" in out
+        assert "csr-scalar@GTXTitan" in out
+
+
+class TestExports:
+    def test_diff_jsonl_passes_schema(self, csr, tmp_path):
+        r = _report(csr, "csr", "acsr", GTX_TITAN)
+        path = write_diff_jsonl(r, tmp_path / "d.jsonl")
+        assert validate_profile_jsonl(path) == []
+        lines = [
+            json.loads(x) for x in path.read_text().splitlines() if x
+        ]
+        kinds = [x["record"] for x in lines]
+        assert kinds[0] == "meta"
+        assert kinds.count("aggregate") == 2
+        assert kinds.count("attribution") == 2
+        assert kinds.count("delta") == 1
+        delta = lines[-1]
+        assert delta["record"] == "delta"
+        s = 0.0
+        for name in TERM_ORDER:
+            s += delta["terms"][name]
+        assert s == delta["delta_s"] == r.delta_s
+        assert delta["winner"] == r.winner
+
+    def test_html_report_is_self_contained(self, csr, tmp_path):
+        r = _report(csr, "csr-scalar", "acsr", GTX_TITAN)
+        path = write_html_report(r, tmp_path / "d.html")
+        doc = path.read_text()
+        assert doc.startswith("<!DOCTYPE html>")
+        # Embedded SVG Gantt + waterfall, no external fetches.
+        assert doc.count("<svg") >= 3
+        assert "<script" not in doc
+        assert 'src="http' not in doc and "href=" not in doc
+        assert "tail_warp" in doc
+        for label in (r.a.label, r.b.label):
+            assert label in doc
+
+    def test_html_escapes_names(self, csr):
+        r = _report(csr, "csr", "acsr", GTX_TITAN)
+        object.__setattr__(r, "matrix", "<evil&matrix>")
+        doc = diff_report_html(r)
+        assert "<evil&matrix>" not in doc
+        assert "&lt;evil&amp;matrix&gt;" in doc

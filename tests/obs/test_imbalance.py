@@ -1,0 +1,123 @@
+"""Warp-skew statistics: Gini and the tail-warp set (Figures 2/3 lens)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.device import GTX_TITAN, Precision
+from repro.gpu.kernel import KernelWork
+from repro.gpu.memory import GatherProfile
+from repro.kernels.common import gang_row_work
+from repro.obs import (
+    TAIL_THRESHOLD,
+    tail_warp_count,
+    tail_warp_mask,
+    tail_warp_share,
+    warp_work_gini,
+)
+
+
+def _work(insts, weights=None):
+    n = len(insts)
+    return KernelWork(
+        name="w",
+        compute_insts=np.asarray(insts, dtype=np.float64),
+        dram_bytes=np.full(n, 128.0),
+        mem_ops=np.full(n, 2.0),
+        flops=1.0,
+        warp_weights=(
+            np.asarray(weights, dtype=np.float64)
+            if weights is not None
+            else None
+        ),
+    )
+
+
+def _gang(lengths):
+    return gang_row_work(
+        "t",
+        np.asarray(lengths, dtype=np.int64),
+        vector_size=32,
+        device=GTX_TITAN,
+        n_cols=4096,
+        precision=Precision.SINGLE,
+        profile=GatherProfile(reuse=2.0, clustering=0.5),
+    )
+
+
+class TestGini:
+    def test_uniform_work_scores_zero(self):
+        assert warp_work_gini(_work([10.0] * 64)) == 0.0
+
+    def test_empty_work_scores_zero(self):
+        assert warp_work_gini(KernelWork.empty("e")) == 0.0
+
+    def test_single_hub_approaches_one(self):
+        g = warp_work_gini(_work([1.0] * 999 + [1e6]))
+        assert g > 0.9
+
+    def test_monotone_in_skew(self):
+        mild = warp_work_gini(_work([1.0] * 99 + [10.0]))
+        harsh = warp_work_gini(_work([1.0] * 99 + [1000.0]))
+        assert harsh > mild > 0.0
+
+    def test_weighted_equals_dense_expansion(self):
+        """A compressed work and its dense expansion score identically."""
+        insts = [3.0, 50.0, 7.0]
+        weights = [40.0, 2.0, 17.0]
+        dense = []
+        for x, w in zip(insts, weights):
+            dense.extend([x] * int(w))
+        a = warp_work_gini(_work(insts, weights))
+        b = warp_work_gini(_work(dense))
+        assert np.isclose(a, b, rtol=0, atol=1e-12)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        insts=st.lists(
+            st.floats(min_value=0.0, max_value=1e6),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_bounded_and_scale_invariant(self, insts):
+        g = warp_work_gini(_work(insts))
+        assert 0.0 <= g <= 1.0
+        scaled = warp_work_gini(_work([3.0 * x for x in insts]))
+        assert np.isclose(g, scaled, rtol=0, atol=1e-9)
+
+
+class TestTailWarps:
+    def test_uniform_work_has_no_tail(self):
+        w = _work([10.0] * 64)
+        assert tail_warp_count(w) == 0
+        assert tail_warp_share(w) == 0.0
+        assert not tail_warp_mask(w).any()
+
+    def test_hub_warp_is_the_tail(self):
+        w = _work([1.0] * 99 + [1e5])
+        mask = tail_warp_mask(w)
+        assert tail_warp_count(w) == 1
+        assert mask[-1] and mask[:-1].sum() == 0
+        # The hub carries essentially all the work.
+        assert tail_warp_share(w) > 0.99
+
+    def test_threshold_is_weighted_mean_multiple(self):
+        # mean = 10; threshold crossing at > TAIL_THRESHOLD * 10.
+        w = _work([10.0, 10.0, 10.0, 10.0 * TAIL_THRESHOLD])
+        assert tail_warp_count(w) == 0  # equal to threshold, not above
+        w2 = _work([1.0, 1.0, 1.0, 100.0])
+        assert tail_warp_count(w2) == 1
+
+    def test_share_bounded(self):
+        w = _work([1.0, 5.0, 200.0, 3.0])
+        assert 0.0 <= tail_warp_share(w) <= 1.0
+
+    def test_weighted_counts_expand_multiplicity(self):
+        """A tail entry with weight 3 counts as 3 tail warps."""
+        w = _work([1.0, 1000.0], weights=[100.0, 3.0])
+        assert tail_warp_count(w) == 3
+
+    def test_powerlaw_gang_rows_show_tail(self, powerlaw_csr):
+        w = _gang(powerlaw_csr.nnz_per_row)
+        assert warp_work_gini(w) > 0.0
+        assert tail_warp_share(w) > 0.0

@@ -109,6 +109,47 @@ class TestLiveCapture:
             simulate_kernel(GTX_TITAN, _work())
         assert len(prof.all_records()) == 2
 
+    def test_pause_inside_pause_stays_paused(self):
+        """Nested paused() must not resume capture when the inner one
+        exits — only the outermost exit re-attaches the observer."""
+        prof = Profiler("live")
+        with prof:
+            with prof.paused():
+                with prof.paused():
+                    simulate_kernel(GTX_TITAN, _work())
+                # Still inside the outer pause: nothing captured.
+                simulate_kernel(GTX_TITAN, _work())
+            simulate_kernel(GTX_TITAN, _work())
+        assert len(prof.all_records()) == 1
+
+    def test_pause_nesting_restores_exactly_one_observer(self):
+        from repro.gpu.simulator import _LAUNCH_OBSERVERS
+
+        prof = Profiler("live")
+        with prof:
+            n_active = len(_LAUNCH_OBSERVERS)
+            with prof.paused():
+                with prof.paused():
+                    pass
+                # Inner exit must not re-attach while the outer pause
+                # is still open.
+                assert len(_LAUNCH_OBSERVERS) == n_active - 1
+            assert len(_LAUNCH_OBSERVERS) == n_active
+        # No duplicate observers leaked by the nesting.
+        simulate_kernel(GTX_TITAN, _work())
+        assert len(prof.all_records()) == 0
+
+    def test_pause_exception_safe(self):
+        prof = Profiler("live")
+        with prof:
+            try:
+                with prof.paused():
+                    raise RuntimeError("boom")
+            except RuntimeError:
+                pass
+            simulate_kernel(GTX_TITAN, _work())
+        assert len(prof.all_records()) == 1
+
 
 class TestJsonl:
     def _profiled(self):

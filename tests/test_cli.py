@@ -146,11 +146,36 @@ class TestProfileCli:
         bad = tmp_path / "bad.jsonl"
         bad.write_text("not json at all\n")
         assert main(["profile-check", str(bad)]) == 1
-        assert "INVALID" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "INVALID" in out
+        assert "bad.jsonl:1" in out  # per-field message names the line
+
+    def test_profile_check_missing_file_exits_2(self, capsys, tmp_path):
+        assert main(["profile-check", str(tmp_path / "nope.jsonl")]) == 2
+        assert "MISSING" in capsys.readouterr().out
+
+    def test_profile_check_missing_beats_invalid(self, capsys, tmp_path):
+        """Exit codes: 2 (unreadable/missing) wins over 1 (invalid)."""
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json at all\n")
+        assert (
+            main(
+                ["profile-check", str(bad), str(tmp_path / "gone.jsonl")]
+            )
+            == 2
+        )
+        out = capsys.readouterr().out
+        assert "INVALID" in out and "MISSING" in out
 
     def test_unknown_format_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["profile", "INT", "nope", "GTXTitan"])
+
+    def test_unknown_diff_format_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["diff", "INT", "csr", "nope", "GTXTitan"]
+            )
 
     def test_devices_table_lists_hardware_limits(self, capsys):
         assert main(["devices"]) == 0
@@ -158,3 +183,125 @@ class TestProfileCli:
         assert "tex KiB/SM" in out
         assert "RowMax" in out
         assert "GFLOP/s" in out
+
+
+class TestDiffCli:
+    def test_diff_prints_ranked_report(self, capsys):
+        assert main(["diff", "INT", "csr-scalar", "acsr", "GTXTitan"]) == 0
+        out = capsys.readouterr().out
+        assert "winner:" in out
+        assert "csr-scalar@GTXTitan" in out and "acsr@GTXTitan" in out
+        assert "tail_warp" in out
+
+    def test_diff_exports_and_gantt(self, capsys, tmp_path):
+        import json
+
+        jsonl = tmp_path / "d.jsonl"
+        html = tmp_path / "d.html"
+        assert (
+            main(
+                [
+                    "diff",
+                    "INT",
+                    "csr-scalar",
+                    "acsr",
+                    "GTXTitan",
+                    "--jsonl",
+                    str(jsonl),
+                    "--html",
+                    str(html),
+                    "--gantt",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        # --gantt prints both sides' timelines under the report.
+        assert out.count("timeline:") >= 2
+        assert html.read_text().startswith("<!DOCTYPE html>")
+        kinds = [
+            json.loads(x)["record"]
+            for x in jsonl.read_text().splitlines()
+            if x
+        ]
+        assert kinds[0] == "meta" and kinds[-1] == "delta"
+        # The exported JSONL passes profile-check.
+        assert main(["profile-check", str(jsonl)]) == 0
+
+    def test_diff_cross_device_and_batch_flags(self, capsys):
+        assert (
+            main(
+                [
+                    "diff",
+                    "INT",
+                    "csr",
+                    "csr",
+                    "GTX580",
+                    "--device-b",
+                    "GTXTitan",
+                    "--k-b",
+                    "8",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "csr@GTX580" in out and "csr@GTXTitan" in out
+
+    def test_failed_winner_assertion_exits_3(self, capsys):
+        assert (
+            main(
+                [
+                    "diff",
+                    "INT",
+                    "csr-scalar",
+                    "acsr",
+                    "GTXTitan",
+                    "--assert-winner",
+                    "a",
+                ]
+            )
+            == 3
+        )
+        assert "ASSERTION FAILED" in capsys.readouterr().err
+
+    def test_failed_top_term_assertion_exits_3(self, capsys):
+        assert (
+            main(
+                [
+                    "diff",
+                    "INT",
+                    "csr-scalar",
+                    "acsr",
+                    "GTXTitan",
+                    "--assert-top",
+                    "pcie",
+                ]
+            )
+            == 3
+        )
+        assert "ASSERTION FAILED" in capsys.readouterr().err
+
+    def test_passing_assertions_exit_0(self):
+        assert (
+            main(
+                [
+                    "diff",
+                    "INT",
+                    "csr-scalar",
+                    "acsr",
+                    "GTXTitan",
+                    "--assert-winner",
+                    "b",
+                ]
+            )
+            == 0
+        )
+
+    def test_unknown_matrix_exits_2(self, capsys):
+        assert main(["diff", "NOPE", "csr", "acsr", "GTXTitan"]) == 2
+        assert "unknown" in capsys.readouterr().err.lower()
+
+    def test_unknown_device_exits_2(self, capsys):
+        assert main(["diff", "INT", "csr", "acsr", "Voodoo2"]) == 2
+        assert "unknown" in capsys.readouterr().err.lower()
