@@ -8,7 +8,9 @@ Usage::
     python -m repro run all                  # everything (slow)
     python -m repro corpus HOL               # inspect a synthetic analog
     python -m repro devices                  # Table II
+    python -m repro devices --json           # ... as machine-readable JSON
     python -m repro bench --quick            # cost-model speed benchmark
+    python -m repro serve-sim WIK GTXTitan   # multi-tenant RWR serving sim
 """
 
 from __future__ import annotations
@@ -82,7 +84,14 @@ def build_parser() -> argparse.ArgumentParser:
     sub = p.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available experiments")
-    sub.add_parser("devices", help="print the Table II device registry")
+    devices = sub.add_parser(
+        "devices", help="print the Table II device registry"
+    )
+    devices.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the registry as JSON (stable key order per device)",
+    )
 
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
@@ -229,6 +238,102 @@ def build_parser() -> argparse.ArgumentParser:
     from .harness.bench_speed import add_bench_arguments
 
     add_bench_arguments(bench)
+
+    serve = sub.add_parser(
+        "serve-sim",
+        help="closed-loop multi-tenant RWR serving simulation",
+        description=(
+            "Simulate a multi-tenant RWR query service over one or more "
+            "corpus graphs: Zipfian/bursty load, batch coalescing, "
+            "admission control, and modelled latency SLOs — fully "
+            "deterministic for a given --seed. Exit codes: 0 = ok, 2 = "
+            "unknown matrix/device, 3 = an --assert-* check failed."
+        ),
+    )
+    serve.add_argument(
+        "matrices",
+        help="comma-separated Table I abbreviations (e.g. WIK,ENR)",
+    )
+    serve.add_argument("device", help="device name (see 'repro devices')")
+    serve.add_argument(
+        "--scale", type=float, default=None, help="synthesis scale override"
+    )
+    serve.add_argument(
+        "--requests", type=int, default=256, help="queries to generate"
+    )
+    serve.add_argument("--tenants", type=int, default=4)
+    serve.add_argument(
+        "--seed", type=int, default=0, help="load-generator RNG seed"
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=8, help="widest coalesced batch"
+    )
+    serve.add_argument(
+        "--max-wait-us",
+        type=float,
+        default=250.0,
+        help="coalescer timeout (microseconds of virtual time)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=64, help="admission queue bound"
+    )
+    serve.add_argument(
+        "--tenant-limit", type=int, default=16, help="per-tenant queue bound"
+    )
+    serve.add_argument("--gpus", type=int, default=1, help="worker GPUs")
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        metavar="US",
+        help=(
+            "mean inter-arrival gap in microseconds "
+            "(default: auto-paced to ~80%% pool utilisation)"
+        ),
+    )
+    serve.add_argument(
+        "--burst",
+        type=float,
+        default=4.0,
+        help="burst-phase gap divisor (1 = no bursts)",
+    )
+    serve.add_argument(
+        "--zipf-graph", type=float, default=1.1, help="graph-popularity skew"
+    )
+    serve.add_argument(
+        "--zipf-node", type=float, default=1.05, help="seed-node skew"
+    )
+    serve.add_argument(
+        "--format",
+        default="auto",
+        choices=["auto", *available_formats()],
+        help="SpMV backend (default: the Section IX advisor chooses)",
+    )
+    serve.add_argument(
+        "--epsilon", type=float, default=None, help="RWR convergence eps"
+    )
+    serve.add_argument(
+        "--restart", type=float, default=None, help="RWR restart probability"
+    )
+    serve.add_argument(
+        "--precision", choices=["single", "double"], default="single"
+    )
+    serve.add_argument(
+        "--jsonl", metavar="FILE", default=None, help="write the serve report"
+    )
+    serve.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a Chrome trace of the worker timeline",
+    )
+    serve.add_argument(
+        "--assert-p99",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit 3 unless the p99 modelled latency is <= this SLO",
+    )
     return p
 
 
@@ -239,7 +344,13 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
     if args.command == "devices":
-        print(ex.table2_devices.run().render())
+        result = ex.table2_devices.run()
+        if args.json:
+            import json
+
+            print(json.dumps(result.rows, indent=2))
+        else:
+            print(result.render())
         return 0
     if args.command == "corpus":
         from .data.corpus import corpus_matrix, get_spec
@@ -264,6 +375,8 @@ def main(argv: list[str] | None = None) -> int:
         return _profile_check_cli(args)
     if args.command == "diff":
         return _diff_cli(args)
+    if args.command == "serve-sim":
+        return _serve_sim_cli(args)
     # run
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
@@ -420,6 +533,136 @@ def _diff_cli(args) -> int:
     for message in failed:
         print(f"ASSERTION FAILED: {message}", file=sys.stderr)
     return 3 if failed else 0
+
+
+def _serve_sim_cli(args) -> int:
+    """``repro serve-sim``: closed-loop multi-tenant serving simulation.
+
+    Exit codes: 0 = ok, 2 = unknown matrix/device, 3 = the
+    ``--assert-p99`` SLO check failed.
+    """
+    from .serve import (
+        ServeConfig,
+        ServeEngine,
+        TraceConfig,
+        auto_interarrival_s,
+        generate_trace,
+        replay_engine,
+        slo_summary,
+        write_serve_jsonl,
+    )
+    from .serve.server import DEFAULT_SERVE_EPSILON
+
+    keys = [k.strip() for k in args.matrices.split(",") if k.strip()]
+    if not keys:
+        print("error: no matrices given", file=sys.stderr)
+        return 2
+    config = ServeConfig(
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_us * 1e-6,
+        queue_limit=args.queue_limit,
+        tenant_limit=args.tenant_limit,
+        gpus=args.gpus,
+        epsilon=(
+            DEFAULT_SERVE_EPSILON if args.epsilon is None else args.epsilon
+        ),
+        restart=(0.9 if args.restart is None else args.restart),
+    )
+    try:
+        device = get_device(args.device)
+        engine = ServeEngine(device, config)
+        plans = [
+            engine.register(
+                key,
+                scale=args.scale,
+                precision=Precision(args.precision),
+                format_name=args.format,
+            )
+            for key in keys
+        ]
+    except KeyError as exc:
+        print(f"error: unknown key {exc}", file=sys.stderr)
+        return 2
+    mean_s = (
+        args.rate * 1e-6
+        if args.rate is not None
+        else auto_interarrival_s(
+            plans, config.gpus, config.epsilon, config.restart
+        )
+    )
+    trace_config = TraceConfig(
+        n_requests=args.requests,
+        n_tenants=args.tenants,
+        seed=args.seed,
+        burst_factor=args.burst,
+        graph_zipf_s=args.zipf_graph,
+        node_zipf_s=args.zipf_node,
+    )
+    requests = generate_trace(
+        trace_config, engine.registered_graphs(), mean_s
+    )
+    result = engine.run_trace(requests)
+    summary = slo_summary(result)
+
+    def us(v):
+        return "-" if v is None else f"{v * 1e6:.2f} us"
+
+    print(
+        f"serve-sim: {len(keys)} graph(s) on {config.gpus}x {device.name}, "
+        f"{args.requests} queries (seed {args.seed}, "
+        f"mean gap {mean_s * 1e6:.2f} us)"
+    )
+    for plan in plans:
+        print(
+            f"  {plan.abbrev}: {plan.format_name} "
+            f"({plan.n_rows} nodes @ scale {plan.scale:.4g}) — "
+            f"{plan.rationale}"
+        )
+    print(
+        f"  admitted {summary['admitted']}, shed {summary['shed']}, "
+        f"{summary['batches']} batches "
+        f"(mean width {summary['mean_batch_width'] or 0:.2f})"
+    )
+    print(
+        f"  {summary['queries_per_s']:.1f} queries/s | "
+        f"p50 {us(summary['p50_s'])}, p95 {us(summary['p95_s'])}, "
+        f"p99 {us(summary['p99_s'])} | "
+        f"makespan {summary['makespan_s'] * 1e3:.3f} ms"
+    )
+    if args.jsonl:
+        write_serve_jsonl(
+            result,
+            args.jsonl,
+            matrices=keys,
+            device=device.name,
+            precision=args.precision,
+            seed=args.seed,
+            scale=args.scale,
+            format=args.format,
+            gpus=config.gpus,
+            max_batch=config.max_batch,
+            max_wait_s=config.max_wait_s,
+            requests=args.requests,
+            tenants=args.tenants,
+            mean_interarrival_s=mean_s,
+            epsilon=config.epsilon,
+            restart=config.restart,
+        )
+        print(f"wrote {args.jsonl}")
+    if args.trace:
+        engine_result = replay_engine(device, config.gpus, result.batches)
+        path = engine_result.trace.save(args.trace)
+        print(f"wrote {path}")
+    if args.assert_p99 is not None:
+        p99 = summary["p99_s"]
+        if p99 is None or p99 > args.assert_p99:
+            print(
+                f"ASSERTION FAILED: --assert-p99 {args.assert_p99}: "
+                f"p99 is {p99}",
+                file=sys.stderr,
+            )
+            return 3
+    return 0
 
 
 def _dump_trace(args) -> None:

@@ -35,6 +35,12 @@ DEFAULT_EPSILON = 1e-6
 #: Safety cap on iterations for non-convergent inputs.
 MAX_ITERATIONS = 10_000
 
+#: Length-n array passes billed per iteration by the common vector-update
+#: kernel (axpy + distance reduction).  The serving layer's cost tables
+#: (:mod:`repro.serve.plans`) must price vector work with the same pass
+#: count to stay byte-identical with the drivers here.
+DEFAULT_VECTOR_PASSES = 5
+
 
 def euclidean_distance(a: np.ndarray, b: np.ndarray) -> float:
     """The paper's convergence measure (copy-free for float64 inputs)."""
@@ -108,6 +114,111 @@ def _iteration_counters(
     return (with_totals(spmv, name=label), vec_cs)
 
 
+def batch_round_widths(iteration_counts) -> tuple[int, ...]:
+    """Per-round SpMM widths of a batch with the given iteration counts.
+
+    Column ``j`` participates in rounds ``1..iteration_counts[j]``, so the
+    vector-block width of round ``r`` is ``#{j : iterations[j] >= r}``.
+    This is exactly the shrinking-active-set schedule
+    :func:`run_power_method_batch` executes, reconstructed from the
+    per-column iteration counts alone — which is what lets the serving
+    layer (:mod:`repro.serve`) bill a batch without re-running numerics.
+    """
+    its = np.asarray(iteration_counts, dtype=np.int64)
+    if its.ndim != 1 or its.size < 1:
+        raise ValueError("iteration_counts must be a non-empty 1-D sequence")
+    if its.min() < 1:
+        raise ValueError("every column runs at least one round")
+    # width of round r = k - #{j : iterations[j] <= r - 1}, via the
+    # cumulative histogram of iteration counts.
+    cum = np.cumsum(np.bincount(its))
+    widths = np.empty(int(its.max()), dtype=np.int64)
+    widths[0] = its.size
+    if widths.size > 1:
+        widths[1:] = its.size - cum[1 : int(its.max())]
+    return tuple(int(w) for w in widths)
+
+
+@dataclass(frozen=True)
+class BatchBill:
+    """Width-grouped cost ledger of one batched power-method run.
+
+    ``widths[r-1]`` is the SpMM width of round ``r``; ``round_cost_s[w]``
+    the modelled cost of one width-``w`` round (SpMM + vector kernel),
+    keyed in order of first appearance.  All totals are computed as
+    ``count x per-round cost`` grouped by width — never as a running
+    float sum over rounds — so :meth:`total_s` for ``k = 1`` equals
+    ``iterations * round_cost`` bit-for-bit (the scalar driver's bill)
+    and :meth:`time_through_round` at the last round equals
+    :meth:`total_s` exactly (identical terms, identical order).
+    """
+
+    widths: tuple[int, ...]
+    round_cost_s: dict[int, float]
+
+    def _grouped_sum(self, counts: dict[int, int]) -> float:
+        return sum(
+            counts[w] * cost
+            for w, cost in self.round_cost_s.items()
+            if w in counts
+        )
+
+    def _counts_through(self, round_no: int) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for w in self.widths[:round_no]:
+            counts[w] = counts.get(w, 0) + 1
+        return counts
+
+    @property
+    def total_s(self) -> float:
+        """Modelled device seconds for the whole batch."""
+        return self._grouped_sum(self._counts_through(len(self.widths)))
+
+    def time_through_round(self, round_no: int) -> float:
+        """Modelled seconds until the end of round ``round_no``.
+
+        A column with ``iterations[j] == r`` completes at
+        ``time_through_round(r)``; the longest column's value is exactly
+        :attr:`total_s`.
+        """
+        if not 0 <= round_no <= len(self.widths):
+            raise ValueError(f"round {round_no} outside the batch's schedule")
+        return self._grouped_sum(self._counts_through(round_no))
+
+    def column_times_s(self, iteration_counts) -> np.ndarray:
+        """Per-column modelled completion times (float64 array).
+
+        ``column_times_s(its)[j] == time_through_round(its[j])`` — the
+        serving layer attributes each request's compute latency to the
+        round in which its column converged.
+        """
+        its = np.asarray(iteration_counts, dtype=np.int64)
+        memo: dict[int, float] = {}
+        out = np.empty(its.shape[0], dtype=np.float64)
+        for j, r in enumerate(its):
+            r = int(r)
+            if r not in memo:
+                memo[r] = self.time_through_round(r)
+            out[j] = memo[r]
+        return out
+
+
+def make_batch_bill(iteration_counts, cost_of_width) -> BatchBill:
+    """Bill a batch schedule from iteration counts + a per-width cost fn.
+
+    ``cost_of_width(w)`` must return the modelled cost of one width-``w``
+    round; it is consulted once per distinct width, in order of first
+    appearance, which reproduces :func:`run_power_method_batch`'s cost
+    bookkeeping exactly.
+    """
+    widths = batch_round_widths(iteration_counts)
+    cost: dict[int, float] = {}
+    for w in widths:
+        if w not in cost:
+            cost[w] = float(cost_of_width(w))
+    return BatchBill(widths=widths, round_cost_s=cost)
+
+
 @dataclass(frozen=True)
 class PowerMethodResult:
     """Outcome of one application run with one SpMV backend."""
@@ -146,6 +257,12 @@ class BatchPowerMethodResult:
     modeled_time_s: float
     #: Initial vector-block width of the batch.
     k: int
+    #: Per-column modelled completion times: column ``j`` finishes at the
+    #: end of its last round, ``column_times_s[j] <= modeled_time_s``,
+    #: with equality for the longest-running column (bit-for-bit — both
+    #: come from the same :class:`BatchBill`).  The serving layer uses
+    #: these to attribute batch latency to individual requests.
+    column_times_s: np.ndarray | None = None
 
     @property
     def max_iterations_run(self) -> int:
@@ -160,7 +277,7 @@ def run_power_method_batch(
     step: Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray],
     epsilon: float = DEFAULT_EPSILON,
     max_iterations: int = MAX_ITERATIONS,
-    vector_passes: int = 5,
+    vector_passes: int = DEFAULT_VECTOR_PASSES,
     profiler: "Profiler | None" = None,
 ) -> BatchPowerMethodResult:
     """Iterate ``k`` power methods at once over a shrinking active set.
@@ -187,11 +304,12 @@ def run_power_method_batch(
     iterations = np.zeros(k, dtype=np.int64)
     converged = np.zeros(k, dtype=bool)
     active = np.arange(k, dtype=np.int64)
-    # Count iterations per active width; the bill is totalled at the end
-    # as ``count * per_iteration_cost`` per width, which for ``k=1``
-    # reproduces :func:`run_power_method`'s ``iters * (spmv_s + vec_s)``
-    # bit for bit (repeated ``+=`` would drift in the last ulp).
-    rounds: dict[int, int] = {}
+    # Record the per-round width sequence; the bill is totalled at the
+    # end by :class:`BatchBill` as ``count * per_iteration_cost`` per
+    # width, which for ``k=1`` reproduces :func:`run_power_method`'s
+    # ``iters * (spmv_s + vec_s)`` bit for bit (repeated ``+=`` would
+    # drift in the last ulp).
+    width_sequence: list[int] = []
     vec_s_cache: dict[int, float] = {}
     spmm_s_cache: dict[int, float] = {}
     counters_cache: dict[int, tuple] = {}
@@ -211,7 +329,7 @@ def run_power_method_batch(
         AX = fmt.multiply_many(X[:, active])
         X_next = step(X[:, active], AX, active).astype(X.dtype, copy=False)
         iterations[active] += 1
-        rounds[ka] = rounds.get(ka, 0) + 1
+        width_sequence.append(ka)
         round_no += 1
         if profiler is not None:
             with profiler.span("iteration", i=round_no, k_active=ka):
@@ -228,16 +346,18 @@ def run_power_method_batch(
         if max_iterations is not None:
             keep &= iterations[active] < max_iterations
         active = active[keep]
-    modeled = sum(
-        count * (spmm_s_cache[ka] + vec_s_cache[ka])
-        for ka, count in rounds.items()
-    )
+    cost: dict[int, float] = {}
+    for ka in width_sequence:
+        if ka not in cost:
+            cost[ka] = spmm_s_cache[ka] + vec_s_cache[ka]
+    bill = BatchBill(widths=tuple(width_sequence), round_cost_s=cost)
     return BatchPowerMethodResult(
         vectors=X,
         iterations=iterations,
         converged=converged,
-        modeled_time_s=modeled,
+        modeled_time_s=bill.total_s,
         k=k,
+        column_times_s=bill.column_times_s(iterations),
     )
 
 
@@ -248,7 +368,7 @@ def run_power_method(
     step: Callable[[np.ndarray, np.ndarray], np.ndarray],
     epsilon: float = DEFAULT_EPSILON,
     max_iterations: int = MAX_ITERATIONS,
-    vector_passes: int = 5,
+    vector_passes: int = DEFAULT_VECTOR_PASSES,
     profiler: "Profiler | None" = None,
 ) -> PowerMethodResult:
     """Iterate ``x <- step(x, A @ x)`` to convergence.

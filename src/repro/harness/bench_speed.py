@@ -16,6 +16,14 @@ and ``warp_work_gini`` for the pooled kernel work.  Results go to
 ``BENCH_speed.json``; pass ``--check BASELINE`` to fail when any case's
 median regresses more than ``REGRESSION_FACTOR`` x against a committed
 baseline (the CI gate).
+
+The suite also times the ``repro.serve`` engine end to end
+(:data:`SERVE_CASES`): a seeded Zipfian trace replayed through the
+coalescing scheduler, recording steady-state wall-clock plus the
+modelled ``serve_qps`` / ``serve_p99_s`` SLO cells.  Those two columns
+are deterministic virtual-clock outputs, so the ``--check`` gate holds
+them to the baseline with tight factors — but only when the baseline
+carries them, so pre-serving baselines keep passing.
 """
 
 from __future__ import annotations
@@ -65,6 +73,24 @@ QUICK_CASES: tuple[tuple[str, float, int], ...] = (
     ("HOL", 0.01, 1),
     ("HOL", 0.035, 1),
 )
+
+#: Serving cells: (matrix, scale, gpus).  Each replays the same seeded
+#: trace through ``repro.serve`` and records modelled queries/s and p99
+#: latency alongside the steady-state wall-clock.  Part of the quick
+#: set — the CI gate watches the serving tier, not just raw SpMV.
+SERVE_CASES: tuple[tuple[str, float, int], ...] = (
+    ("WIK", 0.05, 1),
+    ("WIK", 0.05, 2),
+)
+
+#: Requests per serving cell (one trace, replayed each repeat).
+SERVE_REQUESTS = 96
+
+#: Modelled queries/s may drop at most this factor vs the baseline.
+SERVE_QPS_DROP_FACTOR = 1.25
+
+#: Modelled p99 latency may grow at most this factor vs the baseline.
+SERVE_P99_GROWTH_FACTOR = 1.25
 
 #: Added by the full benchmark: the largest corpus matrices scaled all the
 #: way to their paper size (scale 1.0 — up to 113M non-zeros for HOL).
@@ -142,16 +168,94 @@ def run_case(
     }
 
 
+def run_serve_case(
+    matrix: str,
+    scale: float,
+    device: DeviceSpec,
+    gpus: int = 1,
+    repeats: int = 3,
+    requests: int = SERVE_REQUESTS,
+    seed: int = 0,
+) -> dict:
+    """Benchmark one serving cell; returns a JSON-ready record.
+
+    Plan building and the first (cache-warming) replay are excluded:
+    ``wall_s`` is the median steady-state cost of pushing the whole
+    trace through the coalescer/scheduler/billing path.  The
+    ``serve_qps`` / ``serve_p99_s`` columns come from the virtual
+    clock, so they are identical across repeats and exactly
+    reproducible from the seed.
+    """
+    from ..serve import (
+        ServeConfig,
+        ServeEngine,
+        TraceConfig,
+        auto_interarrival_s,
+        generate_trace,
+        slo_summary,
+    )
+
+    engine = ServeEngine(device, ServeConfig(gpus=gpus))
+    plan = engine.register(matrix, scale=scale)
+    mean_s = auto_interarrival_s(
+        [plan], gpus, engine.config.epsilon, engine.config.restart
+    )
+    trace_config = TraceConfig(n_requests=requests, seed=seed)
+    trace = generate_trace(trace_config, engine.registered_graphs(), mean_s)
+    result = engine.run_trace(trace)  # warm: fills the iteration cache
+    times = []
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        result = engine.run_trace(trace)
+        times.append(time.perf_counter() - t0)
+    slo = slo_summary(result)
+    return {
+        "name": f"{matrix}-serve" + (f"-g{gpus}" if gpus > 1 else ""),
+        "scale": scale,
+        "k": 1,
+        "gpus": gpus,
+        "wall_s": statistics.median(times),
+        "wall_s_min": min(times),
+        "requests": requests,
+        "seed": seed,
+        "format": plan.format_name,
+        "mean_interarrival_s": mean_s,
+        "serve_qps": slo["queries_per_s"],
+        "serve_p50_s": slo["p50_s"],
+        "serve_p99_s": slo["p99_s"],
+        "admitted": slo["admitted"],
+        "shed": slo["shed"],
+        "batches": slo["batches"],
+        "mean_batch_width": slo["mean_batch_width"],
+        "makespan_s": slo["makespan_s"],
+    }
+
+
 def run_bench(
     cases,
     device: DeviceSpec,
     repeats: int = 3,
     progress=None,
+    serve_cases=None,
 ) -> dict:
-    """Run every case; returns the BENCH_speed.json payload."""
+    """Run every case (SpMV cells, then serving cells); returns the
+    BENCH_speed.json payload.
+
+    ``serve_cases`` defaults to :data:`SERVE_CASES` (read at call time so
+    tests can patch it); pass ``()`` to skip the serving cells.
+    """
+    if serve_cases is None:
+        serve_cases = SERVE_CASES
     records = []
     for matrix, scale, k in cases:
         record = run_case(matrix, scale, device, repeats=repeats, k=k)
+        records.append(record)
+        if progress is not None:
+            progress(record)
+    for matrix, scale, gpus in serve_cases:
+        record = run_serve_case(
+            matrix, scale, device, gpus=gpus, repeats=repeats
+        )
         records.append(record)
         if progress is not None:
             progress(record)
@@ -223,6 +327,28 @@ def check_regressions(
                     f"baseline {ref['dp_overflow']} "
                     "(pending-launch-limit stalls introduced)"
                 )
+        # Serving SLO cells: modelled virtual-clock outputs, so the
+        # gates are tight.  Skipped when the baseline predates them.
+        if "serve_qps" in ref and "serve_qps" in record:
+            floor = float(ref["serve_qps"]) / SERVE_QPS_DROP_FACTOR
+            if float(record["serve_qps"]) < floor:
+                failures.append(
+                    f"{label}: serve_qps {float(record['serve_qps']):.1f} "
+                    f"< baseline {float(ref['serve_qps']):.1f} / "
+                    f"{SERVE_QPS_DROP_FACTOR:g}"
+                )
+        if (
+            record.get("serve_p99_s") is not None
+            and ref.get("serve_p99_s") is not None
+        ):
+            ceiling = SERVE_P99_GROWTH_FACTOR * float(ref["serve_p99_s"])
+            if float(record["serve_p99_s"]) > ceiling:
+                failures.append(
+                    f"{label}: serve_p99_s "
+                    f"{float(record['serve_p99_s']) * 1e6:.1f}us > "
+                    f"{SERVE_P99_GROWTH_FACTOR:g}x baseline "
+                    f"({float(ref['serve_p99_s']) * 1e6:.1f}us)"
+                )
     return failures
 
 
@@ -266,6 +392,18 @@ def run_cli(args: argparse.Namespace) -> int:
     cases = bench_cases(args.quick)
 
     def progress(r: dict) -> None:
+        if "serve_qps" in r:
+            p99 = r["serve_p99_s"]
+            p99_txt = f"{p99 * 1e6:.1f} us" if p99 is not None else "n/a"
+            print(
+                f"{r['name']}@{r['scale']:g}: "
+                f"wall {r['wall_s'] * 1e3:8.2f} ms  "
+                f"{r['serve_qps']:,.0f} q/s, p99 {p99_txt}, "
+                f"{r['batches']} batches "
+                f"(mean width {r['mean_batch_width']:.2f}), "
+                f"shed {r['shed']}"
+            )
+            return
         ratio = r["total_warps"] / max(1, r["total_entries"])
         print(
             f"{r['name']}@{r['scale']:g}"

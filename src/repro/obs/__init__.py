@@ -62,7 +62,7 @@ from .profile import (
     verdict_for,
 )
 from .profiler import Profiler, Span
-from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .registry import Counter, Gauge, Histogram, MetricsRegistry, exact_quantile
 from .report_html import diff_report_html, write_html_report
 from .timeline import (
     Lane,
@@ -88,6 +88,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "exact_quantile",
     "FormatProfile",
     "RooflineVerdict",
     "profile_format",

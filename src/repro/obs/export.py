@@ -4,7 +4,8 @@ Three formats, all dependency-free:
 
 * **JSONL** — one JSON object per line, each tagged with a ``record``
   kind (``meta`` / ``launch`` / ``span`` / ``aggregate`` / ``metrics``,
-  plus ``attribution`` / ``delta`` for differential profiles).  This is
+  ``attribution`` / ``delta`` for differential profiles, ``request`` /
+  ``slo`` for serving reports).  This is
   the machine-readable artifact CI uploads and gates on;
   :func:`validate_profile_jsonl` is the gate and
   :func:`write_diff_jsonl` the diff-report writer.
@@ -58,7 +59,21 @@ _RECORD_KINDS = (
     "metrics",
     "attribution",
     "delta",
+    "request",
+    "slo",
 )
+
+#: Modelled-latency fields every admitted ``request`` record must carry
+#: (``latency_s`` is their plain float sum, in this order).
+_REQUEST_LATENCY_FIELDS = (
+    "queue_wait_s",
+    "formation_s",
+    "compute_s",
+    "latency_s",
+)
+
+#: Percentile fields of the serve report's ``slo`` summary record.
+_SLO_PERCENTILE_FIELDS = ("p50_s", "p95_s", "p99_s")
 
 #: CSV column order (stable; append-only for compatibility).
 CSV_COLUMNS = (
@@ -361,13 +376,60 @@ def _validate_counter_fields(obj: dict, where: str) -> list[str]:
     return errors
 
 
+def _validate_request_fields(obj: dict, where: str) -> list[str]:
+    """Field checks for one serve-report ``request`` record."""
+    errors = []
+    for field in ("tenant", "graph", "node", "arrival_s", "status"):
+        if field not in obj:
+            errors.append(f"{where}: request missing field {field!r}")
+    status = obj.get("status")
+    if status not in ("ok", "shed"):
+        errors.append(f"{where}: unknown request status {status!r}")
+    arrival = obj.get("arrival_s")
+    if isinstance(arrival, (int, float)) and arrival < 0:
+        errors.append(f"{where}: arrival_s={arrival} negative")
+    if status == "ok":
+        for field in _REQUEST_LATENCY_FIELDS:
+            v = obj.get(field)
+            if not isinstance(v, (int, float)):
+                errors.append(f"{where}: request missing numeric {field!r}")
+            elif v < 0:
+                errors.append(f"{where}: {field}={v} negative")
+        k = obj.get("k")
+        if not isinstance(k, int) or k < 1:
+            errors.append(f"{where}: admitted request needs batch width k >= 1")
+    elif status == "shed":
+        v = obj.get("retry_after_s")
+        if not isinstance(v, (int, float)) or v < 0:
+            errors.append(
+                f"{where}: shed request needs non-negative retry_after_s"
+            )
+    return errors
+
+
+def _validate_slo_fields(obj: dict, where: str) -> list[str]:
+    """Field checks for the serve-report ``slo`` summary record."""
+    errors = []
+    qps = obj.get("queries_per_s")
+    if not isinstance(qps, (int, float)) or qps < 0:
+        errors.append(f"{where}: slo needs non-negative queries_per_s")
+    for field in _SLO_PERCENTILE_FIELDS:
+        v = obj.get(field)
+        # null is allowed (no admitted requests -> no percentiles).
+        if v is not None and not isinstance(v, (int, float)):
+            errors.append(f"{where}: {field}={v!r} not numeric or null")
+    return errors
+
+
 def validate_profile_jsonl(path) -> list[str]:
     """Schema-check one profile JSONL file; returns error messages.
 
     An empty list means the file is valid.  Checked: every line parses as
     a JSON object with a known ``record`` kind; exactly one ``meta`` line
     comes first; launch/aggregate records carry the full counter field
-    set with ratios in range; at least one launch or aggregate exists.
+    set with ratios in range; serve ``request`` records carry tenant /
+    graph / latency-term fields (and ``slo`` summaries valid
+    percentiles); at least one launch, aggregate, or request exists.
     """
     path = Path(path)
     errors: list[str] = []
@@ -378,6 +440,7 @@ def validate_profile_jsonl(path) -> list[str]:
     if not lines:
         return [f"{path}: empty file"]
     n_counter_records = 0
+    n_request_records = 0
     for i, line in enumerate(lines, start=1):
         where = f"{path}:{i}"
         if not line.strip():
@@ -412,6 +475,11 @@ def validate_profile_jsonl(path) -> list[str]:
                 isinstance(v, (int, float)) for v in terms.values()
             ):
                 errors.append(f"{where}: {kind} record needs numeric 'terms'")
-    if n_counter_records == 0:
-        errors.append(f"{path}: no launch/aggregate records")
+        elif kind == "request":
+            n_request_records += 1
+            errors.extend(_validate_request_fields(obj, where))
+        elif kind == "slo":
+            errors.extend(_validate_slo_fields(obj, where))
+    if n_counter_records == 0 and n_request_records == 0:
+        errors.append(f"{path}: no launch/aggregate/request records")
     return errors

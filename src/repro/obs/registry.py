@@ -19,6 +19,30 @@ def _key(name: str, labels: dict | None) -> tuple:
     return (name, ())
 
 
+def exact_quantile(values, q: float) -> float:
+    """Deterministic linear-interpolation quantile of a finite sample.
+
+    Matches ``numpy.percentile``'s default ("linear") method without the
+    dependency: for ``n`` sorted values the ``q``-quantile sits at rank
+    ``q * (n - 1)`` and interpolates between the two neighbouring order
+    statistics.  ``nan`` for an empty sample.  The serving layer's SLO
+    report (p50/p95/p99 modelled latency) is computed with this, so the
+    gated numbers are exact order statistics, not histogram estimates.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    data = sorted(float(v) for v in values)
+    if not data:
+        return math.nan
+    pos = q * (len(data) - 1)
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    if lo == hi:
+        return data[lo]
+    frac = pos - lo
+    return data[lo] * (1.0 - frac) + data[hi] * frac
+
+
 @dataclass
 class Counter:
     """A monotonically increasing total."""
@@ -89,6 +113,42 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Streaming quantile estimate from the bucket counts.
+
+        Walks the cumulative bucket histogram to the bucket containing
+        rank ``q * count`` and interpolates linearly inside it (the
+        Prometheus ``histogram_quantile`` rule), clamping to the observed
+        ``min``/``max``.  An *estimate* — use :func:`exact_quantile` on
+        the raw sample when the exact order statistic matters (the
+        serving SLO gates do).  ``nan`` when nothing was observed.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return math.nan
+        rank = q * self.count
+        seen = 0
+        lower = self.min
+        for i, upper in enumerate(self.bounds):
+            in_bucket = self.counts[i]
+            if seen + in_bucket >= rank and in_bucket > 0:
+                frac = (rank - seen) / in_bucket
+                lo = max(lower, self.min)
+                hi = min(upper, self.max)
+                if hi < lo:
+                    return min(max(self.min, lo), self.max)
+                return lo + frac * (hi - lo)
+            seen += in_bucket
+            lower = upper
+        # Overflow bucket: interpolate between the last bound and max.
+        in_bucket = self.counts[-1]
+        if in_bucket == 0:
+            return self.max
+        frac = (rank - seen) / in_bucket
+        lo = max(lower, self.min)
+        return min(lo + frac * (self.max - lo), self.max)
 
 
 class MetricsRegistry:

@@ -1,0 +1,96 @@
+"""``repro.serve`` — multi-tenant RWR/PageRank query serving.
+
+The north-star workload behind the paper's graph applications is a
+*service*: millions of users each asking "what's relevant to me?"
+against shared graphs.  This package models that serving tier end to
+end on the simulator's virtual clock, deterministically:
+
+* :mod:`~repro.serve.queries` — request/outcome types with an explicit
+  modelled-latency decomposition (queue wait + formation + compute).
+* :mod:`~repro.serve.plans` — per-(matrix, device) serving plans:
+  advisor format choice plus frozen per-width cost tables, memoized in
+  session and (via ``REPRO_CELL_CACHE``) on disk.
+* :mod:`~repro.serve.admission` — bounded-queue admission control with
+  per-tenant caps and retry-after load shedding.
+* :mod:`~repro.serve.coalescer` — size-or-timeout batching of
+  same-graph queries into one SpMM batch, tenant-fair under overload.
+* :mod:`~repro.serve.scheduler` — earliest-free placement onto the
+  multi-GPU worker pool, plus stream-engine replay for Chrome traces.
+* :mod:`~repro.serve.loadgen` — seeded Zipfian/bursty load generator.
+* :mod:`~repro.serve.server` — the discrete-event engine itself and
+  its ``asyncio`` facade.
+* :mod:`~repro.serve.report` — JSONL reports with exact-percentile SLO
+  summaries, schema-validated by ``repro profile-check``.
+
+``repro serve-sim`` (see :mod:`repro.__main__`) drives the whole stack
+from the command line.
+"""
+
+from .admission import (
+    REASON_QUEUE_FULL,
+    REASON_TENANT_LIMIT,
+    AdmissionController,
+    AdmissionPolicy,
+)
+from .coalescer import CoalescePolicy, Coalescer
+from .loadgen import (
+    TraceConfig,
+    auto_interarrival_s,
+    expected_iterations,
+    generate_trace,
+    zipf_cdf,
+)
+from .plans import (
+    DEFAULT_K_MAX,
+    SERVE_PLAN_VERSION,
+    ServePlan,
+    clear_plan_cache,
+    operator_format,
+    plan_for,
+)
+from .queries import BatchRecord, CompletedQuery, QueryRequest, ShedQuery
+from .report import serve_report_lines, slo_summary, write_serve_jsonl
+from .scheduler import WorkerPool, replay_engine
+from .server import (
+    DEFAULT_SERVE_EPSILON,
+    AsyncServeEngine,
+    GraphContext,
+    ServeConfig,
+    ServeEngine,
+    ServeResult,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "AsyncServeEngine",
+    "BatchRecord",
+    "CoalescePolicy",
+    "Coalescer",
+    "CompletedQuery",
+    "DEFAULT_K_MAX",
+    "DEFAULT_SERVE_EPSILON",
+    "GraphContext",
+    "QueryRequest",
+    "REASON_QUEUE_FULL",
+    "REASON_TENANT_LIMIT",
+    "SERVE_PLAN_VERSION",
+    "ServeConfig",
+    "ServeEngine",
+    "ServePlan",
+    "ServeResult",
+    "ShedQuery",
+    "TraceConfig",
+    "WorkerPool",
+    "auto_interarrival_s",
+    "clear_plan_cache",
+    "expected_iterations",
+    "generate_trace",
+    "operator_format",
+    "plan_for",
+    "replay_engine",
+    "serve_report_lines",
+    "slo_summary",
+    "write_serve_jsonl",
+    "zipf_cdf",
+]

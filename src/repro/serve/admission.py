@@ -1,0 +1,82 @@
+"""Admission control: bounded queues and per-tenant in-flight caps.
+
+A serving system that admits everything melts down under burst; one that
+serialises per tenant starves nobody but wastes the device.  The
+controller here sits between: a global bound on admitted-but-unstarted
+queries (the *queue*), plus a per-tenant bound so one hot tenant cannot
+occupy the whole queue.  Rejected queries are *shed* with a retry-after
+hint rather than silently dropped — the load generator treats a shed as
+a completed (failed) request, so the SLO report counts it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Shed reason: the global queue bound was hit.
+REASON_QUEUE_FULL = "queue-full"
+
+#: Shed reason: the submitting tenant's in-flight cap was hit.
+REASON_TENANT_LIMIT = "tenant-limit"
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Bounds the controller enforces."""
+
+    #: Max queries admitted but not yet started, across all tenants.
+    queue_limit: int = 64
+    #: Max queued queries per tenant.
+    tenant_limit: int = 16
+
+    def __post_init__(self) -> None:
+        if self.queue_limit < 1 or self.tenant_limit < 1:
+            raise ValueError("admission limits must be at least 1")
+
+
+class AdmissionController:
+    """Tracks queued queries and sheds arrivals past the policy bounds.
+
+    "Queued" means admitted but not yet started on a worker: the engine
+    calls :meth:`try_admit` on arrival and :meth:`release` when the
+    query's batch hits its GPU, so the bound covers both coalescing wait
+    and scheduler backlog.
+    """
+
+    def __init__(self, policy: AdmissionPolicy | None = None) -> None:
+        self.policy = policy or AdmissionPolicy()
+        self._depth = 0
+        self._by_tenant: dict[str, int] = {}
+
+    @property
+    def depth(self) -> int:
+        """Queries currently admitted but not started."""
+        return self._depth
+
+    def tenant_depth(self, tenant: str) -> int:
+        """Queued queries of one tenant."""
+        return self._by_tenant.get(tenant, 0)
+
+    def try_admit(self, tenant: str) -> str | None:
+        """Admit one query for ``tenant``; a shed reason string refuses.
+
+        Returns ``None`` on admission (the query now counts against both
+        bounds until :meth:`release`), else :data:`REASON_QUEUE_FULL` or
+        :data:`REASON_TENANT_LIMIT`.
+        """
+        if self._depth >= self.policy.queue_limit:
+            return REASON_QUEUE_FULL
+        if self._by_tenant.get(tenant, 0) >= self.policy.tenant_limit:
+            return REASON_TENANT_LIMIT
+        self._depth += 1
+        self._by_tenant[tenant] = self._by_tenant.get(tenant, 0) + 1
+        return None
+
+    def release(self, tenant: str) -> None:
+        """One of ``tenant``'s queued queries started on a worker."""
+        if self._by_tenant.get(tenant, 0) < 1:
+            raise ValueError(f"tenant {tenant!r} has no queued queries")
+        self._depth -= 1
+        self._by_tenant[tenant] -= 1
+        if not self._by_tenant[tenant]:
+            del self._by_tenant[tenant]

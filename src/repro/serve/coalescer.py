@@ -1,0 +1,114 @@
+"""Batch coalescing: pack same-graph queries into one SpMM batch.
+
+The whole point of serving RWR on a GPU is Section VI's batching
+argument run in reverse: ``k`` independent queries against the *same*
+matrix cost one ``k``-wide SpMM per round instead of ``k`` SpMVs, so the
+matrix is read once for the whole batch.  The coalescer holds arriving
+queries in per-graph queues and seals a batch when either the width cap
+(``max_batch``) is reached or the oldest query has waited ``max_wait_s``
+— the classic size-or-timeout policy, with the timeout bounding the
+latency cost of waiting for company.
+
+When a queue holds more queries than one batch may carry, the batch is
+filled *fairly*: one query per tenant in rotation (FIFO within each
+tenant), so a tenant that floods a graph cannot push everyone else's
+queries behind its own backlog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .queries import QueryRequest
+
+
+@dataclass(frozen=True)
+class CoalescePolicy:
+    """Size-or-timeout batch close policy."""
+
+    #: Widest batch the coalescer will seal.
+    max_batch: int = 8
+    #: Longest the oldest pending query may wait before a forced close.
+    max_wait_s: float = 250e-6
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if self.max_wait_s < 0:
+            raise ValueError("max_wait_s must be non-negative")
+
+
+class Coalescer:
+    """Per-graph pending queues with the size-or-timeout close policy."""
+
+    def __init__(self, policy: CoalescePolicy | None = None) -> None:
+        self.policy = policy or CoalescePolicy()
+        self._pending: dict[str, list[QueryRequest]] = {}
+        self._deadline: dict[str, float] = {}
+
+    def add(self, request: QueryRequest, now: float) -> float | None:
+        """Queue one admitted query; returns a newly-armed deadline.
+
+        The deadline (``now + max_wait_s``) is returned only when this
+        query opened an empty queue — the engine arms exactly one flush
+        timer per open queue.
+        """
+        queue = self._pending.setdefault(request.graph, [])
+        queue.append(request)
+        if len(queue) == 1:
+            deadline = now + self.policy.max_wait_s
+            self._deadline[request.graph] = deadline
+            return deadline
+        return None
+
+    def pending(self, graph: str) -> int:
+        """Queries currently queued for ``graph``."""
+        return len(self._pending.get(graph, ()))
+
+    def deadline(self, graph: str) -> float | None:
+        """The open queue's flush deadline (``None`` when empty)."""
+        return self._deadline.get(graph)
+
+    def full(self, graph: str) -> bool:
+        """Whether ``graph``'s queue can fill a whole batch."""
+        return self.pending(graph) >= self.policy.max_batch
+
+    def due(self, graph: str, now: float) -> bool:
+        """Whether ``graph``'s queue must close on timeout at ``now``."""
+        deadline = self._deadline.get(graph)
+        return deadline is not None and deadline <= now
+
+    def close(self, graph: str, now: float) -> tuple[QueryRequest, ...]:
+        """Seal one batch for ``graph`` (up to ``max_batch`` queries).
+
+        Selection is round-robin across tenants in order of each
+        tenant's earliest queued query, FIFO within a tenant.  Leftover
+        queries stay queued with a fresh ``now + max_wait_s`` deadline
+        (the caller re-arms its flush timer via :meth:`deadline`).
+        """
+        queue = self._pending.get(graph, [])
+        if not queue:
+            return ()
+        by_tenant: dict[str, list[QueryRequest]] = {}
+        for req in queue:
+            by_tenant.setdefault(req.tenant, []).append(req)
+        batch: list[QueryRequest] = []
+        while len(batch) < self.policy.max_batch and by_tenant:
+            exhausted = []
+            for tenant, reqs in by_tenant.items():
+                if len(batch) >= self.policy.max_batch:
+                    break
+                batch.append(reqs.pop(0))
+                if not reqs:
+                    exhausted.append(tenant)
+            for tenant in exhausted:
+                del by_tenant[tenant]
+        taken = {req.rid for req in batch}
+        rest = [req for req in queue if req.rid not in taken]
+        if rest:
+            self._pending[graph] = rest
+            self._deadline[graph] = now + self.policy.max_wait_s
+        else:
+            del self._pending[graph]
+            self._deadline.pop(graph, None)
+        return tuple(batch)

@@ -1,0 +1,191 @@
+"""Deterministic load generator: Zipfian popularity, bursty arrivals.
+
+Real query traffic is skewed twice over — a few graphs receive most
+queries, and within a graph a few seed nodes (hubs, celebrities, front
+pages) dominate — and it arrives in bursts, not as a smooth stream.
+The generator models all three with a seeded ``numpy`` RNG and a fixed
+draw order (gaps, then tenants, then graphs, then seeds), so the same
+``--seed`` always produces the byte-identical trace:
+
+* **Arrivals** — a two-phase machine alternates calm and bursty phases
+  with geometric lengths; gaps are exponential, divided by
+  ``burst_factor`` inside a burst (an interrupted Poisson process).
+* **Graph popularity** — Zipf over the registered graphs in
+  registration order (rank 1 = first registered).
+* **Seed popularity** — Zipf over each graph's node ids (rank 1 =
+  node 0, matching the synthetic analogs' hub-first column skew).
+
+Everything runs on the virtual clock; no wall time is consulted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .plans import ServePlan
+from .queries import QueryRequest
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Shape of one generated query trace."""
+
+    n_requests: int = 256
+    n_tenants: int = 4
+    seed: int = 0
+    #: Mean gap between arrivals; ``None`` lets the caller auto-pace
+    #: from the serving plans (see :func:`auto_interarrival_s`).
+    mean_interarrival_s: float | None = None
+    #: Gap divisor inside a bursty phase (1.0 = no bursts).
+    burst_factor: float = 4.0
+    #: Mean requests per bursty phase (geometric).
+    mean_burst: float = 16.0
+    #: Mean requests per calm phase (geometric).
+    mean_calm: float = 32.0
+    #: Zipf exponent of graph popularity.
+    graph_zipf_s: float = 1.1
+    #: Zipf exponent of per-graph seed-node popularity.
+    node_zipf_s: float = 1.05
+
+    def __post_init__(self) -> None:
+        if self.n_requests < 1 or self.n_tenants < 1:
+            raise ValueError("need at least one request and one tenant")
+        if (
+            self.mean_interarrival_s is not None
+            and self.mean_interarrival_s <= 0
+        ):
+            raise ValueError("mean inter-arrival must be positive")
+        if self.burst_factor < 1.0:
+            raise ValueError("burst_factor must be >= 1 (1 = no bursts)")
+        if self.mean_burst < 1.0 or self.mean_calm < 1.0:
+            raise ValueError("mean phase lengths must be >= 1 request")
+        if self.graph_zipf_s < 0 or self.node_zipf_s < 0:
+            raise ValueError("zipf exponents must be non-negative")
+
+
+def zipf_cdf(n: int, s: float) -> np.ndarray:
+    """Normalised CDF of ``1 / rank**s`` over ``n`` ranks.
+
+    ``s = 0`` degenerates to uniform.  Sampling is one uniform draw plus
+    ``searchsorted`` — no rejection loop, so the RNG consumption per
+    request is fixed (determinism depends on that).
+    """
+    if n < 1:
+        raise ValueError("need at least one rank")
+    weights = 1.0 / np.arange(1, n + 1, dtype=np.float64) ** s
+    cdf = np.cumsum(weights / weights.sum())
+    cdf[-1] = 1.0  # guard the float tail so u < 1 always lands in range
+    return cdf
+
+
+def expected_iterations(epsilon: float, restart: float) -> int:
+    """Geometric-decay estimate of RWR rounds to reach ``epsilon``.
+
+    Each power-method round contracts the error by roughly the restart
+    probability ``c``, so convergence needs about
+    ``log(eps) / log(c)`` rounds.
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError("epsilon must be in (0, 1)")
+    if not 0.0 < restart < 1.0:
+        raise ValueError("restart probability must be in (0, 1)")
+    return max(1, math.ceil(math.log(epsilon) / math.log(restart)))
+
+
+def auto_interarrival_s(
+    plans: Sequence[ServePlan],
+    gpus: int,
+    epsilon: float,
+    restart: float,
+    utilization: float = 0.8,
+) -> float:
+    """Mean inter-arrival targeting ``utilization`` of the worker pool.
+
+    Prices the *unbatched* query (expected rounds x width-1 round cost,
+    averaged over the registered plans), then paces arrivals so solo
+    execution would load ``gpus`` workers to the target utilisation.
+    Coalescing makes the served load lighter than this bound, which is
+    the point: the default pacing keeps the system busy but stable.
+    """
+    if not plans:
+        raise ValueError("need at least one plan to pace against")
+    if gpus < 1:
+        raise ValueError("need at least one GPU")
+    if not 0.0 < utilization <= 1.0:
+        raise ValueError("target utilization must be in (0, 1]")
+    rounds = expected_iterations(epsilon, restart)
+    per_query = sum(rounds * p.cost_of_width(1) for p in plans) / len(plans)
+    return per_query / (utilization * gpus)
+
+
+def generate_trace(
+    config: TraceConfig,
+    graphs: Sequence[tuple[str, int]],
+    mean_interarrival_s: float | None = None,
+) -> tuple[QueryRequest, ...]:
+    """Generate one deterministic query trace.
+
+    ``graphs`` lists ``(graph_key, n_nodes)`` in popularity order.
+    ``mean_interarrival_s`` overrides the config's (one of the two must
+    be set; the CLI passes the auto-paced value here).
+    """
+    mean_gap = (
+        config.mean_interarrival_s
+        if mean_interarrival_s is None
+        else mean_interarrival_s
+    )
+    if mean_gap is None or mean_gap <= 0:
+        raise ValueError("a positive mean inter-arrival is required")
+    if not graphs:
+        raise ValueError("need at least one graph")
+    rng = np.random.default_rng(config.seed)
+    n = config.n_requests
+
+    # Draw 1: arrival gaps via the calm/burst phase machine.
+    gaps = np.empty(n, dtype=np.float64)
+    in_burst = False
+    remaining = int(rng.geometric(1.0 / config.mean_calm))
+    for i in range(n):
+        if remaining <= 0:
+            in_burst = not in_burst
+            mean_len = config.mean_burst if in_burst else config.mean_calm
+            remaining = int(rng.geometric(1.0 / mean_len))
+        gap = float(rng.exponential(mean_gap))
+        gaps[i] = gap / config.burst_factor if in_burst else gap
+        remaining -= 1
+    arrivals = np.cumsum(gaps)
+
+    # Draw 2: tenants (uniform).
+    tenants = rng.integers(0, config.n_tenants, size=n)
+
+    # Draw 3: graphs (Zipf by registration order).
+    graph_cdf = zipf_cdf(len(graphs), config.graph_zipf_s)
+    graph_idx = np.searchsorted(graph_cdf, rng.random(n), side="right")
+
+    # Draw 4: seed nodes (Zipf per graph; one uniform per request keeps
+    # RNG consumption independent of the graph assignment).
+    node_u = rng.random(n)
+    node_cdfs: dict[int, np.ndarray] = {}
+    requests = []
+    for i in range(n):
+        g = int(graph_idx[i])
+        key, n_nodes = graphs[g]
+        cdf = node_cdfs.get(g)
+        if cdf is None:
+            cdf = zipf_cdf(n_nodes, config.node_zipf_s)
+            node_cdfs[g] = cdf
+        node = int(np.searchsorted(cdf, node_u[i], side="right"))
+        requests.append(
+            QueryRequest(
+                rid=i,
+                tenant=f"t{int(tenants[i])}",
+                graph=key,
+                node=node,
+                arrival_s=float(arrivals[i]),
+            )
+        )
+    return tuple(requests)

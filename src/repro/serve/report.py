@@ -1,0 +1,124 @@
+"""Serve-report JSONL: the machine-readable artifact ``serve-sim`` emits.
+
+Layout (one JSON object per line, validated by
+:func:`repro.obs.validate_profile_jsonl`):
+
+* one ``meta`` line (``kind: "serve"`` plus the run's configuration),
+* one ``request`` line per query in rid order — admitted queries carry
+  the full latency decomposition (``latency_s`` is the plain float sum
+  of its three terms, reproducible from the record alone), shed queries
+  their reason and retry-after,
+* one ``span`` line per coalesced batch (path
+  ``serve/<graph>/batch-<id>``),
+* one ``slo`` line — queries/s and exact p50/p95/p99 latency
+  percentiles (:func:`repro.obs.exact_quantile`, not histogram
+  estimates),
+* one ``metrics`` line with the engine's registry snapshot.
+
+Everything serialised is derived from the deterministic virtual-clock
+run, so the same seed yields the byte-identical file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..obs.registry import exact_quantile
+from .queries import CompletedQuery
+from .server import ServeResult
+
+
+def slo_summary(result: ServeResult) -> dict:
+    """The ``slo`` record: throughput, exact percentiles, run counts."""
+    latencies = result.latencies_s
+    admitted = len(latencies)
+
+    def pct(q: float) -> float | None:
+        return exact_quantile(latencies, q) if admitted else None
+
+    widths = [b.k for b in result.batches]
+    return {
+        "record": "slo",
+        "queries_per_s": result.queries_per_s,
+        "p50_s": pct(0.50),
+        "p95_s": pct(0.95),
+        "p99_s": pct(0.99),
+        "admitted": admitted,
+        "shed": len(result.shed),
+        "batches": len(result.batches),
+        "mean_batch_width": (
+            sum(widths) / len(widths) if widths else None
+        ),
+        "makespan_s": result.makespan_s,
+    }
+
+
+def _request_record(outcome) -> dict:
+    base = {
+        "record": "request",
+        "rid": outcome.request.rid,
+        "tenant": outcome.request.tenant,
+        "graph": outcome.request.graph,
+        "node": outcome.request.node,
+        "arrival_s": outcome.request.arrival_s,
+    }
+    if isinstance(outcome, CompletedQuery):
+        base.update(
+            status="ok",
+            batch=outcome.batch_id,
+            worker=outcome.worker,
+            k=outcome.k,
+            iterations=outcome.iterations,
+            converged=outcome.converged,
+            queue_wait_s=outcome.queue_wait_s,
+            formation_s=outcome.formation_s,
+            compute_s=outcome.compute_s,
+            latency_s=outcome.latency_s,
+            completion_s=outcome.completion_s,
+        )
+    else:
+        base.update(
+            status="shed",
+            reason=outcome.reason,
+            retry_after_s=outcome.retry_after_s,
+        )
+    return base
+
+
+def serve_report_lines(result: ServeResult, **meta) -> list[str]:
+    """All JSONL lines of one serve report (meta kwargs land in line 1)."""
+    lines = [json.dumps({"record": "meta", "kind": "serve", **meta})]
+    for outcome in result.requests:
+        lines.append(json.dumps(_request_record(outcome)))
+    for b in result.batches:
+        lines.append(
+            json.dumps(
+                {
+                    "record": "span",
+                    "name": f"batch-{b.batch_id}",
+                    "path": f"serve/{b.graph}/batch-{b.batch_id}",
+                    "attrs": {
+                        "worker": b.worker,
+                        "k": b.k,
+                        "close_s": b.close_s,
+                        "start_s": b.start_s,
+                    },
+                    "time_s": b.duration_s,
+                }
+            )
+        )
+    lines.append(json.dumps(slo_summary(result)))
+    lines.append(
+        json.dumps(
+            {"record": "metrics", "metrics": result.registry.snapshot()}
+        )
+    )
+    return lines
+
+
+def write_serve_jsonl(result: ServeResult, path, **meta) -> Path:
+    """Write one serve report; returns the path written."""
+    path = Path(path)
+    path.write_text("\n".join(serve_report_lines(result, **meta)) + "\n")
+    return path

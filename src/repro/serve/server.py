@@ -1,0 +1,416 @@
+"""The multi-tenant serving engine: a deterministic discrete-event loop.
+
+:class:`ServeEngine` answers per-user RWR queries against registered
+graphs on a *virtual* clock.  Arrivals pass admission control
+(:mod:`~repro.serve.admission`), queue in the per-graph coalescer
+(:mod:`~repro.serve.coalescer`) until a batch seals, and batches go to
+the earliest-free GPU worker (:mod:`~repro.serve.scheduler`).  Every
+admitted query gets a *modelled* latency:
+
+``latency = queue_wait + formation + compute``
+
+where queue wait is real virtual-clock time (coalescing + scheduler
+backlog), formation comes from the plan's batch-formation table, and
+compute is the query's *per-column* share of the batch's
+:class:`~repro.apps.power_method.BatchBill` — so a solo (``k = 1``)
+query's compute equals :func:`repro.apps.rwr.rwr`'s ``modeled_time_s``
+bit for bit, and a full batch's longest column equals
+:func:`repro.apps.rwr.run_rwr_batch`'s.
+
+The numeric side (per-query iteration counts) runs the real RWR
+iteration once per distinct ``(graph, seed)`` and is cached; billing
+reconstructs the batch schedule from iteration counts alone, so the
+event loop never re-runs numerics for popular seeds.
+
+Everything is deterministic: events order by ``(time, push sequence)``,
+no wall clock or RNG anywhere.  :class:`AsyncServeEngine` wraps the
+loop in an ``asyncio`` facade whose futures resolve when the virtual
+clock drains.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+from dataclasses import dataclass, field
+
+from ..apps.power_method import MAX_ITERATIONS, make_batch_bill
+from ..apps.rwr import DEFAULT_RESTART, rwr
+from ..gpu.device import DeviceSpec, Precision
+from ..obs.registry import MetricsRegistry
+from .admission import AdmissionController, AdmissionPolicy
+from .coalescer import CoalescePolicy, Coalescer
+from .plans import ServePlan, operator_format, plan_for
+from .queries import BatchRecord, CompletedQuery, QueryRequest, ShedQuery
+from .scheduler import WorkerPool
+
+#: Convergence threshold serving uses by default — looser than the
+#: paper's 1e-6 offline figure because interactive queries trade the
+#: last digits of the ranking for latency.
+DEFAULT_SERVE_EPSILON = 1e-3
+
+#: Bucket bounds of the batch-width histogram.
+_WIDTH_BOUNDS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Serving-policy knobs of one engine."""
+
+    #: Widest coalesced batch (must fit every plan's ``k_max``).
+    max_batch: int = 8
+    #: Longest a query waits for batch company.
+    max_wait_s: float = 250e-6
+    #: Global admitted-but-unstarted bound.
+    queue_limit: int = 64
+    #: Per-tenant queued bound.
+    tenant_limit: int = 16
+    #: Worker GPUs (one stream each).
+    gpus: int = 1
+    #: RWR convergence threshold.
+    epsilon: float = DEFAULT_SERVE_EPSILON
+    #: RWR restart probability.
+    restart: float = DEFAULT_RESTART
+    #: Iteration cap per query.
+    max_iterations: int = MAX_ITERATIONS
+
+    def __post_init__(self) -> None:
+        if self.gpus < 1:
+            raise ValueError("need at least one GPU")
+        if not 0.0 < self.epsilon < 1.0:
+            raise ValueError("epsilon must be in (0, 1)")
+        if not 0.0 < self.restart < 1.0:
+            raise ValueError("restart probability must be in (0, 1)")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be at least 1")
+
+
+@dataclass
+class GraphContext:
+    """One registered graph: its plan, backend format, and query cache."""
+
+    key: str
+    plan: ServePlan
+    fmt: object
+    #: ``node -> (iterations, converged)`` from the real RWR numerics.
+    query_cache: dict[int, tuple[int, bool]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """Outcome of one :meth:`ServeEngine.run_trace` (rid order)."""
+
+    requests: tuple[CompletedQuery | ShedQuery, ...]
+    batches: tuple[BatchRecord, ...]
+    #: When the last batch's worker freed (0.0 with no batches).
+    makespan_s: float
+    config: ServeConfig
+    registry: MetricsRegistry
+
+    @property
+    def admitted(self) -> tuple[CompletedQuery, ...]:
+        """The served queries, in rid order."""
+        return tuple(
+            r for r in self.requests if isinstance(r, CompletedQuery)
+        )
+
+    @property
+    def shed(self) -> tuple[ShedQuery, ...]:
+        """The load-shed queries, in rid order."""
+        return tuple(r for r in self.requests if isinstance(r, ShedQuery))
+
+    @property
+    def latencies_s(self) -> tuple[float, ...]:
+        """Modelled end-to-end latencies of the served queries."""
+        return tuple(r.latency_s for r in self.admitted)
+
+    @property
+    def queries_per_s(self) -> float:
+        """Served throughput over the run's makespan."""
+        n = len(self.admitted)
+        return n / self.makespan_s if self.makespan_s > 0 else 0.0
+
+
+class ServeEngine:
+    """Multi-tenant RWR query serving over registered graphs."""
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        config: ServeConfig | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.device = device
+        self.config = config or ServeConfig()
+        self.registry = registry or MetricsRegistry()
+        self._graphs: dict[str, GraphContext] = {}
+
+    def register(
+        self,
+        matrix_key: str,
+        scale: float | None = None,
+        precision: Precision = Precision.SINGLE,
+        format_name: str = "auto",
+        k_max: int | None = None,
+    ) -> ServePlan:
+        """Register one corpus graph for serving; returns its plan.
+
+        The plan (format choice + cost tables) is memoized through
+        :func:`repro.serve.plans.plan_for`; the numeric backend is the
+        session-cached format over the graph's column-normalised RWR
+        operator (:func:`repro.serve.plans.operator_format`).  The
+        graph is keyed by its Table I abbreviation.
+        """
+        plan = plan_for(
+            matrix_key,
+            self.device,
+            precision=precision,
+            scale=scale,
+            format_name=format_name,
+            k_max=self.config.max_batch if k_max is None else k_max,
+        )
+        if plan.k_max < self.config.max_batch:
+            raise ValueError(
+                f"plan for {plan.abbrev} prices widths up to {plan.k_max}, "
+                f"below max_batch={self.config.max_batch}"
+            )
+        fmt = operator_format(
+            matrix_key, plan.format_name, precision, plan.scale
+        )
+        self._graphs[plan.abbrev] = GraphContext(
+            key=plan.abbrev, plan=plan, fmt=fmt
+        )
+        return plan
+
+    def registered_graphs(self) -> tuple[tuple[str, int], ...]:
+        """``(graph_key, n_nodes)`` pairs in registration order."""
+        return tuple(
+            (ctx.key, ctx.plan.n_rows) for ctx in self._graphs.values()
+        )
+
+    def _context(self, graph: str) -> GraphContext:
+        ctx = self._graphs.get(graph)
+        if ctx is None:
+            raise ValueError(
+                f"graph {graph!r} not registered "
+                f"(registered: {sorted(self._graphs)})"
+            )
+        return ctx
+
+    def _iterations(self, ctx: GraphContext, node: int) -> tuple[int, bool]:
+        """Iteration count of one query (real numerics, cached)."""
+        cached = ctx.query_cache.get(node)
+        if cached is None:
+            result = rwr(
+                ctx.fmt,
+                self.device,
+                node,
+                restart=self.config.restart,
+                epsilon=self.config.epsilon,
+                max_iterations=self.config.max_iterations,
+            )
+            cached = (result.iterations, result.converged)
+            ctx.query_cache[node] = cached
+        return cached
+
+    def run_trace(self, requests) -> ServeResult:
+        """Serve one query trace to completion on the virtual clock."""
+        reqs = tuple(requests)
+        if len({r.rid for r in reqs}) != len(reqs):
+            raise ValueError("request rids must be unique")
+        for r in reqs:
+            self._context(r.graph)  # fail fast on unknown graphs
+
+        admission = AdmissionController(
+            AdmissionPolicy(
+                queue_limit=self.config.queue_limit,
+                tenant_limit=self.config.tenant_limit,
+            )
+        )
+        coalescer = Coalescer(
+            CoalescePolicy(
+                max_batch=self.config.max_batch,
+                max_wait_s=self.config.max_wait_s,
+            )
+        )
+        pool = WorkerPool(self.config.gpus)
+        outcomes: dict[int, CompletedQuery | ShedQuery] = {}
+        batches: list[BatchRecord] = []
+        events: list[tuple] = []
+        seq = 0
+
+        def push(time_s: float, kind: str, payload) -> None:
+            nonlocal seq
+            heapq.heappush(events, (time_s, seq, kind, payload))
+            seq += 1
+
+        def close_batch(graph: str, now: float) -> None:
+            batch = coalescer.close(graph, now)
+            if not batch:
+                return
+            if coalescer.pending(graph):
+                push(coalescer.deadline(graph), "flush", graph)
+            ctx = self._graphs[graph]
+            numeric = [self._iterations(ctx, r.node) for r in batch]
+            its = [n[0] for n in numeric]
+            bill = make_batch_bill(its, ctx.plan.cost_of_width)
+            col_times = bill.column_times_s(its)
+            k = len(batch)
+            worker, start = pool.place(now)
+            formation = ctx.plan.formation_s(k)
+            compute = bill.total_s
+            end = (start + formation) + compute
+            pool.commit(worker, end)
+            push(start, "release", batch)
+            batch_id = len(batches)
+            batches.append(
+                BatchRecord(
+                    batch_id=batch_id,
+                    graph=graph,
+                    worker=worker,
+                    k=k,
+                    close_s=now,
+                    start_s=start,
+                    formation_s=formation,
+                    compute_s=compute,
+                    end_s=end,
+                )
+            )
+            self.registry.counter(
+                "serve_batches_total", "coalesced batches launched"
+            ).inc()
+            self.registry.histogram(
+                "serve_batch_width",
+                "width of launched batches",
+                bounds=_WIDTH_BOUNDS,
+            ).observe(float(k))
+            for j, r in enumerate(batch):
+                queue_wait = start - r.arrival_s
+                compute_j = float(col_times[j])
+                latency = queue_wait + formation + compute_j
+                outcomes[r.rid] = CompletedQuery(
+                    request=r,
+                    batch_id=batch_id,
+                    worker=worker,
+                    k=k,
+                    iterations=its[j],
+                    converged=numeric[j][1],
+                    queue_wait_s=queue_wait,
+                    formation_s=formation,
+                    compute_s=compute_j,
+                    latency_s=latency,
+                )
+                self.registry.counter(
+                    "serve_requests_total",
+                    "terminal request outcomes",
+                    labels={"status": "ok"},
+                ).inc()
+                self.registry.histogram(
+                    "serve_latency_s", "modelled end-to-end latency"
+                ).observe(latency)
+
+        for r in reqs:
+            push(r.arrival_s, "arrive", r)
+
+        while events:
+            now, _, kind, payload = heapq.heappop(events)
+            if kind == "arrive":
+                req: QueryRequest = payload
+                reason = admission.try_admit(req.tenant)
+                if reason is not None:
+                    retry = max(
+                        self.config.max_wait_s,
+                        (pool.min_free_at() - now) + self.config.max_wait_s,
+                    )
+                    outcomes[req.rid] = ShedQuery(
+                        request=req, reason=reason, retry_after_s=retry
+                    )
+                    self.registry.counter(
+                        "serve_requests_total",
+                        "terminal request outcomes",
+                        labels={"status": "shed"},
+                    ).inc()
+                    continue
+                deadline = coalescer.add(req, now)
+                if deadline is not None:
+                    push(deadline, "flush", req.graph)
+                if coalescer.full(req.graph):
+                    close_batch(req.graph, now)
+            elif kind == "flush":
+                if coalescer.due(payload, now):
+                    close_batch(payload, now)
+            elif kind == "release":
+                for r in payload:
+                    admission.release(r.tenant)
+
+        makespan = max((b.end_s for b in batches), default=0.0)
+        result = ServeResult(
+            requests=tuple(outcomes[rid] for rid in sorted(outcomes)),
+            batches=tuple(batches),
+            makespan_s=makespan,
+            config=self.config,
+            registry=self.registry,
+        )
+        self.registry.gauge(
+            "serve_queries_per_s", "served throughput over the makespan"
+        ).set(result.queries_per_s)
+        return result
+
+
+class AsyncServeEngine:
+    """``asyncio`` facade over :class:`ServeEngine`.
+
+    Clients :meth:`submit` queries and receive futures; :meth:`drain`
+    advances the virtual clock over everything submitted since the last
+    drain and resolves each future with its :class:`CompletedQuery` or
+    :class:`ShedQuery`.  Registration state (graphs, plans, query
+    caches, metrics) persists across drains; request ids keep counting
+    up so consecutive drains never collide.
+    """
+
+    def __init__(self, engine: ServeEngine) -> None:
+        self.engine = engine
+        self._pending: list[QueryRequest] = []
+        self._futures: dict[int, asyncio.Future] = {}
+        self._next_rid = 0
+        self._last_arrival = 0.0
+
+    def submit(
+        self,
+        tenant: str,
+        graph: str,
+        node: int,
+        arrival_s: float | None = None,
+    ) -> asyncio.Future:
+        """Queue one query; the returned future resolves on drain.
+
+        ``arrival_s`` defaults to the previous submission's arrival
+        (simultaneous arrival), and must never run backwards.  Must be
+        called from a running event loop.
+        """
+        arrival = self._last_arrival if arrival_s is None else arrival_s
+        if arrival < self._last_arrival:
+            raise ValueError("arrival times must be non-decreasing")
+        self._last_arrival = arrival
+        req = QueryRequest(
+            rid=self._next_rid,
+            tenant=tenant,
+            graph=graph,
+            node=node,
+            arrival_s=arrival,
+        )
+        self._next_rid += 1
+        self._pending.append(req)
+        future = asyncio.get_running_loop().create_future()
+        self._futures[req.rid] = future
+        return future
+
+    async def drain(self) -> ServeResult:
+        """Serve everything submitted so far; resolves the futures."""
+        pending, self._pending = self._pending, []
+        result = self.engine.run_trace(pending)
+        for outcome in result.requests:
+            future = self._futures.pop(outcome.request.rid, None)
+            if future is not None and not future.done():
+                future.set_result(outcome)
+        return result

@@ -12,6 +12,7 @@ from repro.apps import (
     run_rwr_batch,
     rwr,
 )
+from repro.apps.power_method import batch_round_widths, make_batch_bill
 from repro.formats import CSRFormat
 from repro.gpu.device import GTX_TITAN
 
@@ -94,3 +95,58 @@ class TestPowerMethodBatch:
                 np.ones(walk_fmt.n_cols),
                 lambda X, AX, c: AX,
             )
+
+
+class TestBatchBill:
+    def test_round_widths_reconstruct_the_shrinking_schedule(self):
+        # Columns running 3, 1, 2 rounds: round 1 sees all three,
+        # round 2 the two survivors, round 3 the last one.
+        assert batch_round_widths([3, 1, 2]) == (3, 2, 1)
+        assert batch_round_widths([2, 2]) == (2, 2)
+        assert batch_round_widths([1]) == (1,)
+
+    def test_round_widths_validation(self):
+        with pytest.raises(ValueError):
+            batch_round_widths([])
+        with pytest.raises(ValueError):
+            batch_round_widths([2, 0])
+
+    def test_k1_total_is_count_times_cost_bitwise(self):
+        cost = 3.7e-5  # no clean binary representation, on purpose
+        bill = make_batch_bill([13], lambda w: cost)
+        assert bill.total_s == 13 * cost
+
+    def test_column_times_match_time_through_round(self):
+        its = [4, 1, 3, 4]
+        bill = make_batch_bill(its, lambda w: w * 1.1e-5)
+        times = bill.column_times_s(its)
+        for j, r in enumerate(its):
+            assert times[j] == bill.time_through_round(r)
+        # The slowest column's completion IS the batch total, exactly.
+        assert times.max() == bill.total_s
+        assert bill.time_through_round(0) == 0.0
+
+    def test_round_range_checked(self):
+        bill = make_batch_bill([2], lambda w: 1e-6)
+        with pytest.raises(ValueError):
+            bill.time_through_round(3)
+
+    def test_cost_consulted_once_per_distinct_width(self):
+        seen = []
+
+        def cost(w):
+            seen.append(w)
+            return float(w)
+
+        # [3, 3, 1] -> widths (3, 2, 2): each distinct width priced once,
+        # in order of first appearance.
+        make_batch_bill([3, 3, 1], cost)
+        assert seen == [3, 2]
+
+    def test_driver_column_times_end_at_its_total(self, walk_fmt):
+        batch = run_rwr_batch(walk_fmt, GTX_TITAN, [0, 40, 123, 499])
+        assert batch.column_times_s is not None
+        assert float(batch.column_times_s.max()) == batch.modeled_time_s
+        widths = batch_round_widths(batch.iterations)
+        assert len(widths) == batch.max_iterations_run
+        assert widths[0] == batch.k

@@ -9,6 +9,7 @@ from repro.harness.bench_speed import (
     main,
     run_bench,
     run_case,
+    run_serve_case,
 )
 
 
@@ -23,10 +24,98 @@ class TestRunCase:
         assert r["total_entries"] <= r["total_warps"]
 
     def test_run_bench_payload(self):
-        payload = run_bench([("INT", 0.5, 1)], GTX_TITAN, repeats=1)
+        payload = run_bench(
+            [("INT", 0.5, 1)], GTX_TITAN, repeats=1, serve_cases=()
+        )
         assert payload["device"] == GTX_TITAN.name
         assert len(payload["cases"]) == 1
         json.dumps(payload)  # JSON-serialisable end to end
+
+    def test_run_bench_appends_serve_cells(self):
+        payload = run_bench(
+            [],
+            GTX_TITAN,
+            repeats=1,
+            serve_cases=(("WIK", 0.002, 1),),
+        )
+        (record,) = payload["cases"]
+        assert record["name"] == "WIK-serve"
+        json.dumps(payload)
+
+
+class TestServeCase:
+    def test_record_schema_and_determinism(self):
+        a = run_serve_case(
+            "WIK", 0.002, GTX_TITAN, gpus=1, repeats=1, requests=12
+        )
+        assert a["name"] == "WIK-serve"
+        assert a["k"] == 1 and a["gpus"] == 1
+        assert a["wall_s"] > 0
+        assert a["serve_qps"] > 0
+        assert a["serve_p99_s"] > 0
+        assert a["admitted"] + a["shed"] == 12
+        # The SLO columns are virtual-clock outputs: bit-identical on
+        # a re-run, unlike the wall-clock.
+        b = run_serve_case(
+            "WIK", 0.002, GTX_TITAN, gpus=1, repeats=1, requests=12
+        )
+        assert a["serve_qps"] == b["serve_qps"]
+        assert a["serve_p99_s"] == b["serve_p99_s"]
+
+    def test_multi_gpu_cell_is_named_and_faster(self):
+        solo = run_serve_case(
+            "WIK", 0.002, GTX_TITAN, gpus=1, repeats=1, requests=24
+        )
+        duo = run_serve_case(
+            "WIK", 0.002, GTX_TITAN, gpus=2, repeats=1, requests=24
+        )
+        assert duo["name"] == "WIK-serve-g2"
+        assert duo["serve_qps"] > solo["serve_qps"]
+
+
+class TestServeGates:
+    def _payload(self, qps, p99):
+        return {
+            "cases": [
+                {
+                    "name": "WIK-serve",
+                    "scale": 0.002,
+                    "k": 1,
+                    "wall_s": 1.0,
+                    "serve_qps": qps,
+                    "serve_p99_s": p99,
+                }
+            ]
+        }
+
+    def test_identical_slo_passes(self):
+        cur = self._payload(100.0, 1e-3)
+        assert check_regressions(cur, self._payload(100.0, 1e-3)) == []
+
+    def test_qps_drop_fails(self):
+        failures = check_regressions(
+            self._payload(70.0, 1e-3), self._payload(100.0, 1e-3)
+        )
+        assert any("serve_qps" in f for f in failures)
+
+    def test_p99_growth_fails(self):
+        failures = check_regressions(
+            self._payload(100.0, 2e-3), self._payload(100.0, 1e-3)
+        )
+        assert any("serve_p99_s" in f for f in failures)
+
+    def test_baseline_without_slo_columns_skips_the_gates(self):
+        old = {
+            "cases": [
+                {
+                    "name": "WIK-serve",
+                    "scale": 0.002,
+                    "k": 1,
+                    "wall_s": 1.0,
+                }
+            ]
+        }
+        assert check_regressions(self._payload(1.0, 9.9), old) == []
 
     def test_wall_s_is_median_of_repeats(self, monkeypatch):
         """wall_s = median of the per-repeat timings; wall_s_min = best."""
@@ -119,6 +208,9 @@ class TestCli:
         base = tmp_path / "base.json"
         monkeypatch.setattr(
             "repro.harness.bench_speed.QUICK_CASES", (("INT", 0.5, 1),)
+        )
+        monkeypatch.setattr(
+            "repro.harness.bench_speed.SERVE_CASES", ()
         )
         assert main(["--quick", "--repeats", "1", "--out", str(out)]) == 0
         base.write_text(out.read_text())

@@ -5,7 +5,48 @@ import math
 
 import pytest
 
-from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exact_quantile,
+)
+
+
+class TestExactQuantile:
+    def test_order_statistics(self):
+        data = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert exact_quantile(data, 0.0) == 1.0
+        assert exact_quantile(data, 0.5) == 3.0
+        assert exact_quantile(data, 1.0) == 5.0
+
+    def test_linear_interpolation_between_ranks(self):
+        # Two samples: the q-quantile sits at fraction q between them.
+        assert exact_quantile([0.0, 10.0], 0.95) == 9.5
+        assert exact_quantile([0.0, 10.0], 0.25) == 2.5
+
+    def test_matches_numpy_percentile(self):
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        data = rng.random(101).tolist()
+        for q in (0.05, 0.5, 0.95, 0.99):
+            assert math.isclose(
+                exact_quantile(data, q),
+                float(np.percentile(data, 100 * q)),
+                rel_tol=1e-12,
+            )
+
+    def test_single_sample_is_every_quantile(self):
+        assert exact_quantile([7.0], 0.99) == 7.0
+
+    def test_empty_sample_is_nan(self):
+        assert math.isnan(exact_quantile([], 0.5))
+
+    def test_range_checked(self):
+        with pytest.raises(ValueError):
+            exact_quantile([1.0], 1.5)
 
 
 class TestCounter:

@@ -1,0 +1,105 @@
+"""Validator rules for the serve-report record kinds (request, slo)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import validate_profile_jsonl
+
+META = {"record": "meta", "kind": "serve"}
+OK_REQUEST = {
+    "record": "request",
+    "rid": 0,
+    "tenant": "t0",
+    "graph": "WIK",
+    "node": 3,
+    "arrival_s": 0.0,
+    "status": "ok",
+    "k": 2,
+    "queue_wait_s": 1e-4,
+    "formation_s": 2e-5,
+    "compute_s": 3e-4,
+    "latency_s": 4.2e-4,
+}
+SHED_REQUEST = {
+    "record": "request",
+    "rid": 1,
+    "tenant": "t1",
+    "graph": "WIK",
+    "node": 5,
+    "arrival_s": 1e-3,
+    "status": "shed",
+    "reason": "queue-full",
+    "retry_after_s": 2.5e-4,
+}
+SLO = {
+    "record": "slo",
+    "queries_per_s": 120.0,
+    "p50_s": 1e-4,
+    "p95_s": 2e-4,
+    "p99_s": 3e-4,
+}
+
+
+def write(tmp_path, *records):
+    path = tmp_path / "serve.jsonl"
+    path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+    return path
+
+
+class TestRequestRecords:
+    def test_minimal_valid_report(self, tmp_path):
+        path = write(tmp_path, META, OK_REQUEST, SHED_REQUEST, SLO)
+        assert validate_profile_jsonl(path) == []
+
+    def test_requests_alone_satisfy_the_content_check(self, tmp_path):
+        # No launch/aggregate records needed when requests are present.
+        path = write(tmp_path, META, OK_REQUEST)
+        assert validate_profile_jsonl(path) == []
+
+    def test_missing_identity_fields_flagged(self, tmp_path):
+        broken = {k: v for k, v in OK_REQUEST.items() if k != "tenant"}
+        errors = validate_profile_jsonl(write(tmp_path, META, broken))
+        assert any("tenant" in e for e in errors)
+
+    def test_unknown_status_flagged(self, tmp_path):
+        bad = dict(OK_REQUEST, status="maybe")
+        errors = validate_profile_jsonl(write(tmp_path, META, bad))
+        assert any("unknown request status" in e for e in errors)
+
+    def test_ok_request_needs_every_latency_term(self, tmp_path):
+        bad = {k: v for k, v in OK_REQUEST.items() if k != "compute_s"}
+        errors = validate_profile_jsonl(write(tmp_path, META, bad))
+        assert any("compute_s" in e for e in errors)
+
+    def test_negative_latency_flagged(self, tmp_path):
+        bad = dict(OK_REQUEST, latency_s=-1.0)
+        errors = validate_profile_jsonl(write(tmp_path, META, bad))
+        assert any("negative" in e for e in errors)
+
+    def test_ok_request_needs_positive_width(self, tmp_path):
+        bad = dict(OK_REQUEST, k=0)
+        errors = validate_profile_jsonl(write(tmp_path, META, bad))
+        assert any("k >= 1" in e for e in errors)
+
+    def test_shed_request_needs_retry_hint(self, tmp_path):
+        bad = {k: v for k, v in SHED_REQUEST.items() if k != "retry_after_s"}
+        errors = validate_profile_jsonl(write(tmp_path, META, bad, SLO))
+        assert any("retry_after_s" in e for e in errors)
+
+
+class TestSloRecords:
+    def test_null_percentiles_allowed(self, tmp_path):
+        empty = dict(SLO, p50_s=None, p95_s=None, p99_s=None)
+        path = write(tmp_path, META, OK_REQUEST, empty)
+        assert validate_profile_jsonl(path) == []
+
+    def test_non_numeric_percentile_flagged(self, tmp_path):
+        bad = dict(SLO, p99_s="slow")
+        errors = validate_profile_jsonl(write(tmp_path, META, OK_REQUEST, bad))
+        assert any("p99_s" in e for e in errors)
+
+    def test_missing_throughput_flagged(self, tmp_path):
+        bad = {k: v for k, v in SLO.items() if k != "queries_per_s"}
+        errors = validate_profile_jsonl(write(tmp_path, META, OK_REQUEST, bad))
+        assert any("queries_per_s" in e for e in errors)

@@ -1,0 +1,1 @@
+"""Tests of the multi-tenant serving layer (``repro.serve``)."""

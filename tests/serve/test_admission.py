@@ -1,0 +1,66 @@
+"""Admission control: bounded queue, per-tenant caps, release."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import (
+    REASON_QUEUE_FULL,
+    REASON_TENANT_LIMIT,
+    AdmissionController,
+    AdmissionPolicy,
+)
+
+
+class TestPolicy:
+    def test_defaults(self):
+        policy = AdmissionPolicy()
+        assert policy.queue_limit >= policy.tenant_limit
+
+    def test_limits_validated(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(queue_limit=0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(tenant_limit=0)
+
+
+class TestController:
+    def test_admits_until_queue_full(self):
+        ctl = AdmissionController(
+            AdmissionPolicy(queue_limit=2, tenant_limit=2)
+        )
+        assert ctl.try_admit("a") is None
+        assert ctl.try_admit("b") is None
+        assert ctl.try_admit("c") == REASON_QUEUE_FULL
+        assert ctl.depth == 2
+
+    def test_tenant_cap_before_queue(self):
+        ctl = AdmissionController(
+            AdmissionPolicy(queue_limit=10, tenant_limit=1)
+        )
+        assert ctl.try_admit("a") is None
+        assert ctl.try_admit("a") == REASON_TENANT_LIMIT
+        # Other tenants are unaffected by a's cap.
+        assert ctl.try_admit("b") is None
+        assert ctl.tenant_depth("a") == 1
+        assert ctl.tenant_depth("b") == 1
+
+    def test_release_frees_both_bounds(self):
+        ctl = AdmissionController(
+            AdmissionPolicy(queue_limit=1, tenant_limit=1)
+        )
+        assert ctl.try_admit("a") is None
+        assert ctl.try_admit("a") is not None
+        ctl.release("a")
+        assert ctl.depth == 0
+        assert ctl.tenant_depth("a") == 0
+        assert ctl.try_admit("a") is None
+
+    def test_release_without_queued_raises(self):
+        ctl = AdmissionController()
+        with pytest.raises(ValueError):
+            ctl.release("ghost")
+        ctl.try_admit("a")
+        ctl.release("a")
+        with pytest.raises(ValueError):
+            ctl.release("a")

@@ -1,0 +1,98 @@
+"""Coalescer: size-or-timeout sealing and tenant-fair batch fill."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import CoalescePolicy, Coalescer, QueryRequest
+
+
+def req(rid, tenant="a", graph="G", t=0.0):
+    return QueryRequest(
+        rid=rid, tenant=tenant, graph=graph, node=rid, arrival_s=t
+    )
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoalescePolicy(max_batch=0)
+        with pytest.raises(ValueError):
+            CoalescePolicy(max_wait_s=-1.0)
+
+
+class TestQueueing:
+    def test_deadline_armed_only_on_first_query(self):
+        c = Coalescer(CoalescePolicy(max_batch=4, max_wait_s=1.0))
+        assert c.add(req(0), now=10.0) == 11.0
+        assert c.add(req(1), now=10.5) is None
+        assert c.deadline("G") == 11.0
+        assert c.pending("G") == 2
+
+    def test_per_graph_queues_are_independent(self):
+        c = Coalescer(CoalescePolicy(max_batch=2, max_wait_s=1.0))
+        c.add(req(0, graph="G"), 0.0)
+        c.add(req(1, graph="H"), 0.5)
+        assert c.pending("G") == 1 and c.pending("H") == 1
+        assert c.deadline("G") == 1.0 and c.deadline("H") == 1.5
+
+    def test_full_and_due(self):
+        c = Coalescer(CoalescePolicy(max_batch=2, max_wait_s=1.0))
+        c.add(req(0), 0.0)
+        assert not c.full("G")
+        assert not c.due("G", 0.5)
+        assert c.due("G", 1.0)  # deadline is inclusive
+        c.add(req(1), 0.5)
+        assert c.full("G")
+
+    def test_close_empty_graph_returns_nothing(self):
+        c = Coalescer()
+        assert c.close("G", 0.0) == ()
+
+
+class TestFairClose:
+    def test_fifo_within_single_tenant(self):
+        c = Coalescer(CoalescePolicy(max_batch=2, max_wait_s=1.0))
+        for i in range(3):
+            c.add(req(i), float(i) * 0.1)
+        batch = c.close("G", 1.0)
+        assert [r.rid for r in batch] == [0, 1]
+        assert c.pending("G") == 1
+
+    def test_round_robin_across_tenants(self):
+        # Arrival order: a, a, a, b, c, a, b — tenants rotate in order
+        # of their earliest queued query, FIFO inside each tenant.
+        c = Coalescer(CoalescePolicy(max_batch=4, max_wait_s=1.0))
+        order = ["a", "a", "a", "b", "c", "a", "b"]
+        for i, tenant in enumerate(order):
+            c.add(req(i, tenant=tenant), float(i) * 0.01)
+        batch = c.close("G", 1.0)
+        assert [(r.tenant, r.rid) for r in batch] == [
+            ("a", 0),
+            ("b", 3),
+            ("c", 4),
+            ("a", 1),
+        ]
+        # The flooding tenant's backlog stays queued; nobody lost a query.
+        assert c.pending("G") == 3
+        leftover = c.close("G", 2.0)
+        assert [(r.tenant, r.rid) for r in leftover] == [
+            ("a", 2),
+            ("b", 6),
+            ("a", 5),
+        ]
+        assert c.pending("G") == 0
+
+    def test_leftovers_get_a_fresh_deadline(self):
+        c = Coalescer(CoalescePolicy(max_batch=1, max_wait_s=1.0))
+        c.add(req(0), 0.0)
+        c.add(req(1), 0.1)
+        c.close("G", 5.0)
+        assert c.deadline("G") == 6.0
+
+    def test_drained_queue_clears_deadline(self):
+        c = Coalescer(CoalescePolicy(max_batch=8, max_wait_s=1.0))
+        c.add(req(0), 0.0)
+        c.close("G", 1.0)
+        assert c.deadline("G") is None
+        assert not c.due("G", 99.0)

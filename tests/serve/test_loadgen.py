@@ -1,0 +1,148 @@
+"""Load generator: determinism, Zipf sampling, auto-pacing."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    TraceConfig,
+    auto_interarrival_s,
+    expected_iterations,
+    generate_trace,
+    zipf_cdf,
+)
+
+GRAPHS = (("WIK", 2600), ("ENR", 120))
+
+
+class TestZipfCdf:
+    def test_monotone_and_ends_at_one(self):
+        cdf = zipf_cdf(50, 1.1)
+        assert np.all(np.diff(cdf) > 0)
+        assert cdf[-1] == 1.0
+
+    def test_zero_exponent_is_uniform(self):
+        cdf = zipf_cdf(4, 0.0)
+        assert np.allclose(cdf, [0.25, 0.5, 0.75, 1.0])
+
+    def test_skew_concentrates_head_mass(self):
+        flat = zipf_cdf(100, 0.0)
+        skew = zipf_cdf(100, 1.5)
+        assert skew[0] > flat[0]
+
+    def test_needs_a_rank(self):
+        with pytest.raises(ValueError):
+            zipf_cdf(0, 1.0)
+
+
+class TestExpectedIterations:
+    def test_geometric_decay_estimate(self):
+        assert expected_iterations(1e-3, 0.9) == math.ceil(
+            math.log(1e-3) / math.log(0.9)
+        )
+        assert expected_iterations(0.5, 0.5) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_iterations(0.0, 0.9)
+        with pytest.raises(ValueError):
+            expected_iterations(1e-3, 1.0)
+
+
+class FakePlan:
+    """Just enough plan surface for pacing."""
+
+    def __init__(self, cost):
+        self._cost = cost
+
+    def cost_of_width(self, w):
+        assert w == 1
+        return self._cost
+
+
+class TestAutoPace:
+    def test_formula(self):
+        plan = FakePlan(1e-3)
+        rounds = expected_iterations(1e-3, 0.9)
+        expected = rounds * 1e-3 / (0.8 * 2)
+        assert auto_interarrival_s([plan], 2, 1e-3, 0.9) == expected
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            auto_interarrival_s([], 1, 1e-3, 0.9)
+        with pytest.raises(ValueError):
+            auto_interarrival_s([FakePlan(1.0)], 0, 1e-3, 0.9)
+        with pytest.raises(ValueError):
+            auto_interarrival_s([FakePlan(1.0)], 1, 1e-3, 0.9, utilization=0)
+
+
+class TestGenerateTrace:
+    def config(self, **kw):
+        kw.setdefault("n_requests", 64)
+        kw.setdefault("mean_interarrival_s", 1e-3)
+        return TraceConfig(**kw)
+
+    def test_same_seed_same_trace(self):
+        a = generate_trace(self.config(seed=7), GRAPHS)
+        b = generate_trace(self.config(seed=7), GRAPHS)
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = generate_trace(self.config(seed=7), GRAPHS)
+        b = generate_trace(self.config(seed=8), GRAPHS)
+        assert a != b
+
+    def test_trace_shape(self):
+        config = self.config(n_tenants=3)
+        trace = generate_trace(config, GRAPHS)
+        assert len(trace) == 64
+        assert [r.rid for r in trace] == list(range(64))
+        arrivals = [r.arrival_s for r in trace]
+        assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+        assert {r.tenant for r in trace} <= {"t0", "t1", "t2"}
+        sizes = dict(GRAPHS)
+        for r in trace:
+            assert 0 <= r.node < sizes[r.graph]
+
+    def test_zipf_prefers_first_graph_and_low_nodes(self):
+        trace = generate_trace(
+            self.config(n_requests=512, graph_zipf_s=1.5), GRAPHS
+        )
+        hits = sum(1 for r in trace if r.graph == "WIK")
+        assert hits > len(trace) / 2
+        median_node = sorted(r.node for r in trace)[len(trace) // 2]
+        assert median_node < max(n for _, n in GRAPHS) / 4
+
+    def test_burstless_traffic_supported(self):
+        trace = generate_trace(
+            self.config(burst_factor=1.0, seed=3), GRAPHS
+        )
+        assert len(trace) == 64
+
+    def test_explicit_rate_overrides_config(self):
+        config = TraceConfig(n_requests=16)
+        trace = generate_trace(config, GRAPHS, 1e-3)
+        assert len(trace) == 16
+        faster = generate_trace(config, GRAPHS, 1e-6)
+        assert faster[-1].arrival_s < trace[-1].arrival_s
+
+    def test_missing_rate_or_graphs_rejected(self):
+        with pytest.raises(ValueError):
+            generate_trace(TraceConfig(n_requests=4), GRAPHS)
+        with pytest.raises(ValueError):
+            generate_trace(self.config(), ())
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TraceConfig(n_requests=0)
+        with pytest.raises(ValueError):
+            TraceConfig(mean_interarrival_s=0.0)
+        with pytest.raises(ValueError):
+            TraceConfig(burst_factor=0.5)
+        with pytest.raises(ValueError):
+            TraceConfig(mean_burst=0.0)
+        with pytest.raises(ValueError):
+            TraceConfig(graph_zipf_s=-1.0)

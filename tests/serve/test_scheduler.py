@@ -1,0 +1,82 @@
+"""Worker placement and stream-engine replay."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.gpu.device import GTX_TITAN
+from repro.serve import BatchRecord, WorkerPool, replay_engine
+
+
+class TestWorkerPool:
+    def test_needs_a_worker(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+    def test_idle_pool_starts_immediately(self):
+        pool = WorkerPool(2)
+        worker, start = pool.place(3.0)
+        assert (worker, start) == (0, 3.0)
+        assert pool.min_free_at() == 0.0
+
+    def test_earliest_free_wins_ties_to_lowest_index(self):
+        pool = WorkerPool(3)
+        pool.commit(0, 5.0)
+        worker, start = pool.place(1.0)
+        assert worker == 1  # 1 and 2 both free at 0; lowest index wins
+        pool.commit(1, 4.0)
+        worker, start = pool.place(1.0)
+        assert (worker, start) == (2, 1.0)
+        pool.commit(2, 6.0)
+        # All busy now: earliest-free is worker 1 at t=4.
+        worker, start = pool.place(1.0)
+        assert (worker, start) == (1, 4.0)
+        assert pool.min_free_at() == 4.0
+
+    def test_commit_validation(self):
+        pool = WorkerPool(1)
+        pool.commit(0, 2.0)
+        with pytest.raises(ValueError):
+            pool.commit(0, 1.0)  # workers run in order
+        with pytest.raises(ValueError):
+            pool.commit(5, 3.0)
+
+
+def record(batch_id, worker, start, formation=1e-4, compute=2e-4, close=None):
+    return BatchRecord(
+        batch_id=batch_id,
+        graph="WIK",
+        worker=worker,
+        k=2,
+        close_s=start if close is None else close,
+        start_s=start,
+        formation_s=formation,
+        compute_s=compute,
+        end_s=(start + formation) + compute,
+    )
+
+
+class TestReplayEngine:
+    def test_duration_matches_makespan(self):
+        batches = [
+            record(0, 0, 0.0),
+            record(1, 1, 1e-4),
+            record(2, 0, 5e-4),
+        ]
+        result = replay_engine(GTX_TITAN, 2, batches)
+        makespan = max(b.end_s for b in batches)
+        # dt accumulation in the engine allows last-ulp drift, no more.
+        assert math.isclose(result.duration_s, makespan, rel_tol=1e-9)
+
+    def test_spans_form_then_compute_with_idle_gaps(self):
+        batches = [record(0, 0, 1e-3)]  # idle gap before the first batch
+        result = replay_engine(GTX_TITAN, 1, batches)
+        names = [r.name for r in result.records]
+        assert names == ["idle", "form/WIK/b0", "rwr-batch/WIK/b0[k=2]"]
+
+    def test_empty_run_is_empty(self):
+        result = replay_engine(GTX_TITAN, 2, [])
+        assert result.records == ()
+        assert result.duration_s == 0.0

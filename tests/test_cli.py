@@ -185,6 +185,95 @@ class TestProfileCli:
         assert "GFLOP/s" in out
 
 
+class TestDevicesJson:
+    def test_emits_parseable_registry(self, capsys):
+        import json
+
+        assert main(["devices", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert {r["device"] for r in rows} >= {
+            "GTX580",
+            "TeslaK10",
+            "GTXTitan",
+        }
+
+    def test_key_order_is_deterministic(self, capsys):
+        import json
+
+        main(["devices", "--json"])
+        first = capsys.readouterr().out
+        main(["devices", "--json"])
+        second = capsys.readouterr().out
+        assert first == second  # byte-identical, stable key order
+        rows = json.loads(first)
+        orders = {tuple(r.keys()) for r in rows}
+        assert len(orders) == 1  # same column order for every device
+        assert next(iter(orders))[0] == "device"
+
+
+class TestServeSimCli:
+    ARGS = [
+        "serve-sim",
+        "WIK",
+        "GTXTitan",
+        "--scale",
+        "0.002",
+        "--requests",
+        "24",
+        "--format",
+        "csr",
+        "--seed",
+        "3",
+    ]
+
+    def test_prints_summary_and_exits_zero(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "admitted" in out
+        assert "p99" in out
+        assert "queries/s" in out
+
+    def test_jsonl_artifact_passes_profile_check(self, capsys, tmp_path):
+        jsonl = tmp_path / "serve.jsonl"
+        assert main(self.ARGS + ["--jsonl", str(jsonl)]) == 0
+        assert main(["profile-check", str(jsonl)]) == 0
+        assert ": ok" in capsys.readouterr().out
+
+    def test_trace_artifact_is_chrome_loadable(self, tmp_path):
+        import json
+
+        trace = tmp_path / "serve-trace.json"
+        assert main(self.ARGS + ["--trace", str(trace)]) == 0
+        doc = json.loads(trace.read_text())
+        assert doc["traceEvents"]
+
+    def test_same_seed_byte_identical_jsonl(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        assert main(self.ARGS + ["--jsonl", str(a)]) == 0
+        assert main(self.ARGS + ["--jsonl", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_unknown_matrix_exits_2(self, capsys):
+        args = list(self.ARGS)
+        args[1] = "NOPE"
+        assert main(args) == 2
+        assert "unknown" in capsys.readouterr().err.lower()
+
+    def test_unknown_device_exits_2(self, capsys):
+        args = list(self.ARGS)
+        args[2] = "Voodoo2"
+        assert main(args) == 2
+        assert "unknown" in capsys.readouterr().err.lower()
+
+    def test_failed_p99_assertion_exits_3(self, capsys):
+        assert main(self.ARGS + ["--assert-p99", "1e-12"]) == 3
+        assert "ASSERTION FAILED" in capsys.readouterr().err
+
+    def test_passing_p99_assertion_exits_0(self):
+        assert main(self.ARGS + ["--assert-p99", "10.0"]) == 0
+
+
 class TestDiffCli:
     def test_diff_prints_ranked_report(self, capsys):
         assert main(["diff", "INT", "csr-scalar", "acsr", "GTXTitan"]) == 0
