@@ -170,10 +170,10 @@ def _canonical_entries(
     return unique[:, 0], unique[:, 1], unique[:, 2], counts
 
 
-def _busiest_sm_insts(
+def _sm_load_vector(
     insts: np.ndarray, counts: np.ndarray, n_sms: int
-) -> float:
-    """Exact busiest-SM instruction count under round-robin placement.
+) -> np.ndarray:
+    """Per-SM instruction loads under round-robin warp placement.
 
     ``insts`` lists distinct per-warp instruction counts in descending
     order, ``counts`` their multiplicities; warps are laid out run by run
@@ -181,38 +181,9 @@ def _busiest_sm_insts(
     ``count // n_sms`` copies plus one extra to the ``count % n_sms`` SMs
     following the run's start offset — computed with a wrap-aware
     difference array, so the cost is O(entries + SMs), never O(warps).
-    """
-    c = np.rint(counts).astype(np.int64)
-    base = float(np.sum(insts * (c // n_sms).astype(np.float64)))
-    rem = c % n_sms
-    mask = rem > 0
-    if not np.any(mask):
-        return base
-    starts = (np.cumsum(c) - c)[mask] % n_sms
-    v = insts[mask]
-    r = rem[mask]
-    first = np.minimum(r, n_sms - starts)
-    diff = np.zeros(n_sms + 1, dtype=np.float64)
-    np.add.at(diff, starts, v)
-    np.add.at(diff, starts + first, -v)
-    wrapped = r - first
-    wmask = wrapped > 0
-    if np.any(wmask):
-        diff[0] += float(v[wmask].sum())
-        np.add.at(diff, wrapped[wmask], -v[wmask])
-    return base + float(np.cumsum(diff[:n_sms]).max())
 
-
-def sm_inst_loads(
-    insts: np.ndarray, counts: np.ndarray, n_sms: int
-) -> np.ndarray:
-    """Per-SM instruction loads under the same round-robin placement.
-
-    The full vector behind :func:`_busiest_sm_insts`: element ``s`` is the
-    warp-instruction count dealt to SM ``s``.  Because ``base + x`` rounds
-    monotonically, ``sm_inst_loads(...).max()`` equals the busiest-SM
-    scalar bit-for-bit — the timeline layer leans on that to reconstruct
-    the compute critical path exactly without touching the timing code.
+    The single implementation behind both :func:`_busiest_sm_insts` and
+    :func:`sm_inst_loads` (historically two copies of this body).
     """
     c = np.rint(counts).astype(np.int64)
     base = float(np.sum(insts * (c // n_sms).astype(np.float64)))
@@ -233,6 +204,32 @@ def sm_inst_loads(
         diff[0] += float(v[wmask].sum())
         np.add.at(diff, wrapped[wmask], -v[wmask])
     return base + np.cumsum(diff[:n_sms])
+
+
+def _busiest_sm_insts(
+    insts: np.ndarray, counts: np.ndarray, n_sms: int
+) -> float:
+    """Exact busiest-SM instruction count under round-robin placement.
+
+    ``max`` over :func:`_sm_load_vector`; because IEEE addition is
+    monotone, taking the max after the shared ``base`` offset is applied
+    gives the same float as the historical scalar-only formulation.
+    """
+    return float(_sm_load_vector(insts, counts, n_sms).max())
+
+
+def sm_inst_loads(
+    insts: np.ndarray, counts: np.ndarray, n_sms: int
+) -> np.ndarray:
+    """Per-SM instruction loads under the same round-robin placement.
+
+    The full vector behind :func:`_busiest_sm_insts`: element ``s`` is the
+    warp-instruction count dealt to SM ``s``.  Because ``base + x`` rounds
+    monotonically, ``sm_inst_loads(...).max()`` equals the busiest-SM
+    scalar bit-for-bit — the timeline layer leans on that to reconstruct
+    the compute critical path exactly without touching the timing code.
+    """
+    return _sm_load_vector(insts, counts, n_sms)
 
 
 def warp_chain_detail(

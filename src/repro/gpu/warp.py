@@ -22,7 +22,7 @@ from .device import WARP_SIZE
 
 
 def _ceil_div(a: np.ndarray | int, b: int) -> np.ndarray | int:
-    return -(-a // b) if isinstance(a, int) else -(-a // b)
+    return -(-a // b)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,112 @@
+"""Bit-identity of the shared SM-load kernel.
+
+``_busiest_sm_insts`` and ``sm_inst_loads`` historically carried two
+copies of the same wrap-aware difference-array body.  They now share one
+implementation; this suite pins the merge to the original formulation
+byte for byte — the scalar must equal the vector's max, and the vector
+must match a reference transcription of the historical body exactly.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.simulator import _busiest_sm_insts, sm_inst_loads
+
+
+def reference_loads(
+    insts: np.ndarray, counts: np.ndarray, n_sms: int
+) -> np.ndarray:
+    """The historical ``sm_inst_loads`` body, transcribed verbatim."""
+    c = np.rint(counts).astype(np.int64)
+    base = float(np.sum(insts * (c // n_sms).astype(np.float64)))
+    rem = c % n_sms
+    mask = rem > 0
+    if not np.any(mask):
+        return np.full(n_sms, base, dtype=np.float64)
+    starts = (np.cumsum(c) - c)[mask] % n_sms
+    v = insts[mask]
+    r = rem[mask]
+    first = np.minimum(r, n_sms - starts)
+    diff = np.zeros(n_sms + 1, dtype=np.float64)
+    np.add.at(diff, starts, v)
+    np.add.at(diff, starts + first, -v)
+    wrapped = r - first
+    wmask = wrapped > 0
+    if np.any(wmask):
+        diff[0] += float(v[wmask].sum())
+        np.add.at(diff, wrapped[wmask], -v[wmask])
+    return base + np.cumsum(diff[:n_sms])
+
+
+def reference_busiest(
+    insts: np.ndarray, counts: np.ndarray, n_sms: int
+) -> float:
+    """The historical ``_busiest_sm_insts`` body (max folded after base)."""
+    c = np.rint(counts).astype(np.int64)
+    base = float(np.sum(insts * (c // n_sms).astype(np.float64)))
+    rem = c % n_sms
+    mask = rem > 0
+    if not np.any(mask):
+        return base
+    starts = (np.cumsum(c) - c)[mask] % n_sms
+    v = insts[mask]
+    r = rem[mask]
+    first = np.minimum(r, n_sms - starts)
+    diff = np.zeros(n_sms + 1, dtype=np.float64)
+    np.add.at(diff, starts, v)
+    np.add.at(diff, starts + first, -v)
+    wrapped = r - first
+    wmask = wrapped > 0
+    if np.any(wmask):
+        diff[0] += float(v[wmask].sum())
+        np.add.at(diff, wrapped[wmask], -v[wmask])
+    return base + float(np.cumsum(diff[:n_sms]).max())
+
+
+def entries(seed: int, n_entries: int, max_count: int):
+    rng = np.random.default_rng(seed)
+    insts = np.sort(rng.uniform(1.0, 5000.0, n_entries))[::-1].copy()
+    counts = rng.integers(1, max_count, n_entries).astype(np.float64)
+    return insts, counts
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    n_entries=st.integers(1, 200),
+    max_count=st.sampled_from([2, 15, 1000, 100_000]),
+    n_sms=st.sampled_from([8, 13, 14, 16]),
+)
+@settings(max_examples=80, deadline=None)
+def test_shared_kernel_matches_historical_bodies(
+    seed, n_entries, max_count, n_sms
+):
+    insts, counts = entries(seed, n_entries, max_count)
+    loads = sm_inst_loads(insts, counts, n_sms)
+    assert np.array_equal(loads, reference_loads(insts, counts, n_sms))
+    busiest = _busiest_sm_insts(insts, counts, n_sms)
+    assert busiest == reference_busiest(insts, counts, n_sms)
+    assert busiest == float(loads.max())
+
+
+def test_no_remainder_short_circuit():
+    """Counts all divisible by n_sms: every SM gets the same base load."""
+    insts = np.array([100.0, 10.0])
+    counts = np.array([28.0, 14.0])
+    loads = sm_inst_loads(insts, counts, 14)
+    base = 100.0 * 2 + 10.0 * 1
+    assert np.array_equal(loads, np.full(14, base))
+    assert _busiest_sm_insts(insts, counts, 14) == base
+
+
+def test_wrapped_run_spills_to_leading_sms():
+    """A remainder run starting near the edge wraps back to SM 0."""
+    insts = np.array([9.0, 7.0])
+    counts = np.array([12.0, 5.0])
+    # 14 SMs: the 7-inst run starts at SM 12, covers 12-13, wraps to 0-2.
+    loads = sm_inst_loads(insts, counts, 14)
+    expect = np.full(14, 0.0)
+    expect[:12] += 9.0
+    expect[12:] += 7.0
+    expect[:3] += 7.0
+    assert np.array_equal(loads, expect)
+    assert _busiest_sm_insts(insts, counts, 14) == 16.0
