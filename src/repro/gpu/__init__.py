@@ -65,8 +65,10 @@ from .trace import KernelTrace, TraceEvent
 from .simulator import (
     KernelTiming,
     SequenceTiming,
+    canonicalize_works,
     gflops,
     simulate_kernel,
+    simulate_many,
     simulate_sequence,
 )
 from .transfer import DEFAULT_LINK, PCIeLink, csr_device_bytes
@@ -111,6 +113,7 @@ __all__ = [
     "WARP_SIZE",
     "bandwidth_efficiency",
     "TraceEvent",
+    "canonicalize_works",
     "child_launch_overhead_s",
     "compute_occupancy",
     "coalesced_bytes",
@@ -126,6 +129,7 @@ __all__ = [
     "shuffle_reduction_steps",
     "simulate_dynamic_launch",
     "simulate_kernel",
+    "simulate_many",
     "simulate_sequence",
     "texture_hit_rate",
 ]

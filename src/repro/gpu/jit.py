@@ -1,0 +1,255 @@
+"""Optional numba backend for the simulator's hot kernels.
+
+Three inner kernels dominate a cost-model evaluation once the array
+program around them is batched: the canonicalisation primitives
+(boundary detection over lexsorted rows + weighted group counts), the
+busiest-SM remainder placement (difference array + prefix sum), and the
+per-entry chain-cycles arithmetic.  When numba is importable and the
+backend is enabled — ``REPRO_JIT=1`` in the environment or
+``repro bench --jit`` / :func:`set_enabled` at runtime — those kernels
+run as compiled sequential loops; otherwise the NumPy implementations
+below serve.  Missing numba is never an error: enabling the backend
+without it is a silent no-op.
+
+Identity guarantee: both backends produce the *same floats*, not just
+close ones.  The compiled loops replicate NumPy's accumulation order
+exactly — ``np.bincount`` and ``np.add.at`` accumulate sequentially in
+input order, ``np.cumsum`` is a sequential prefix, and the chain-cycles
+arithmetic is elementwise — and compile without ``fastmath``, so no
+reassociation or FMA contraction can move a single ulp.  Pairwise
+reductions (``np.sum``) stay in NumPy on both paths for the same
+reason; callers pass their results in as scalars (``wrapped_total``).
+The identity suite in ``tests/gpu/test_jit.py`` pins this.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = [
+    "available",
+    "enabled",
+    "set_enabled",
+    "boundary_flags",
+    "group_counts",
+    "sm_remainder_loads",
+    "chain_cycles",
+]
+
+_ENABLED = os.environ.get("REPRO_JIT", "0").lower() not in ("", "0", "false")
+_NUMBA_CHECKED = False
+_NUMBA = None
+#: None = not built yet, False = numba missing or compilation failed.
+_KERNELS: dict | None | bool = None
+
+
+def _numba():
+    global _NUMBA_CHECKED, _NUMBA
+    if not _NUMBA_CHECKED:
+        _NUMBA_CHECKED = True
+        try:
+            import numba  # type: ignore[import-not-found]
+
+            _NUMBA = numba
+        except Exception:
+            _NUMBA = None
+    return _NUMBA
+
+
+def available() -> bool:
+    """True when numba is importable (the backend *can* compile)."""
+    return _numba() is not None
+
+
+def set_enabled(flag: bool) -> bool:
+    """Request (or drop) the JIT backend; returns whether it is active.
+
+    Requesting it without numba installed is not an error — the NumPy
+    implementations keep serving, byte for byte the same results.
+    """
+    global _ENABLED
+    _ENABLED = bool(flag)
+    return enabled()
+
+
+def enabled() -> bool:
+    """True when the backend is requested *and* compiled kernels exist."""
+    return bool(_ENABLED and _kernels() is not None)
+
+
+def _kernels() -> dict | None:
+    global _KERNELS
+    if _KERNELS is None:
+        if not available():
+            _KERNELS = False
+        else:
+            try:
+                _KERNELS = _build()
+            except Exception:
+                _KERNELS = False  # compilation failed: stay on NumPy
+    return _KERNELS or None
+
+
+def _build() -> dict:
+    numba = _numba()
+    # No fastmath: reassociation/FMA contraction would break the
+    # float-identity guarantee.
+    njit = numba.njit(cache=False, fastmath=False)
+
+    @njit
+    def boundary(stacked):
+        n = stacked.shape[1]
+        flags = np.zeros(n, dtype=np.bool_)
+        if n == 0:
+            return flags
+        flags[0] = True
+        for i in range(1, n):
+            for c in range(stacked.shape[0]):
+                if stacked[c, i] != stacked[c, i - 1]:
+                    flags[i] = True
+                    break
+        return flags
+
+    @njit
+    def counts(inverse, weights, n_groups):
+        out = np.zeros(n_groups, dtype=np.float64)
+        for i in range(inverse.shape[0]):
+            out[inverse[i]] += weights[i]
+        return out
+
+    @njit
+    def remainder(starts, first, wrapped, v, wrapped_total, n_sms):
+        diff = np.zeros(n_sms + 1, dtype=np.float64)
+        for i in range(starts.shape[0]):
+            diff[starts[i]] += v[i]
+            diff[starts[i] + first[i]] -= v[i]
+        diff[0] += wrapped_total
+        for i in range(wrapped.shape[0]):
+            if wrapped[i] > 0:
+                diff[wrapped[i]] -= v[i]
+        loads = np.empty(n_sms, dtype=np.float64)
+        acc = 0.0
+        for s in range(n_sms):
+            acc += diff[s]
+            loads[s] = acc
+        return loads
+
+    @njit
+    def chain(insts, mem_ops, inflation, issue_rate, exposed):
+        n = insts.shape[0]
+        inflated = np.empty(n, dtype=np.float64)
+        cycles = np.empty(n, dtype=np.float64)
+        for i in range(n):
+            inflated[i] = insts[i] * inflation
+            cycles[i] = inflated[i] / issue_rate + mem_ops[i] * exposed
+        return inflated, cycles
+
+    return {
+        "boundary": boundary,
+        "counts": counts,
+        "remainder": remainder,
+        "chain": chain,
+    }
+
+
+def boundary_flags(sorted_cols) -> np.ndarray:
+    """``flags[i]`` True where lexsorted row ``i`` starts a new group.
+
+    ``sorted_cols`` are the already-lexsorted table columns (any exact
+    dtype; values are small enough that a float64 view is lossless).
+    """
+    if _ENABLED:
+        kernels = _kernels()
+        if kernels is not None:
+            stacked = np.ascontiguousarray(
+                np.stack(
+                    [np.asarray(c, dtype=np.float64) for c in sorted_cols]
+                )
+            )
+            return kernels["boundary"](stacked)
+    n = sorted_cols[0].shape[0]
+    flags = np.zeros(n, dtype=bool)
+    if n == 0:
+        return flags
+    flags[0] = True
+    for c in sorted_cols:
+        np.logical_or(flags[1:], c[1:] != c[:-1], out=flags[1:])
+    return flags
+
+
+def group_counts(
+    inverse: np.ndarray, weights: np.ndarray, n_groups: int
+) -> np.ndarray:
+    """Weighted group sizes, accumulated in original row order.
+
+    Matches ``np.bincount(inverse, weights=weights)`` byte for byte —
+    both backends add sequentially in index order.
+    """
+    if _ENABLED:
+        kernels = _kernels()
+        if kernels is not None:
+            return kernels["counts"](
+                np.ascontiguousarray(inverse, dtype=np.int64),
+                np.ascontiguousarray(weights, dtype=np.float64),
+                int(n_groups),
+            )
+    return np.bincount(inverse, weights=weights, minlength=int(n_groups))
+
+
+def sm_remainder_loads(
+    starts: np.ndarray,
+    first: np.ndarray,
+    wrapped: np.ndarray,
+    v: np.ndarray,
+    wrapped_total: float,
+    n_sms: int,
+) -> np.ndarray:
+    """Per-SM remainder instruction loads via the difference array.
+
+    ``wrapped_total`` is the pairwise ``v[wrapped > 0].sum()`` computed
+    by the caller in NumPy (pairwise summation must not move into the
+    sequential kernel, or the floats would drift).
+    """
+    if _ENABLED:
+        kernels = _kernels()
+        if kernels is not None:
+            return kernels["remainder"](
+                np.ascontiguousarray(starts, dtype=np.int64),
+                np.ascontiguousarray(first, dtype=np.int64),
+                np.ascontiguousarray(wrapped, dtype=np.int64),
+                np.ascontiguousarray(v, dtype=np.float64),
+                float(wrapped_total),
+                int(n_sms),
+            )
+    diff = np.zeros(n_sms + 1, dtype=np.float64)
+    np.add.at(diff, starts, v)
+    np.add.at(diff, starts + first, -v)
+    wmask = wrapped > 0
+    if np.any(wmask):
+        diff[0] += wrapped_total
+        np.add.at(diff, wrapped[wmask], -v[wmask])
+    return np.cumsum(diff[:n_sms])
+
+
+def chain_cycles(
+    insts: np.ndarray,
+    mem_ops: np.ndarray,
+    inflation: float,
+    issue_rate: float,
+    exposed: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Inflated instruction counts + per-entry dependency-chain cycles."""
+    if _ENABLED:
+        kernels = _kernels()
+        if kernels is not None:
+            return kernels["chain"](
+                np.ascontiguousarray(insts, dtype=np.float64),
+                np.ascontiguousarray(mem_ops, dtype=np.float64),
+                float(inflation),
+                float(issue_rate),
+                float(exposed),
+            )
+    inflated = insts * inflation
+    return inflated, inflated / issue_rate + mem_ops * exposed

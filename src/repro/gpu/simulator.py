@@ -36,7 +36,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from . import jit
 from .device import DeviceSpec, Precision
+from .grouping import group_rows, group_rows_segmented
 from .kernel import KernelWork
 from .memory import bandwidth_efficiency
 
@@ -150,24 +152,84 @@ def _canonical_entries(
     the warp multiplicity of each.  A dense work and any weighted
     compression of the same warp multiset canonicalise to the *same*
     arrays, which is what makes the two forms time identically.
+
+    The grouping runs once per :class:`KernelWork`: the canonical form
+    is cached on the (frozen) work, so timeline replay, attribution,
+    counter collection, and serve-plan pricing — which all re-simulate
+    the same works — never pay for a second canonicalisation.  The
+    grouping itself is a lexsort (:func:`repro.gpu.grouping.group_rows`),
+    byte-identical to the historical ``np.unique(axis=0)`` formulation
+    but an order of magnitude faster.
     """
-    cols = np.stack(
-        [
-            work.compute_insts.astype(np.float64),
-            work.dram_bytes.astype(np.float64),
-            work.mem_ops.astype(np.float64),
-        ],
-        axis=1,
-    )
-    if cols.shape[0] > 1:
-        unique, inverse = np.unique(cols, axis=0, return_inverse=True)
-        counts = np.bincount(
-            inverse.ravel(), weights=work._weights(), minlength=unique.shape[0]
+    cached = getattr(work, "_canonical_entries_cache", None)
+    if cached is not None:
+        return cached
+    cols = [
+        work.compute_insts.astype(np.float64),
+        work.dram_bytes.astype(np.float64),
+        work.mem_ops.astype(np.float64),
+    ]
+    if cols[0].shape[0] > 1:
+        unique_cols, counts = group_rows(cols, work._weights())
+        entries = (
+            unique_cols[0][::-1],  # descending insts
+            unique_cols[1][::-1],
+            unique_cols[2][::-1],
+            counts[::-1],
         )
-        unique, counts = unique[::-1], counts[::-1]  # descending insts
     else:
-        unique, counts = cols, work._weights()
-    return unique[:, 0], unique[:, 1], unique[:, 2], counts
+        entries = (cols[0], cols[1], cols[2], work._weights())
+    object.__setattr__(work, "_canonical_entries_cache", entries)
+    return entries
+
+
+def canonicalize_works(works) -> None:
+    """Batch-canonicalise every work in ``works`` with one lexsort.
+
+    The batched form of :func:`_canonical_entries`: all uncached
+    multi-entry works are concatenated (a segment id per work) and
+    grouped in a single :func:`repro.gpu.grouping.group_rows_segmented`
+    pass, then each work's slice of the result is cached on it.  The
+    per-work arrays are byte-identical to the solo path — the segment id
+    is the most-significant sort key, so grouping never crosses works
+    and each segment keeps its own ``np.unique(axis=0)`` order and
+    bincount accumulation order.
+    """
+    pending = []
+    seen = set()
+    for work in works:
+        if id(work) in seen:
+            continue
+        seen.add(id(work))
+        if getattr(work, "_canonical_entries_cache", None) is not None:
+            continue
+        if work.compute_insts.shape[0] > 1:
+            pending.append(work)
+    if not pending:
+        return
+    if len(pending) == 1:
+        _canonical_entries(pending[0])
+        return
+    cols = [
+        np.concatenate([w.compute_insts.astype(np.float64) for w in pending]),
+        np.concatenate([w.dram_bytes.astype(np.float64) for w in pending]),
+        np.concatenate([w.mem_ops.astype(np.float64) for w in pending]),
+    ]
+    weights = np.concatenate([w._weights() for w in pending])
+    lens = np.array([w.compute_insts.shape[0] for w in pending])
+    seg = np.repeat(np.arange(len(pending)), lens)
+    unique_cols, counts, offsets = group_rows_segmented(
+        cols, weights, seg, len(pending)
+    )
+    for j, work in enumerate(pending):
+        a, b = int(offsets[j]), int(offsets[j + 1])
+        entries = (
+            unique_cols[0][a:b][::-1],
+            unique_cols[1][a:b][::-1],
+            unique_cols[2][a:b][::-1],
+            counts[a:b][::-1],
+        )
+        object.__setattr__(work, "_canonical_entries_cache", entries)
 
 
 def _sm_load_vector(
@@ -183,7 +245,10 @@ def _sm_load_vector(
     difference array, so the cost is O(entries + SMs), never O(warps).
 
     The single implementation behind both :func:`_busiest_sm_insts` and
-    :func:`sm_inst_loads` (historically two copies of this body).
+    :func:`sm_inst_loads` (historically two copies of this body).  The
+    wrapped-remainder total is a pairwise ``np.sum`` computed here and
+    handed to :func:`repro.gpu.jit.sm_remainder_loads` as a scalar, so
+    the NumPy and JIT backends add the same floats in the same order.
     """
     c = np.rint(counts).astype(np.int64)
     base = float(np.sum(insts * (c // n_sms).astype(np.float64)))
@@ -195,15 +260,12 @@ def _sm_load_vector(
     v = insts[mask]
     r = rem[mask]
     first = np.minimum(r, n_sms - starts)
-    diff = np.zeros(n_sms + 1, dtype=np.float64)
-    np.add.at(diff, starts, v)
-    np.add.at(diff, starts + first, -v)
     wrapped = r - first
     wmask = wrapped > 0
-    if np.any(wmask):
-        diff[0] += float(v[wmask].sum())
-        np.add.at(diff, wrapped[wmask], -v[wmask])
-    return base + np.cumsum(diff[:n_sms])
+    wrapped_total = float(v[wmask].sum()) if np.any(wmask) else 0.0
+    return base + jit.sm_remainder_loads(
+        starts, first, wrapped, v, wrapped_total, n_sms
+    )
 
 
 def _busiest_sm_insts(
@@ -251,9 +313,10 @@ def warp_chain_detail(
         return z, z.copy(), z.copy()
     inflation = _dp_inflation(device, work)
     u_insts, _, u_mem, counts = _canonical_entries(work)
-    insts = u_insts * inflation
     exposed_latency_cycles = device.dram_latency_cycles / MLP_PER_WARP
-    chain_cycles = insts / device.warp_issue_rate + u_mem * exposed_latency_cycles
+    insts, chain_cycles = jit.chain_cycles(
+        u_insts, u_mem, inflation, device.warp_issue_rate, exposed_latency_cycles
+    )
     return chain_cycles, counts, insts
 
 
@@ -291,7 +354,10 @@ def simulate_kernel(
     clock_hz = device.clock_ghz * 1e9
     inflation = _dp_inflation(device, work)
     u_insts, u_dram, u_mem, counts = _canonical_entries(work)
-    insts = u_insts * inflation
+    exposed_latency_cycles = device.dram_latency_cycles / MLP_PER_WARP
+    insts, chain_cycles = jit.chain_cycles(
+        u_insts, u_mem, inflation, device.warp_issue_rate, exposed_latency_cycles
+    )
 
     # --- compute bound: busiest SM under round-robin warp placement,
     # evaluated exactly on the weighted entries.
@@ -316,9 +382,8 @@ def simulate_kernel(
     # warp (e.g. a power-law hub row) finishes alone at the kernel tail
     # with nothing left to hide its stalls, but the hardware still keeps
     # several loads in flight per warp (memory-level parallelism), so each
-    # "dependent" operation exposes latency/MLP cycles.
-    exposed_latency_cycles = device.dram_latency_cycles / MLP_PER_WARP
-    chain_cycles = insts / device.warp_issue_rate + u_mem * exposed_latency_cycles
+    # "dependent" operation exposes latency/MLP cycles (the chain_cycles
+    # array computed above, alongside the DP inflation).
     critical_s = float(chain_cycles.max()) / clock_hz
 
     body = max(compute_s, memory_s, critical_s)
@@ -358,6 +423,37 @@ class SequenceTiming:
         return sum(t.dram_bytes for t in self.timings)
 
 
+def simulate_many(
+    device: DeviceSpec,
+    works: list[KernelWork],
+    *,
+    include_launch_overhead: bool = True,
+) -> list[KernelTiming]:
+    """Model a whole launch sequence as one stacked array program.
+
+    All launches' entries are canonicalised together in a single
+    lexsort pass (:func:`canonicalize_works`); each launch is then
+    priced off its cached canonical slice.  The result is
+    field-for-field identical to calling :func:`simulate_kernel` per
+    work — launch observers fire once per launch, in order, with the
+    same ``(device, work, timing)`` triples.
+
+    The per-launch totals (DRAM bytes, busiest-SM base) deliberately
+    stay as pairwise ``np.sum`` over each launch's own slice: a fused
+    ``np.add.reduceat`` over the concatenation uses a different
+    reduction tree and drifts at the ulp level, which would break the
+    byte-identity contract this engine is built around.
+    """
+    works = list(works)
+    canonicalize_works(works)
+    return [
+        simulate_kernel(
+            device, w, include_launch_overhead=include_launch_overhead
+        )
+        for w in works
+    ]
+
+
 def simulate_sequence(
     device: DeviceSpec,
     works: list[KernelWork],
@@ -366,10 +462,9 @@ def simulate_sequence(
 ) -> SequenceTiming:
     """Model back-to-back launches (each pays its own launch overhead)."""
     timings = tuple(
-        simulate_kernel(
-            device, w, include_launch_overhead=include_launch_overhead
+        simulate_many(
+            device, works, include_launch_overhead=include_launch_overhead
         )
-        for w in works
     )
     return SequenceTiming(timings=timings)
 

@@ -1,0 +1,116 @@
+"""The optional JIT backend: silent fallback + float identity.
+
+With numba installed the compiled kernels must reproduce the NumPy
+implementations byte for byte (no fastmath, sequential accumulation in
+NumPy's order); without it, enabling the backend is a silent no-op.
+Either way, toggling the backend must never move a single ulp in a
+simulated timing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpu import jit
+from repro.gpu.device import DEVICES, Precision
+from repro.gpu.kernel import KernelWork
+from repro.gpu.simulator import simulate_kernel
+
+
+@pytest.fixture
+def jit_state():
+    """Snapshot/restore the backend toggle around each test."""
+    saved = jit._ENABLED
+    yield
+    jit.set_enabled(saved)
+
+
+def sample_inputs(seed: int):
+    rng = np.random.default_rng(seed)
+    n = 80
+    pool = rng.uniform(0.0, 1e5, (14, 3))
+    pick = rng.integers(0, 14, n)
+    table = pool[pick]
+    order = np.lexsort((table[:, 2], table[:, 1], table[:, 0]))
+    sorted_cols = [np.ascontiguousarray(table[order, j]) for j in range(3)]
+    weights = rng.uniform(0.5, 300.0, n)
+    return sorted_cols, weights
+
+
+def run_all_kernels(seed: int):
+    """One result tuple per dispatch function, for cross-backend diffing."""
+    sorted_cols, weights = sample_inputs(seed)
+    flags = jit.boundary_flags(sorted_cols)
+    labels = np.cumsum(flags) - 1
+    counts = jit.group_counts(labels, weights, int(labels[-1]) + 1)
+    rng = np.random.default_rng(seed + 1)
+    m = 20
+    starts = rng.integers(0, 14, m)
+    first = rng.integers(1, 14, m)
+    first = np.minimum(first, 14 - starts)
+    wrapped = rng.integers(0, 3, m)
+    v = rng.uniform(1.0, 100.0, m)
+    wmask = wrapped > 0
+    wrapped_total = float(v[wmask].sum()) if np.any(wmask) else 0.0
+    loads = jit.sm_remainder_loads(starts, first, wrapped, v, wrapped_total, 14)
+    insts = rng.uniform(1.0, 1e4, 30)
+    mem = rng.uniform(0.0, 50.0, 30)
+    inflated, cycles = jit.chain_cycles(insts, mem, 1.375, 2.0, 22.5)
+    return flags, counts, loads, inflated, cycles
+
+
+def test_silent_fallback_without_numba(jit_state):
+    """Requesting the backend never raises; active only if numba imports."""
+    active = jit.set_enabled(True)
+    assert active == (jit.available() and True)
+    if not jit.available():
+        assert not jit.enabled()
+    assert jit.set_enabled(False) is False
+    assert not jit.enabled()
+
+
+def test_kernels_identical_across_backends(jit_state):
+    """Every dispatch function: JIT-on results == JIT-off, byte for byte.
+
+    Without numba both runs take the NumPy path (the toggle is a no-op),
+    which still pins the dispatch layer; with numba this is the real
+    compiled-vs-NumPy identity check.
+    """
+    for seed in range(5):
+        jit.set_enabled(False)
+        off = run_all_kernels(seed)
+        jit.set_enabled(True)
+        on = run_all_kernels(seed)
+        for a, b in zip(off, on):
+            assert a.dtype == b.dtype or a.dtype.kind == b.dtype.kind
+            assert np.array_equal(a, b)
+
+
+def test_simulated_timings_identical_across_backends(jit_state):
+    """End to end: toggling the JIT never changes a KernelTiming float."""
+    def fresh_work(i):
+        n = 50
+        rng = np.random.default_rng(100 + i)
+        pool = rng.uniform(1.0, 1e4, (12, 3))
+        pick = rng.integers(0, 12, n)
+        return KernelWork(
+            name="w",
+            compute_insts=pool[pick, 0].copy(),
+            dram_bytes=pool[pick, 1].copy(),
+            mem_ops=pool[pick, 2].copy(),
+            flops=1e6,
+            precision=Precision.DOUBLE if i % 2 else Precision.SINGLE,
+        )
+
+    for device in DEVICES.values():
+        for i in range(4):
+            jit.set_enabled(False)
+            t_off = simulate_kernel(device, fresh_work(i))
+            jit.set_enabled(True)
+            t_on = simulate_kernel(device, fresh_work(i))
+            assert t_off == t_on
+
+
+@pytest.mark.skipif(not jit.available(), reason="numba not installed")
+def test_compiled_backend_reports_enabled(jit_state):
+    assert jit.set_enabled(True) is True
+    assert jit.enabled()
