@@ -204,7 +204,15 @@ def bin_works(
 def dp_children_works(
     csr: CSRMatrix, plan: ACSRPlan, device: DeviceSpec, k: int = 1
 ) -> list[KernelWork]:
-    """The G1 row-specific child works, cached on the plan like bin works."""
+    """The G1 child works, cached on the plan like bin works.
+
+    Returned as a single batched multi-entry work
+    (:func:`repro.kernels.acsr_dp.children_batch_work`) wrapped in a
+    list: every consumer merges the children into a pool, and the batch
+    concatenates to byte-identical merged arrays while skipping the
+    per-row Python loop.  Callers that need one work per row use
+    :func:`repro.kernels.acsr_dp.children_works` directly.
+    """
     cache = getattr(plan, "_dp_works_cache", None)
     if cache is None:
         cache = {}
@@ -212,9 +220,11 @@ def dp_children_works(
     key = (id(csr), device.name, k)
     works = cache.get(key)
     if works is None:
-        works = acsr_dp.children_works(
-            csr, plan.g1_rows, plan.resolved.thread_load, device, k=k
-        )
+        works = [
+            acsr_dp.children_batch_work(
+                csr, plan.g1_rows, plan.resolved.thread_load, device, k=k
+            )
+        ]
         cache[key] = works
     return works
 
@@ -228,7 +238,20 @@ def pooled_kernel_work(
     as one warp pool (see :class:`ACSRTiming`); this is the exact work
     :func:`time_spmv` simulates, factored out so the observability layer
     can replay the same floats without going through the timing model.
+
+    Cached on the plan per ``(matrix, device, k)`` like the launch
+    lists: the merged pool (and, via the simulator's canonical-form
+    cache, its grouped entries) is reused by every replay — timelines,
+    attribution, counters — instead of being re-merged per evaluation.
     """
+    cache = getattr(plan, "_pooled_work_cache", None)
+    if cache is None:
+        cache = {}
+        object.__setattr__(plan, "_pooled_work_cache", cache)
+    key = (id(csr), device.name, k)
+    pooled = cache.get(key)
+    if pooled is not None:
+        return pooled
     works: list[KernelWork] = []
     n_children = int(plan.g1_rows.shape[0])
     if plan.g2:
@@ -237,10 +260,13 @@ def pooled_kernel_work(
         works.append(acsr_dp.parent_work(n_children, csr.precision))
         works.extend(dp_children_works(csr, plan, device, k=k))
     if works:
-        return works[0] if len(works) == 1 else merge_concurrent(
+        pooled = works[0] if len(works) == 1 else merge_concurrent(
             works, name="acsr"
         )
-    return KernelWork.empty("acsr", csr.precision)
+    else:
+        pooled = KernelWork.empty("acsr", csr.precision)
+    cache[key] = pooled
+    return pooled
 
 
 @dataclass(frozen=True)

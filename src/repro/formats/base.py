@@ -243,20 +243,47 @@ class SpMVFormat(abc.ABC):
         )
 
     # -- batched (SpMM) entry points --------------------------------------
+    def _spmm_triplets(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+        """``(rows, cols, vals)`` when :meth:`multiply` is the standard
+        segmented-reduction triplet kernel, else ``None``.
+
+        Formats whose single-vector product is exactly
+        :func:`repro.kernels.coo_segmented.execute` over stored triplets
+        (COO, TCOO, BCCOO, BRC, SIC) return them here, which routes
+        :meth:`multiply_many` through the batched array-level SpMM
+        instead of a Python column loop.  Formats with any other
+        ``multiply`` must leave this ``None`` (or override
+        :meth:`multiply_many` themselves) to keep the bitwise
+        column-equivalence contract.
+        """
+        return None
+
     def multiply_many(self, X: np.ndarray) -> np.ndarray:
-        """Exact ``Y = A @ X`` for a block of vectors, column by column.
+        """Exact ``Y = A @ X`` for a block of vectors.
 
         ``X`` has shape ``(n_cols, k)``; the result has ``(n_rows, k)``.
-        The default loops :meth:`multiply` over columns, so every column
-        of the result is *bitwise identical* to the corresponding
-        single-vector product — formats may override with a vectorised
-        path only if it preserves that equivalence.
+        Every column of the result is *bitwise identical* to the
+        corresponding single-vector :meth:`multiply` — formats may
+        vectorise (via :meth:`_spmm_triplets` or an override) only if
+        they preserve that equivalence.  Formats without a declared
+        array-level path fall back to looping :meth:`multiply` over
+        columns.
         """
         X = np.asarray(X, dtype=self.precision.numpy_dtype)
         if X.ndim != 2 or X.shape[0] != self.n_cols:
             raise ValueError(f"X must have shape ({self.n_cols}, k)")
         if X.shape[1] < 1:
             raise ValueError("X must have at least one column")
+        triplets = self._spmm_triplets()
+        if triplets is not None:
+            from ..kernels import coo_segmented
+
+            rows, cols, vals = triplets
+            return coo_segmented.execute_many(
+                rows, cols, vals, X, n_rows=self.n_rows
+            )
         return np.stack(
             [self.multiply(X[:, j]) for j in range(X.shape[1])], axis=1
         )

@@ -250,6 +250,9 @@ class BCCOOFormat(SpMVFormat):
             ).astype(y.dtype, copy=False)
         return y
 
+    def _spmm_triplets(self):
+        return self.rows, self.cols, self.vals
+
     def kernel_works(self, device: DeviceSpec, k: int = 1) -> list[KernelWork]:
         return [
             bccoo_kernel.work(

@@ -94,17 +94,23 @@ class BRCFormat(SpMVFormat):
         perm = np.argsort(-vlen, kind="stable")
         sorted_lengths = vlen[perm]
 
-        blocks: list[tuple[int, int, int]] = []
-        stored = 0
         n_rows = csr.n_rows
         n_virtual = int(vlen.shape[0])
-        for start in range(0, n_virtual, BLOCK_ROWS):
-            chunk = sorted_lengths[start : start + BLOCK_ROWS]
-            width = int(chunk[0]) if chunk.size else 0
-            if width == 0:
-                break  # remaining virtual rows are empty
-            blocks.append((int(chunk.size), width, int(chunk.sum())))
-            stored += chunk.size * width
+        starts = np.arange(0, n_virtual, BLOCK_ROWS, dtype=np.int64)
+        ends = np.minimum(starts + BLOCK_ROWS, n_virtual)
+        # Descending sort means each block's first row is its widest, and
+        # the first zero-width block marks the start of the empty tail.
+        widths = sorted_lengths[starts] if starts.size else starts
+        empty = np.flatnonzero(widths == 0)
+        cut = int(empty[0]) if empty.size else starts.size
+        starts, ends, widths = starts[:cut], ends[:cut], widths[:cut]
+        csum = np.concatenate(([0], np.cumsum(sorted_lengths)))
+        sums = csum[ends] - csum[starts]
+        blocks: list[tuple[int, int, int]] = [
+            (int(e - st), int(w), int(sm))
+            for st, e, w, sm in zip(starts, ends, widths, sums)
+        ]
+        stored = int(np.sum((ends - starts) * widths))
 
         # Numeric data: the blocked layout reorders elements but computes
         # the same products; keep exact triplets for execution.
@@ -168,6 +174,9 @@ class BRCFormat(SpMVFormat):
                 self.rows, weights=prod, minlength=n_rows
             ).astype(y.dtype, copy=False)
         return y
+
+    def _spmm_triplets(self):
+        return self.rows, self.cols, self.vals
 
     def kernel_works(self, device: DeviceSpec, k: int = 1) -> list[KernelWork]:
         works = brc_kernel.block_works(

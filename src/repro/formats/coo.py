@@ -85,6 +85,9 @@ class COOFormat(SpMVFormat):
             self.rows, self.cols, self.vals, x, n_rows=self.n_rows
         )
 
+    def _spmm_triplets(self):
+        return self.rows, self.cols, self.vals
+
     def kernel_works(self, device: DeviceSpec, k: int = 1) -> list[KernelWork]:
         rows_spanned = self._rows_spanned
         return [

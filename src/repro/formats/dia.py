@@ -112,6 +112,29 @@ class DIAFormat(SpMVFormat):
             )
         return y.astype(x.dtype, copy=False)
 
+    def multiply_many(self, X: np.ndarray) -> np.ndarray:
+        # Same per-diagonal accumulation order as `multiply`, widened
+        # over the vector block: each column sees the identical sequence
+        # of elementwise multiply-adds, so columns stay bitwise equal to
+        # the single-vector product.
+        X = np.asarray(X, dtype=self.precision.numpy_dtype)
+        n_rows, n_cols = self._shape
+        if X.ndim != 2 or X.shape[0] != n_cols:
+            raise ValueError(f"X must have shape ({n_cols}, k)")
+        if X.shape[1] < 1:
+            raise ValueError("X must have at least one column")
+        Xf = X.astype(np.float64)
+        Y = np.zeros((n_rows, X.shape[1]), dtype=np.float64)
+        rows = np.arange(n_rows, dtype=np.int64)
+        for d, off in enumerate(self.offsets):
+            cols = rows + off
+            valid = (cols >= 0) & (cols < n_cols)
+            Y[valid, :] += (
+                self.data[d, valid].astype(np.float64)[:, None]
+                * Xf[cols[valid], :]
+            )
+        return Y.astype(X.dtype, copy=False)
+
     def kernel_works(self, device: DeviceSpec, k: int = 1) -> list[KernelWork]:
         if k < 1:
             raise ValueError("k must be >= 1")

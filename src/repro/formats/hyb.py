@@ -182,6 +182,21 @@ class HYBFormat(SpMVFormat):
             x,
         )
 
+    def multiply_many(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=self.precision.numpy_dtype)
+        if X.ndim != 2 or X.shape[0] != self.n_cols:
+            raise ValueError(f"X must have shape ({self.n_cols}, k)")
+        if X.shape[1] < 1:
+            raise ValueError("X must have at least one column")
+        return hyb_kernel.execute_many(
+            self.ell_cols,
+            self.ell_vals,
+            self.coo_rows,
+            self.coo_cols,
+            self.coo_vals,
+            X,
+        )
+
     def kernel_works(self, device: DeviceSpec, k: int = 1) -> list[KernelWork]:
         rows_spanned = self._coo_rows_spanned
         works = hyb_kernel.works(

@@ -103,19 +103,29 @@ class SICFormat(SpMVFormat):
                     seg_lengths, MAX_LONG_WIDTH
                 )
             n = int(seg_lengths.shape[0])
-            for start in range(0, n, BLOCK_ROWS):
-                chunk = seg_lengths[start : start + BLOCK_ROWS]
-                if chunk.size == 0 or int(chunk.sum()) == 0:
-                    continue
-                if s == 0:
-                    # The *Combination* of SIC: several short rows share
-                    # one interleave lane, so the block packs to its mean
-                    # occupancy rather than padding to its max.
-                    width = max(1, -(-int(chunk.sum()) // BLOCK_ROWS))
-                else:
-                    width = int(chunk.max())
-                blocks.append((int(chunk.size), width, int(chunk.sum())))
-                stored += BLOCK_ROWS * width if s == 0 else int(chunk.size) * width
+            if n == 0:
+                continue
+            starts = np.arange(0, n, BLOCK_ROWS, dtype=np.int64)
+            ends = np.minimum(starts + BLOCK_ROWS, n)
+            csum = np.concatenate(([0], np.cumsum(seg_lengths)))
+            sums = csum[ends] - csum[starts]
+            if s == 0:
+                # The *Combination* of SIC: several short rows share one
+                # interleave lane, so the block packs to its mean
+                # occupancy rather than padding to its max.
+                widths = np.maximum(1, -(-sums // BLOCK_ROWS))
+                slots = np.full(starts.shape[0], BLOCK_ROWS) * widths
+            else:
+                widths = np.maximum.reduceat(seg_lengths, starts)
+                slots = (ends - starts) * widths
+            keep = sums > 0
+            blocks.extend(
+                (int(e - st), int(w), int(sm))
+                for st, e, w, sm in zip(
+                    starts[keep], ends[keep], widths[keep], sums[keep]
+                )
+            )
+            stored += int(np.sum(slots[keep]))
 
         coo_rows = np.repeat(
             np.arange(csr.n_rows, dtype=np.int64), lengths
@@ -185,6 +195,9 @@ class SICFormat(SpMVFormat):
                 self.rows, weights=prod, minlength=n_rows
             ).astype(y.dtype, copy=False)
         return y
+
+    def _spmm_triplets(self):
+        return self.rows, self.cols, self.vals
 
     def kernel_works(self, device: DeviceSpec, k: int = 1) -> list[KernelWork]:
         works = brc_kernel.block_works(

@@ -153,6 +153,9 @@ class TCOOFormat(SpMVFormat):
             ).astype(y.dtype, copy=False)
         return y
 
+    def _spmm_triplets(self):
+        return self.rows, self.cols, self.vals
+
     def kernel_works(self, device: DeviceSpec, k: int = 1) -> list[KernelWork]:
         return [
             tcoo_kernel.work(

@@ -179,3 +179,82 @@ def children_works(
         child_work(csr, int(r), thread_load, device, k=k)
         for r in np.asarray(rows)
     ]
+
+
+def children_batch_work(
+    csr: CSRMatrix,
+    rows: np.ndarray,
+    thread_load: int,
+    device: DeviceSpec,
+    k: int = 1,
+) -> KernelWork:
+    """Every G1 child grid as one multi-entry work (one entry per row).
+
+    The array-program form of :func:`children_works`: each per-warp
+    column is exactly the concatenation of the per-row works' single
+    entries (empty rows contribute nothing, matching
+    :data:`KernelWork.empty`'s zero-length arrays), each expression uses
+    the same operation order as :func:`child_work`, and the total flops
+    are an integer-valued sum — so ``merge_concurrent([parent, batch])``
+    is entry-for-entry byte-identical to merging the per-row list while
+    skipping ~1000 Python-level work constructions per evaluation.
+    """
+    if thread_load < 1:
+        raise ValueError("thread_load must be >= 1")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    precision = csr.precision
+    nnz_int = csr.nnz_per_row[np.asarray(rows)].astype(np.int64)
+    nnz_int = nnz_int[nnz_int > 0]
+    if nnz_int.shape[0] == 0:
+        return KernelWork.empty("acsr-dp-children", precision)
+    vb = precision.value_bytes
+    n_threads = np.maximum(1, -(-nnz_int // thread_load))
+    n_warps = -(-n_threads // WARP_SIZE)
+    # Same float64 division as the scalar path (both operands are exact).
+    elems = nnz_int.astype(np.float64) / n_warps.astype(np.float64)
+    iters = np.ceil(elems / WARP_SIZE)
+    compute = (
+        iters * INST_PER_ITER
+        + ROW_SETUP_INSTS
+        + 5 * SHUFFLE_INST
+        + ATOMIC_INSTS
+    )
+    if k > 1:
+        compute = compute + (k - 1) * (
+            iters * INST_PER_EXTRA_VEC + 5 * SHUFFLE_INST + ATOMIC_INSTS
+        )
+    hit = x_hit_rate(device, csr.n_cols, precision, csr.gather_profile, k=k)
+    matrix = coalesced_bytes(elems * vb) + coalesced_bytes(elems * 4)
+    gather = block_gather_dram_bytes(elems, vb, hit, k=k)
+    atomic = scattered_bytes(np.ones(nnz_int.shape[0]))
+    if k > 1:
+        atomic = atomic * float(np.ceil(k * vb / SECTOR_BYTES))
+    dram = matrix + gather + atomic
+    nnz = nnz_int.astype(np.float64)
+    return KernelWork(
+        name="acsr-dp-children",
+        compute_insts=np.asarray(compute, dtype=np.float64),
+        dram_bytes=np.asarray(dram, dtype=np.float64),
+        mem_ops=iters * 2.0,
+        # Integer-valued per-row flops: the sum is exact in any order.
+        flops=float(np.sum(2.0 * nnz * k)),
+        precision=precision,
+        warp_weights=n_warps.astype(np.float64),
+        k=k,
+        hints=CounterHints(
+            tex_hit_rate=hit,
+            useful_bytes=float(
+                np.sum(
+                    _spmv_useful_bytes(
+                        nnz,
+                        1.0,
+                        value_bytes=vb,
+                        index_bytes_per_elem=4.0,
+                        profile=csr.gather_profile,
+                        k=k,
+                    )
+                )
+            ),
+        ),
+    )

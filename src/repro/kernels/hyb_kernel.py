@@ -31,6 +31,26 @@ def execute(
     )
 
 
+def execute_many(
+    ell_cols: np.ndarray,
+    ell_vals: np.ndarray,
+    coo_rows: np.ndarray,
+    coo_cols: np.ndarray,
+    coo_vals: np.ndarray,
+    X: np.ndarray,
+) -> np.ndarray:
+    """Batched HYB SpMM: the two component SpMMs in the same order.
+
+    Column-by-column bitwise identical to :func:`execute` because both
+    component kernels guarantee it and the accumulation order (ELL
+    result first, COO overflow added on top) is unchanged.
+    """
+    Y = ell_kernel.execute_many(ell_cols, ell_vals, X)
+    return coo_segmented.execute_many(
+        coo_rows, coo_cols, coo_vals, X, n_rows=Y.shape[0], out=Y
+    )
+
+
 def works(
     n_rows: int,
     ell_width: int,

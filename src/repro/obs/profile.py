@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from ..gpu.device import DeviceSpec
 from ..gpu.simulator import (
     add_launch_observer,
+    canonicalize_works,
     remove_launch_observer,
     simulate_kernel,
 )
@@ -155,6 +156,7 @@ def profile_format(
     if isinstance(fmt, ACSRFormat):
         return _profile_acsr(fmt, device, k=k, matrix=matrix)
     works = fmt.cached_kernel_works(device, k=k)
+    canonicalize_works(works)  # one batched grouping pass for all launches
     launches = tuple(
         launch_counters(device, w, simulate_kernel(device, w)) for w in works
     )
