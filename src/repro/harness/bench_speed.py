@@ -15,7 +15,15 @@ case), and each row carries the imbalance observatory's ``tail_warp_share``
 and ``warp_work_gini`` for the pooled kernel work.  Results go to
 ``BENCH_speed.json``; pass ``--check BASELINE`` to fail when any case's
 median regresses more than ``REGRESSION_FACTOR`` x against a committed
-baseline (the CI gate).
+baseline (the CI gate).  ``--speed-target BASELINE`` adds the absolute
+gate of the batch-engine rewrite: every SpMV cell at scale >=
+``SPEED_TARGET_MIN_SCALE`` must run ``SPEED_TARGET_FACTOR`` x faster
+than the committed pre-optimisation snapshot
+(``benchmarks/bench_speed_target.json``) while ``model_time_s`` stays
+byte-identical in every matching cell; either baseline also feeds the
+``speedup_vs_baseline`` column.  ``--jit`` routes the simulator's inner
+kernels through the optional numba backend (silent NumPy fallback, same
+floats).
 
 The suite also times the ``repro.serve`` engine end to end
 (:data:`SERVE_CASES`): a seeded Zipfian trace replayed through the
@@ -44,6 +52,15 @@ DEFAULT_OUTPUT = "BENCH_speed.json"
 #: A case fails the ``--check`` gate when its wall-clock exceeds the
 #: baseline's by more than this factor.
 REGRESSION_FACTOR = 2.0
+
+#: The ``--speed-target`` gate: large cells must run at least this many
+#: times faster than the committed pre-optimisation baseline
+#: (``benchmarks/bench_speed_target.json``).
+SPEED_TARGET_FACTOR = 5.0
+
+#: ``--speed-target`` gates only cells at or above this synthesis scale —
+#: the big-matrix cells whose evaluation cost the batch engine targets.
+SPEED_TARGET_MIN_SCALE = 0.5
 
 #: Efficiency counters are deterministic model outputs (no machine noise),
 #: so the gate allows only a small absolute drop before failing.
@@ -267,6 +284,65 @@ def run_bench(
     }
 
 
+def annotate_speedups(current: dict, baseline: dict) -> None:
+    """Add a ``speedup_vs_baseline`` column (baseline wall / current wall)
+    to every current case with a matching baseline cell."""
+    base = {_case_key(r): r for r in baseline.get("cases", [])}
+    for record in current.get("cases", []):
+        ref = base.get(_case_key(record))
+        if ref is None or float(record["wall_s"]) <= 0.0:
+            continue
+        record["speedup_vs_baseline"] = float(ref["wall_s"]) / float(
+            record["wall_s"]
+        )
+
+
+def check_speed_target(
+    current: dict,
+    baseline: dict,
+    factor: float = SPEED_TARGET_FACTOR,
+    min_scale: float = SPEED_TARGET_MIN_SCALE,
+) -> list[str]:
+    """The absolute speed gate: returns failure messages.
+
+    Two conditions against the pre-optimisation baseline:
+
+    * ``model_time_s`` must be **byte-identical** in every matching cell
+      (the optimisations reorganise the arithmetic; they must not change
+      a single float);
+    * every matching SpMV cell at ``scale >= min_scale`` must be at
+      least ``factor``x faster than the baseline's median wall-clock.
+    """
+    base = {_case_key(r): r for r in baseline.get("cases", [])}
+    failures = []
+    for record in current.get("cases", []):
+        ref = base.get(_case_key(record))
+        if ref is None:
+            continue
+        label = f"{record['name']}@{record['scale']:g}"
+        if int(record.get("k", 1)) != 1:
+            label += f" k={record['k']}"
+        model, ref_model = record.get("model_time_s"), ref.get("model_time_s")
+        if model is not None and ref_model is not None and model != ref_model:
+            failures.append(
+                f"{label}: model_time_s {model!r} != baseline "
+                f"{ref_model!r} (must be byte-identical)"
+            )
+        if model is None or float(record["scale"]) < min_scale:
+            continue  # serve cells / small cells: identity gate only
+        speedup = record.get("speedup_vs_baseline")
+        if speedup is None and float(record["wall_s"]) > 0.0:
+            speedup = float(ref["wall_s"]) / float(record["wall_s"])
+        if speedup is not None and speedup < factor:
+            failures.append(
+                f"{label}: {speedup:.2f}x vs baseline "
+                f"({float(record['wall_s']) * 1e3:.1f} ms vs "
+                f"{float(ref['wall_s']) * 1e3:.1f} ms) < required "
+                f"{factor:g}x"
+            )
+    return failures
+
+
 def _case_key(record: dict) -> tuple[str, float, int]:
     # ``k`` defaults to 1 so pre-batching baselines keep matching.
     return (
@@ -384,12 +460,40 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
             "slower"
         ),
     )
+    parser.add_argument(
+        "--jit",
+        action="store_true",
+        help=(
+            "enable the optional numba JIT backend for this run "
+            "(silently falls back to NumPy when numba is absent; the "
+            "model floats are identical either way)"
+        ),
+    )
+    parser.add_argument(
+        "--speed-target",
+        metavar="BASELINE",
+        default=None,
+        help=(
+            "absolute speed gate: exit non-zero unless every SpMV cell "
+            f"at scale >= {SPEED_TARGET_MIN_SCALE:g} is at least "
+            f"{SPEED_TARGET_FACTOR:g}x faster than this baseline and "
+            "model_time_s is byte-identical in every matching cell"
+        ),
+    )
 
 
 def run_cli(args: argparse.Namespace) -> int:
     """Run the benchmark from parsed CLI args; returns the exit code."""
     device = get_device(args.device)
     cases = bench_cases(args.quick)
+
+    jit_on = False
+    if getattr(args, "jit", False):
+        from ..gpu import jit
+
+        jit_on = jit.set_enabled(True)
+        if not jit_on:
+            print("--jit: numba not importable; using the NumPy kernels")
 
     def progress(r: dict) -> None:
         if "serve_qps" in r:
@@ -415,19 +519,38 @@ def run_cli(args: argparse.Namespace) -> int:
         )
 
     results = run_bench(cases, device, repeats=args.repeats, progress=progress)
+    results["jit"] = jit_on
+    speed_target = getattr(args, "speed_target", None)
+    annotate_from = speed_target or args.check
+    if annotate_from:
+        annotate_speedups(results, json.loads(Path(annotate_from).read_text()))
     out = Path(args.out)
     out.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {out} ({len(results['cases'])} cases)")
 
+    exit_code = 0
     if args.check:
         baseline = json.loads(Path(args.check).read_text())
         failures = check_regressions(results, baseline)
         if failures:
             for f in failures:
                 print(f"REGRESSION: {f}")
-            return 1
-        print(f"no regressions vs {args.check}")
-    return 0
+            exit_code = 1
+        else:
+            print(f"no regressions vs {args.check}")
+    if speed_target:
+        baseline = json.loads(Path(speed_target).read_text())
+        failures = check_speed_target(results, baseline)
+        if failures:
+            for f in failures:
+                print(f"SPEED TARGET MISSED: {f}")
+            exit_code = 1
+        else:
+            print(
+                f"speed target met: >= {SPEED_TARGET_FACTOR:g}x vs "
+                f"{speed_target}, model_time_s byte-identical"
+            )
+    return exit_code
 
 
 def main(argv: list[str] | None = None) -> int:
