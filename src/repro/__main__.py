@@ -334,6 +334,65 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="exit 3 unless the p99 modelled latency is <= this SLO",
     )
+    serve.add_argument(
+        "--monitor",
+        action="store_true",
+        help=(
+            "attach the live telemetry monitor: rolling windowed "
+            "series, burn-rate alerts, tail-sampling flight recorder "
+            "(implied by the other monitor flags)"
+        ),
+    )
+    serve.add_argument(
+        "--slo",
+        action="append",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "declarative objective, e.g. 'p99<=0.005@10s' or "
+            "'availability>=0.99@5ms' (repeatable; implies --monitor)"
+        ),
+    )
+    serve.add_argument(
+        "--window-us",
+        type=float,
+        default=5000.0,
+        metavar="US",
+        help="rolling metric window (microseconds of virtual time)",
+    )
+    serve.add_argument(
+        "--sample-every-us",
+        type=float,
+        default=None,
+        metavar="US",
+        help="metric sampling cadence (default: one ring bucket)",
+    )
+    serve.add_argument(
+        "--flightrec",
+        type=int,
+        default=64,
+        metavar="N",
+        help="flight-recorder ring capacity",
+    )
+    serve.add_argument(
+        "--html-dash",
+        metavar="FILE",
+        default=None,
+        help="write the self-contained HTML ops dashboard",
+    )
+    serve.add_argument(
+        "--monitor-chrome",
+        metavar="FILE",
+        default=None,
+        help="write the rolling series as Chrome counter tracks",
+    )
+    serve.add_argument(
+        "--assert-alerts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit 3 unless at least N burn-rate alerts fired",
+    )
     return p
 
 
@@ -538,17 +597,20 @@ def _diff_cli(args) -> int:
 def _serve_sim_cli(args) -> int:
     """``repro serve-sim``: closed-loop multi-tenant serving simulation.
 
-    Exit codes: 0 = ok, 2 = unknown matrix/device, 3 = the
-    ``--assert-p99`` SLO check failed.
+    Exit codes: 0 = ok, 2 = unknown matrix/device or bad --slo spec,
+    3 = the ``--assert-p99`` or ``--assert-alerts`` check failed.
     """
     from .serve import (
+        MonitorConfig,
         ServeConfig,
         ServeEngine,
+        ServeMonitor,
         TraceConfig,
         auto_interarrival_s,
         generate_trace,
         replay_engine,
         slo_summary,
+        write_serve_dash,
         write_serve_jsonl,
     )
     from .serve.server import DEFAULT_SERVE_EPSILON
@@ -601,7 +663,33 @@ def _serve_sim_cli(args) -> int:
     requests = generate_trace(
         trace_config, engine.registered_graphs(), mean_s
     )
-    result = engine.run_trace(requests)
+    slos = tuple(args.slo or ())
+    want_monitor = bool(
+        args.monitor
+        or slos
+        or args.html_dash
+        or args.monitor_chrome
+        or args.assert_alerts is not None
+    )
+    monitor = None
+    if want_monitor:
+        try:
+            monitor = ServeMonitor(
+                MonitorConfig(
+                    window_s=args.window_us * 1e-6,
+                    sample_every_s=(
+                        None
+                        if args.sample_every_us is None
+                        else args.sample_every_us * 1e-6
+                    ),
+                    slos=slos,
+                    flightrec_capacity=args.flightrec,
+                )
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    result = engine.run_trace(requests, monitor=monitor)
     summary = slo_summary(result)
 
     def us(v):
@@ -629,10 +717,26 @@ def _serve_sim_cli(args) -> int:
         f"p99 {us(summary['p99_s'])} | "
         f"makespan {summary['makespan_s'] * 1e3:.3f} ms"
     )
+    if monitor is not None:
+        from .obs.slo import render_alert
+
+        mon = monitor.summary
+        print(
+            f"  monitor: window {monitor.config.window_s * 1e3:.3f} ms | "
+            f"rolling p50 {us(mon['windowed_p50_s'])}, "
+            f"p95 {us(mon['windowed_p95_s'])}, "
+            f"p99 {us(mon['windowed_p99_s'])} | "
+            f"{mon['metric_records']} samples, "
+            f"{mon['alert_count']} alert(s), "
+            f"{mon['flight_records']} flight record(s)"
+        )
+        for event in monitor.alerts:
+            print(f"  {render_alert(event)}")
     if args.jsonl:
         write_serve_jsonl(
             result,
             args.jsonl,
+            monitor=monitor,
             matrices=keys,
             device=device.name,
             precision=args.precision,
@@ -653,6 +757,29 @@ def _serve_sim_cli(args) -> int:
         engine_result = replay_engine(device, config.gpus, result.batches)
         path = engine_result.trace.save(args.trace)
         print(f"wrote {path}")
+    if args.html_dash:
+        write_serve_dash(
+            result,
+            monitor,
+            args.html_dash,
+            title=f"serve monitor — {','.join(keys)} on {device.name}",
+        )
+        print(f"wrote {args.html_dash}")
+    if args.monitor_chrome:
+        import json
+
+        with open(args.monitor_chrome, "w") as fh:
+            json.dump(monitor.chrome_counters(), fh, indent=1)
+        print(f"wrote {args.monitor_chrome}")
+    if args.assert_alerts is not None:
+        fired = monitor.alert_count
+        if fired < args.assert_alerts:
+            print(
+                f"ASSERTION FAILED: --assert-alerts {args.assert_alerts}: "
+                f"only {fired} alert(s) fired",
+                file=sys.stderr,
+            )
+            return 3
     if args.assert_p99 is not None:
         p99 = summary["p99_s"]
         if p99 is None or p99 > args.assert_p99:

@@ -109,6 +109,19 @@ SERVE_QPS_DROP_FACTOR = 1.25
 #: Modelled p99 latency may grow at most this factor vs the baseline.
 SERVE_P99_GROWTH_FACTOR = 1.25
 
+#: Monitor window for the serving cells — wider than any cell's
+#: makespan, so the end-of-run windowed p99 merges every sample and the
+#: drift column audits the estimator itself, not sampling noise.
+SERVE_MONITOR_WINDOW_S = 1.0
+
+#: Fixed objective attached to the benchmark monitor; its burn-rate
+#: alert count is a deterministic column pinned to the baseline.
+SERVE_BENCH_SLO = "p99<=500us@1s"
+
+#: The windowed p99 may disagree with the exact percentile by at most
+#: this relative fraction.
+SERVE_P99_DRIFT_LIMIT = 0.10
+
 #: Added by the full benchmark: the largest corpus matrices scaled all the
 #: way to their paper size (scale 1.0 — up to 113M non-zeros for HOL).
 FULL_EXTRA_CASES: tuple[tuple[str, float, int], ...] = (
@@ -202,10 +215,20 @@ def run_serve_case(
     ``serve_qps`` / ``serve_p99_s`` columns come from the virtual
     clock, so they are identical across repeats and exactly
     reproducible from the seed.
+
+    The last repeat runs with a :class:`~repro.serve.monitor.ServeMonitor`
+    attached (window wider than any makespan, so the end-of-run windowed
+    p99 merges every sample): ``serve_windowed_p99_s`` and the
+    ``serve_p99_drift`` column audit the rolling-window estimator
+    against the exact percentile, and ``serve_alert_count`` pins the
+    burn-rate alert count to the baseline.  The monitor is read-only,
+    so attaching it cannot change the SLO cells.
     """
     from ..serve import (
+        MonitorConfig,
         ServeConfig,
         ServeEngine,
+        ServeMonitor,
         TraceConfig,
         auto_interarrival_s,
         generate_trace,
@@ -225,7 +248,18 @@ def run_serve_case(
         t0 = time.perf_counter()
         result = engine.run_trace(trace)
         times.append(time.perf_counter() - t0)
+    monitor = ServeMonitor(
+        MonitorConfig(window_s=SERVE_MONITOR_WINDOW_S, slos=(SERVE_BENCH_SLO,))
+    )
+    engine.run_trace(trace, monitor=monitor)
     slo = slo_summary(result)
+    windowed_p99 = monitor.windowed_quantile(0.99)
+    exact_p99 = slo["p99_s"]
+    drift = (
+        abs(windowed_p99 - exact_p99) / exact_p99
+        if windowed_p99 is not None and exact_p99
+        else None
+    )
     return {
         "name": f"{matrix}-serve" + (f"-g{gpus}" if gpus > 1 else ""),
         "scale": scale,
@@ -245,6 +279,9 @@ def run_serve_case(
         "batches": slo["batches"],
         "mean_batch_width": slo["mean_batch_width"],
         "makespan_s": slo["makespan_s"],
+        "serve_alert_count": monitor.alert_count,
+        "serve_windowed_p99_s": windowed_p99,
+        "serve_p99_drift": drift,
     }
 
 
@@ -425,6 +462,31 @@ def check_regressions(
                     f"{SERVE_P99_GROWTH_FACTOR:g}x baseline "
                     f"({float(ref['serve_p99_s']) * 1e6:.1f}us)"
                 )
+        # Monitor columns: the windowed estimator must track the exact
+        # percentile, and the alert count is fully deterministic.
+        # Baselines regenerated before these columns existed skip both.
+        if (
+            record.get("serve_p99_drift") is not None
+            and "serve_p99_drift" in ref
+        ):
+            drift = float(record["serve_p99_drift"])
+            if drift > SERVE_P99_DRIFT_LIMIT:
+                failures.append(
+                    f"{label}: serve_p99_drift {drift:.3f} > "
+                    f"{SERVE_P99_DRIFT_LIMIT:g} (windowed p99 "
+                    f"{float(record['serve_windowed_p99_s']) * 1e6:.1f}us vs "
+                    f"exact {float(record['serve_p99_s']) * 1e6:.1f}us)"
+                )
+        if "serve_alert_count" in ref and "serve_alert_count" in record:
+            if int(record["serve_alert_count"]) != int(
+                ref["serve_alert_count"]
+            ):
+                failures.append(
+                    f"{label}: serve_alert_count "
+                    f"{record['serve_alert_count']} != baseline "
+                    f"{ref['serve_alert_count']} (burn-rate behaviour "
+                    "changed)"
+                )
     return failures
 
 
@@ -499,13 +561,16 @@ def run_cli(args: argparse.Namespace) -> int:
         if "serve_qps" in r:
             p99 = r["serve_p99_s"]
             p99_txt = f"{p99 * 1e6:.1f} us" if p99 is not None else "n/a"
+            drift = r.get("serve_p99_drift")
+            drift_txt = f"{drift:.3f}" if drift is not None else "n/a"
             print(
                 f"{r['name']}@{r['scale']:g}: "
                 f"wall {r['wall_s'] * 1e3:8.2f} ms  "
                 f"{r['serve_qps']:,.0f} q/s, p99 {p99_txt}, "
                 f"{r['batches']} batches "
                 f"(mean width {r['mean_batch_width']:.2f}), "
-                f"shed {r['shed']}"
+                f"shed {r['shed']}, p99 drift {drift_txt}, "
+                f"{r['serve_alert_count']} alert(s)"
             )
             return
         ratio = r["total_warps"] / max(1, r["total_entries"])

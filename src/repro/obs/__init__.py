@@ -21,6 +21,10 @@ first-class telemetry, in the vocabulary of CUPTI/nvprof:
   ``time_s`` bit-for-bit.
 * :mod:`~repro.obs.diff` — differential profiling (``repro diff``):
   ranked "why B beats A" tables whose deltas sum exactly to the gap.
+* :mod:`~repro.obs.slo` — declarative serving objectives
+  (``p99<=0.005@10s``) with multi-window burn-rate alerting, driven by
+  the deterministic rolling-window instruments in
+  :mod:`~repro.obs.registry` (``WindowedCounter``/``WindowedHistogram``).
 * :mod:`~repro.obs.export` — JSONL / CSV / Chrome-counter-track
   exporters plus the JSONL and Chrome-trace schema validators CI gates
   on; :mod:`~repro.obs.report_html` renders the self-contained HTML
@@ -62,8 +66,29 @@ from .profile import (
     verdict_for,
 )
 from .profiler import Profiler, Span
-from .registry import Counter, Gauge, Histogram, MetricsRegistry, exact_quantile
-from .report_html import diff_report_html, write_html_report
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    WindowedCounter,
+    WindowedHistogram,
+    exact_quantile,
+)
+from .report_html import (
+    diff_report_html,
+    svg_gantt,
+    svg_sparkline,
+    write_html_report,
+)
+from .slo import (
+    SLO,
+    AlertEvent,
+    BurnRatePolicy,
+    SLOEngine,
+    parse_slo,
+    render_alert,
+)
 from .timeline import (
     Lane,
     LaneEvent,
@@ -88,7 +113,15 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "WindowedCounter",
+    "WindowedHistogram",
     "exact_quantile",
+    "SLO",
+    "AlertEvent",
+    "BurnRatePolicy",
+    "SLOEngine",
+    "parse_slo",
+    "render_alert",
     "FormatProfile",
     "RooflineVerdict",
     "profile_format",
@@ -129,5 +162,7 @@ __all__ = [
     "diff_sides",
     "diff_formats",
     "diff_report_html",
+    "svg_gantt",
+    "svg_sparkline",
     "write_html_report",
 ]

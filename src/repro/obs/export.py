@@ -5,7 +5,8 @@ Three formats, all dependency-free:
 * **JSONL** — one JSON object per line, each tagged with a ``record``
   kind (``meta`` / ``launch`` / ``span`` / ``aggregate`` / ``metrics``,
   ``attribution`` / ``delta`` for differential profiles, ``request`` /
-  ``slo`` for serving reports).  This is
+  ``slo`` for serving reports, ``metric`` / ``alert`` / ``flightrec``
+  for the live serve monitor's rolling series).  This is
   the machine-readable artifact CI uploads and gates on;
   :func:`validate_profile_jsonl` is the gate and
   :func:`write_diff_jsonl` the diff-report writer.
@@ -61,7 +62,19 @@ _RECORD_KINDS = (
     "delta",
     "request",
     "slo",
+    "metric",
+    "alert",
+    "flightrec",
 )
+
+#: Scopes a serve-monitor ``metric`` record may carry.
+_METRIC_SCOPES = ("global", "tenant", "graph")
+
+#: Rolling-percentile fields of a ``metric`` record (numeric or null).
+_METRIC_PERCENTILE_FIELDS = ("p50_s", "p95_s", "p99_s")
+
+#: Flight-recorder triggers.
+_FLIGHTREC_TRIGGERS = ("p99_tail", "alert")
 
 #: Modelled-latency fields every admitted ``request`` record must carry
 #: (``latency_s`` is their plain float sum, in this order).
@@ -421,6 +434,121 @@ def _validate_slo_fields(obj: dict, where: str) -> list[str]:
     return errors
 
 
+def _validate_metric_fields(obj: dict, where: str) -> list[str]:
+    """Field checks for one serve-monitor rolling ``metric`` record."""
+    errors = []
+    t = obj.get("t_s")
+    if not isinstance(t, (int, float)) or t < 0:
+        errors.append(f"{where}: metric needs non-negative t_s")
+    if obj.get("scope") not in _METRIC_SCOPES:
+        errors.append(f"{where}: unknown metric scope {obj.get('scope')!r}")
+    if not isinstance(obj.get("key"), str):
+        errors.append(f"{where}: metric needs a string 'key'")
+    w = obj.get("window_s")
+    if not isinstance(w, (int, float)) or w <= 0:
+        errors.append(f"{where}: metric needs positive window_s")
+    for field in ("qps", "shed_rate"):
+        v = obj.get(field)
+        if not isinstance(v, (int, float)) or v < 0:
+            errors.append(f"{where}: metric needs non-negative {field!r}")
+    shed_rate = obj.get("shed_rate")
+    if isinstance(shed_rate, (int, float)) and shed_rate > 1.0 + 1e-9:
+        errors.append(f"{where}: shed_rate={shed_rate} above 1")
+    n = obj.get("n")
+    if not isinstance(n, int) or n < 0:
+        errors.append(f"{where}: metric needs integer window count 'n'")
+    for field in _METRIC_PERCENTILE_FIELDS:
+        v = obj.get(field)
+        if v is not None and not isinstance(v, (int, float)):
+            errors.append(f"{where}: {field}={v!r} not numeric or null")
+    depth = obj.get("queue_depth")
+    if depth is not None and (not isinstance(depth, int) or depth < 0):
+        errors.append(
+            f"{where}: queue_depth={depth!r} not a non-negative int or null"
+        )
+    return errors
+
+
+def _validate_alert_fields(obj: dict, where: str) -> list[str]:
+    """Field checks for one burn-rate ``alert`` transition record."""
+    errors = []
+    t = obj.get("t_s")
+    if not isinstance(t, (int, float)) or t < 0:
+        errors.append(f"{where}: alert needs non-negative t_s")
+    for field in ("slo", "key"):
+        if not isinstance(obj.get(field), str):
+            errors.append(f"{where}: alert needs a string {field!r}")
+    if obj.get("state") not in ("firing", "resolved"):
+        errors.append(f"{where}: unknown alert state {obj.get('state')!r}")
+    for field in ("burn_fast", "burn_slow"):
+        v = obj.get(field)
+        if not isinstance(v, (int, float)) or v < 0:
+            errors.append(f"{where}: alert needs non-negative {field!r}")
+    n = obj.get("window_events")
+    if not isinstance(n, int) or n < 0:
+        errors.append(f"{where}: alert needs integer window_events")
+    return errors
+
+
+def _validate_flightrec_fields(obj: dict, where: str) -> list[str]:
+    """Field checks for one flight-recorder capture record.
+
+    Beyond presence/type checks this enforces the recorder's exactness
+    contract: ``timeline_time_s`` equals the batch's billed
+    ``compute_s`` bit-for-bit, and the attribution terms float-sum (in
+    listed order) to the same total — JSON round-trips IEEE doubles
+    exactly, so both survive serialisation.
+    """
+    errors = []
+    if obj.get("trigger") not in _FLIGHTREC_TRIGGERS:
+        errors.append(
+            f"{where}: unknown flightrec trigger {obj.get('trigger')!r}"
+        )
+    for field in ("t_s", "latency_s", "close_s", "start_s",
+                  "formation_s", "compute_s", "end_s"):
+        v = obj.get(field)
+        if not isinstance(v, (int, float)) or v < 0:
+            errors.append(f"{where}: flightrec needs non-negative {field!r}")
+    for field in ("batch_id", "worker", "rid", "queue_depth",
+                  "coalescer_pending"):
+        v = obj.get(field)
+        if not isinstance(v, int) or v < 0:
+            errors.append(f"{where}: flightrec needs integer {field!r}")
+    k = obj.get("k")
+    if not isinstance(k, int) or k < 1:
+        errors.append(f"{where}: flightrec needs batch width k >= 1")
+    for field in ("tenant", "graph"):
+        if not isinstance(obj.get(field), str):
+            errors.append(f"{where}: flightrec needs a string {field!r}")
+    for field in ("rids", "iterations", "alerts"):
+        if not isinstance(obj.get(field), list):
+            errors.append(f"{where}: flightrec needs a list {field!r}")
+    tl = obj.get("timeline_time_s")
+    compute = obj.get("compute_s")
+    if not isinstance(tl, (int, float)):
+        errors.append(f"{where}: flightrec needs numeric timeline_time_s")
+    elif isinstance(compute, (int, float)) and tl != compute:
+        errors.append(
+            f"{where}: timeline_time_s={tl!r} != compute_s={compute!r} "
+            "(the capture must reproduce the billed compute bit-for-bit)"
+        )
+    terms = obj.get("attribution")
+    if not isinstance(terms, dict) or not all(
+        isinstance(v, (int, float)) for v in terms.values()
+    ):
+        errors.append(f"{where}: flightrec needs numeric 'attribution'")
+    elif isinstance(tl, (int, float)):
+        s = 0.0
+        for v in terms.values():
+            s += v
+        if s != tl:
+            errors.append(
+                f"{where}: attribution terms sum to {s!r}, not "
+                f"timeline_time_s={tl!r}"
+            )
+    return errors
+
+
 def validate_profile_jsonl(path) -> list[str]:
     """Schema-check one profile JSONL file; returns error messages.
 
@@ -441,6 +569,7 @@ def validate_profile_jsonl(path) -> list[str]:
         return [f"{path}: empty file"]
     n_counter_records = 0
     n_request_records = 0
+    n_metric_records = 0
     for i, line in enumerate(lines, start=1):
         where = f"{path}:{i}"
         if not line.strip():
@@ -480,6 +609,14 @@ def validate_profile_jsonl(path) -> list[str]:
             errors.extend(_validate_request_fields(obj, where))
         elif kind == "slo":
             errors.extend(_validate_slo_fields(obj, where))
-    if n_counter_records == 0 and n_request_records == 0:
-        errors.append(f"{path}: no launch/aggregate/request records")
+        elif kind == "metric":
+            n_metric_records += 1
+            errors.extend(_validate_metric_fields(obj, where))
+        elif kind == "alert":
+            errors.extend(_validate_alert_fields(obj, where))
+        elif kind == "flightrec":
+            errors.extend(_validate_flightrec_fields(obj, where))
+    if n_counter_records == 0 and n_request_records == 0 \
+            and n_metric_records == 0:
+        errors.append(f"{path}: no launch/aggregate/request/metric records")
     return errors

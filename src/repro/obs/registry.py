@@ -32,8 +32,16 @@ def exact_quantile(values, q: float) -> float:
     if not 0.0 <= q <= 1.0:
         raise ValueError("quantile must be in [0, 1]")
     data = sorted(float(v) for v in values)
+    if any(math.isnan(v) for v in data):
+        raise ValueError("exact_quantile got a NaN sample")
     if not data:
         return math.nan
+    if len(data) == 1:
+        return data[0]
+    if q == 0.0:
+        return data[0]
+    if q == 1.0:
+        return data[-1]
     pos = q * (len(data) - 1)
     lo = int(math.floor(pos))
     hi = int(math.ceil(pos))
@@ -149,6 +157,191 @@ class Histogram:
         frac = (rank - seen) / in_bucket
         lo = max(lower, self.min)
         return min(lo + frac * (self.max - lo), self.max)
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other``'s observations into this histogram, in place.
+
+        Both histograms must share the same bucket bounds — merging
+        across incompatible bucketings would silently misplace counts.
+        Returns ``self`` so merges chain.
+        """
+        if not isinstance(other, Histogram):
+            raise TypeError("can only merge another Histogram")
+        if tuple(self.bounds) != tuple(other.bounds):
+            raise ValueError(
+                "cannot merge histograms with different bounds: "
+                f"{tuple(self.bounds)} vs {tuple(other.bounds)}"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.sum += other.sum
+        if other.count:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+        return self
+
+
+class _WindowedRing:
+    """Shared machinery for rolling-window instruments.
+
+    Time is divided into fixed-width *slices* of ``window_s /
+    n_buckets`` seconds; slice ``i`` lands in ring slot ``i %
+    n_buckets``.  Writing to a slice newer than the slot's current
+    occupant resets the slot first (lazy advancement — no timers), so
+    after any sequence of in-order or mildly out-of-order writes the
+    ring holds exactly the last ``n_buckets`` slices.  Reads merge the
+    slices covering the trailing window ending at the query time; a
+    slot is included only when its occupant slice actually falls in
+    that range, which makes reads safe at any time without mutating
+    state.  Everything is plain arithmetic on the caller's clock —
+    deterministic by construction.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        window_s: float,
+        n_buckets: int = 20,
+        help: str = "",
+        labels: dict | None = None,
+    ) -> None:
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if n_buckets < 1:
+            raise ValueError("need at least one bucket")
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self.window_s = float(window_s)
+        self.n_buckets = int(n_buckets)
+        self.bucket_s = self.window_s / self.n_buckets
+        self._slice_ids = [-1] * self.n_buckets
+        self._high_water = -1
+
+    def _slice_of(self, t_s: float) -> int:
+        if t_s < 0 or math.isnan(t_s):
+            raise ValueError("windowed instruments need t_s >= 0")
+        return int(math.floor(t_s / self.bucket_s))
+
+    def _reset_slot(self, slot: int) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _writable_slot(self, t_s: float) -> int | None:
+        """Ring slot for ``t_s``, or None when it already aged out."""
+        s = self._slice_of(t_s)
+        if s > self._high_water:
+            self._high_water = s
+        if s <= self._high_water - self.n_buckets:
+            return None  # older than anything the ring still tracks
+        slot = s % self.n_buckets
+        if self._slice_ids[slot] != s:
+            if self._slice_ids[slot] > s:
+                return None  # slot already holds a newer slice
+            self._reset_slot(slot)
+            self._slice_ids[slot] = s
+        return slot
+
+    def _read_slots(self, t_s: float, window_s: float | None):
+        """(slots, span_s) covering the window ending at ``t_s``."""
+        w = self.window_s if window_s is None else float(window_s)
+        if not 0 < w <= self.window_s * (1 + 1e-12):
+            raise ValueError(
+                f"read window {w} outside retained window {self.window_s}"
+            )
+        m = max(1, int(round(w / self.bucket_s)))
+        cur = self._slice_of(t_s)
+        slots = []
+        for s in range(max(0, cur - m + 1), cur + 1):
+            slot = s % self.n_buckets
+            if self._slice_ids[slot] == s:
+                slots.append(slot)
+        span = min(m, cur + 1) * self.bucket_s
+        return slots, span
+
+
+class WindowedCounter(_WindowedRing):
+    """A counter with a rolling-window view (ring of time buckets).
+
+    ``inc(t_s)`` credits the bucket containing virtual time ``t_s``;
+    ``total(t_s)`` / ``rate(t_s)`` merge the buckets covering the
+    trailing window on read.  ``lifetime`` keeps the all-time total
+    (increments that aged out of the ring before being recorded are
+    still counted there).
+    """
+
+    def __init__(self, name, window_s, n_buckets=20, help="", labels=None):
+        super().__init__(name, window_s, n_buckets, help, labels)
+        self._totals = [0.0] * self.n_buckets
+        self.lifetime = 0.0
+
+    def _reset_slot(self, slot: int) -> None:
+        self._totals[slot] = 0.0
+
+    def inc(self, t_s: float, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.lifetime += amount
+        slot = self._writable_slot(t_s)
+        if slot is not None:
+            self._totals[slot] += amount
+
+    def total(self, t_s: float, window_s: float | None = None) -> float:
+        slots, _ = self._read_slots(t_s, window_s)
+        return sum(self._totals[s] for s in slots)
+
+    def rate(self, t_s: float, window_s: float | None = None) -> float:
+        """Events per second over the trailing window.
+
+        The denominator is the bucket-aligned span actually covered, so
+        early in a run (before a full window has elapsed) the rate is
+        not diluted by empty future history.
+        """
+        slots, span = self._read_slots(t_s, window_s)
+        return sum(self._totals[s] for s in slots) / span
+
+
+class WindowedHistogram(_WindowedRing):
+    """A distribution over a rolling window, with *exact* quantiles.
+
+    Each ring bucket keeps its raw samples; reads concatenate the
+    buckets covering the trailing window (in slice order, then
+    insertion order — fully deterministic) and answer quantiles with
+    :func:`exact_quantile`.  Suited to the serving monitor's scale —
+    thousands of samples per window, not millions — where exactness is
+    worth more than O(1) summaries.
+    """
+
+    def __init__(self, name, window_s, n_buckets=20, help="", labels=None):
+        super().__init__(name, window_s, n_buckets, help, labels)
+        self._samples: list[list[float]] = [[] for _ in range(self.n_buckets)]
+        self.lifetime_count = 0
+
+    def _reset_slot(self, slot: int) -> None:
+        self._samples[slot] = []
+
+    def observe(self, t_s: float, value: float) -> None:
+        self.lifetime_count += 1
+        slot = self._writable_slot(t_s)
+        if slot is not None:
+            self._samples[slot].append(float(value))
+
+    def values(self, t_s: float, window_s: float | None = None) -> tuple:
+        slots, _ = self._read_slots(t_s, window_s)
+        out: list[float] = []
+        for s in slots:
+            out.extend(self._samples[s])
+        return tuple(out)
+
+    def window_count(self, t_s: float, window_s: float | None = None) -> int:
+        slots, _ = self._read_slots(t_s, window_s)
+        return sum(len(self._samples[s]) for s in slots)
+
+    def quantile(
+        self, q: float, t_s: float, window_s: float | None = None
+    ) -> float:
+        """Exact ``q``-quantile of the trailing window (nan if empty)."""
+        return exact_quantile(self.values(t_s, window_s), q)
 
 
 class MetricsRegistry:

@@ -85,6 +85,73 @@ def _svg_gantt(timeline: Timeline, width: int = 860) -> str:
     return "".join(parts)
 
 
+def svg_gantt(timeline: Timeline, width: int = 860) -> str:
+    """Public Gantt renderer — one inline SVG per timeline.
+
+    Shared by the diff report and the serve dashboard's flight-recorder
+    section.
+    """
+    return _svg_gantt(timeline, width)
+
+
+def svg_sparkline(
+    values,
+    width: int = 240,
+    height: int = 36,
+    stroke: str = "#4c78a8",
+    label: str = "",
+) -> str:
+    """A tiny inline SVG line chart of one metric series.
+
+    ``values`` may contain ``None`` gaps (e.g. percentiles before the
+    window has samples); gaps break the polyline.  Scaling is
+    min-to-max of the present values with a flat-line fallback, so the
+    sparkline always renders something deterministic.
+    """
+    vals = list(values)
+    pad = 3.0
+    present = [v for v in vals if v is not None]
+    lo = min(present, default=0.0)
+    hi = max(present, default=0.0)
+    span = hi - lo
+    parts = [
+        f'<svg width="{width}" height="{height}" '
+        f'xmlns="http://www.w3.org/2000/svg" class="spark">'
+    ]
+    if label:
+        parts.append(
+            f'<title>{html.escape(label)}</title>'
+        )
+    if len(vals) >= 1 and present:
+        step = (width - 2 * pad) / max(1, len(vals) - 1)
+
+        def y_of(v: float) -> float:
+            if span <= 0:
+                return height / 2.0
+            return pad + (hi - v) / span * (height - 2 * pad)
+
+        runs: list[list[str]] = [[]]
+        for i, v in enumerate(vals):
+            if v is None:
+                if runs[-1]:
+                    runs.append([])
+                continue
+            runs[-1].append(f"{pad + i * step:.2f},{y_of(v):.2f}")
+        for run in runs:
+            if len(run) == 1:
+                x, y = run[0].split(",")
+                parts.append(
+                    f'<circle cx="{x}" cy="{y}" r="1.5" fill="{stroke}"/>'
+                )
+            elif run:
+                parts.append(
+                    f'<polyline points="{" ".join(run)}" fill="none" '
+                    f'stroke="{stroke}" stroke-width="1.5"/>'
+                )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
 def _svg_waterfall(report: DiffReport, width: int = 860) -> str:
     """An inline SVG waterfall of the ranked attribution deltas."""
     bars = [(k, v) for k, v in report.ranked() if v != 0.0]

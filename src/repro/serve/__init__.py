@@ -21,6 +21,13 @@ end on the simulator's virtual clock, deterministically:
   its ``asyncio`` facade.
 * :mod:`~repro.serve.report` — JSONL reports with exact-percentile SLO
   summaries, schema-validated by ``repro profile-check``.
+* :mod:`~repro.serve.monitor` — live (virtual-clock) telemetry: rolling
+  windowed series per graph/tenant, burn-rate SLO alerts
+  (:mod:`repro.obs.slo`), and a tail-sampling flight recorder whose
+  captured timelines equal the billed compute bit-for-bit.  Provably
+  read-only: results are byte-identical with or without a monitor.
+* :mod:`~repro.serve.dashboard` — the self-contained HTML ops dashboard
+  (``serve-sim --html-dash``).
 
 ``repro serve-sim`` (see :mod:`repro.__main__`) drives the whole stack
 from the command line.
@@ -48,8 +55,20 @@ from .plans import (
     operator_format,
     plan_for,
 )
+from .dashboard import serve_dash_html, write_serve_dash
+from .monitor import (
+    FlightRecord,
+    MonitorConfig,
+    ServeMonitor,
+    batch_timeline,
+)
 from .queries import BatchRecord, CompletedQuery, QueryRequest, ShedQuery
-from .report import serve_report_lines, slo_summary, write_serve_jsonl
+from .report import (
+    serve_report_lines,
+    shed_by_tenant,
+    slo_summary,
+    write_serve_jsonl,
+)
 from .scheduler import WorkerPool, replay_engine
 from .server import (
     DEFAULT_SERVE_EPSILON,
@@ -70,27 +89,34 @@ __all__ = [
     "CompletedQuery",
     "DEFAULT_K_MAX",
     "DEFAULT_SERVE_EPSILON",
+    "FlightRecord",
     "GraphContext",
+    "MonitorConfig",
     "QueryRequest",
     "REASON_QUEUE_FULL",
     "REASON_TENANT_LIMIT",
     "SERVE_PLAN_VERSION",
     "ServeConfig",
     "ServeEngine",
+    "ServeMonitor",
     "ServePlan",
     "ServeResult",
     "ShedQuery",
     "TraceConfig",
     "WorkerPool",
     "auto_interarrival_s",
+    "batch_timeline",
     "clear_plan_cache",
     "expected_iterations",
     "generate_trace",
     "operator_format",
     "plan_for",
     "replay_engine",
+    "serve_dash_html",
     "serve_report_lines",
+    "shed_by_tenant",
     "slo_summary",
+    "write_serve_dash",
     "write_serve_jsonl",
     "zipf_cdf",
 ]

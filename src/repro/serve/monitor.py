@@ -1,0 +1,613 @@
+"""Live serving telemetry: rolling windows, burn-rate alerts, flight recorder.
+
+:class:`ServeMonitor` watches one :meth:`ServeEngine.run_trace
+<repro.serve.server.ServeEngine.run_trace>` on the engine's *virtual*
+clock.  During the run it only buffers immutable snapshots (the engine
+hands it frozen records and a couple of integers); when the run
+completes, :meth:`_finalize` replays the buffered events in virtual-time
+order and produces:
+
+* **Rolling series** — per-graph and per-tenant qps, shed rate, queue
+  depth and exact windowed p50/p95/p99 latency, via
+  :class:`~repro.obs.registry.WindowedCounter` /
+  :class:`~repro.obs.registry.WindowedHistogram`, sampled on a fixed
+  virtual-time grid into ``metric`` JSONL records.
+* **Alerts** — every objective from :class:`MonitorConfig.slos` is
+  evaluated through :class:`~repro.obs.slo.SLOEngine`'s multi-window
+  burn-rate rules; transitions become ``alert`` JSONL records and an
+  append-only :attr:`alerts` log.
+* **Flight records** — when a completed query lands above the current
+  windowed p99, or its observation trips an alert, the recorder captures
+  the whole batch: a :class:`~repro.obs.timeline.Timeline` whose
+  ``time_s`` equals the batch's billed compute **bit-for-bit**, a merged
+  :class:`~repro.obs.attribution.Attribution` forced exact against the
+  same total, and the queue/coalescer state at batch close — bounded by
+  a ring buffer.
+
+The monitor is *provably read-only*: the hooks never touch the engine's
+heap, RNG-free state, or registry, and all derived work (windowed
+merges, attribution, timelines) happens after the ``ServeResult`` is
+frozen — so a run with a monitor attached is byte-identical to one
+without, and the same seed always yields byte-identical JSONL/HTML.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass
+
+from ..apps.power_method import (
+    DEFAULT_VECTOR_PASSES,
+    BatchBill,
+    vector_ops_work,
+)
+from ..obs.attribution import (
+    Attribution,
+    attribute_format,
+    attribute_sequence,
+    merge_attributions,
+)
+from ..obs.registry import WindowedCounter, WindowedHistogram
+from ..obs.slo import AlertEvent, BurnRatePolicy, SLOEngine, parse_slo
+from ..obs.timeline import Lane, LaneEvent, Timeline
+from .queries import BatchRecord, CompletedQuery, ShedQuery
+
+__all__ = [
+    "MonitorConfig",
+    "FlightRecord",
+    "ServeMonitor",
+    "batch_timeline",
+]
+
+#: Metric-record scopes, in emission order.
+_SCOPES = ("global", "tenant", "graph")
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Telemetry knobs of one :class:`ServeMonitor` (virtual seconds)."""
+
+    #: Rolling window of the metric series.
+    window_s: float = 0.005
+    #: Ring buckets per window (also the sampling grid's resolution).
+    n_buckets: int = 20
+    #: Metric-record cadence; ``None`` means one ring bucket.
+    sample_every_s: float | None = None
+    #: Declarative objectives (spec strings or parsed ``SLO`` objects).
+    slos: tuple = ()
+    #: Burn-rate thresholds shared by every objective.
+    policy: BurnRatePolicy = BurnRatePolicy()
+    #: Ring buckets of each objective's good/bad counters.
+    slo_buckets: int = 48
+    #: Flight-recorder ring capacity (oldest captures evicted).
+    flightrec_capacity: int = 64
+    #: Windowed samples needed before the p99 tail trigger arms.
+    p99_min_samples: int = 16
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if self.n_buckets < 1:
+            raise ValueError("n_buckets must be >= 1")
+        if self.sample_every_s is not None and self.sample_every_s <= 0:
+            raise ValueError("sample_every_s must be positive")
+        if self.flightrec_capacity < 1:
+            raise ValueError("flightrec_capacity must be >= 1")
+        if self.p99_min_samples < 1:
+            raise ValueError("p99_min_samples must be >= 1")
+        for spec in self.slos:
+            if isinstance(spec, str):
+                parse_slo(spec)
+
+    @property
+    def bucket_s(self) -> float:
+        return self.window_s / self.n_buckets
+
+    @property
+    def cadence_s(self) -> float:
+        return (
+            self.bucket_s
+            if self.sample_every_s is None
+            else self.sample_every_s
+        )
+
+
+def batch_timeline(
+    record: BatchRecord, bill: BatchBill, device_name: str
+) -> Timeline:
+    """Reconstruct one served batch's compute as a PR-5 timeline.
+
+    One lane on the batch's worker, one event per run of equal-width
+    rounds; event boundaries are the bill's own
+    :meth:`~repro.apps.power_method.BatchBill.time_through_round`
+    values, so the last boundary — and the timeline's ``time_s`` — is
+    :attr:`~repro.apps.power_method.BatchBill.total_s` ==
+    ``record.compute_s`` bit-for-bit.  Formation and queueing are
+    billed *before* this span; the note carries them.
+    """
+    groups: list[list[int]] = []  # [width, first_round, last_round]
+    for r, w in enumerate(bill.widths, start=1):
+        if groups and groups[-1][0] == w:
+            groups[-1][2] = r
+        else:
+            groups.append([w, r, r])
+    events = []
+    for w, r0, r1 in groups:
+        start = bill.time_through_round(r0 - 1)
+        end = bill.time_through_round(r1)
+        events.append(
+            LaneEvent(
+                name=f"k={w} x{r1 - r0 + 1} rounds",
+                start_s=start,
+                duration_s=end - start,
+                category="kernel",
+            )
+        )
+    notes = (
+        f"graph={record.graph} k={record.k}; closed {record.close_s * 1e3:.4f} ms,"
+        f" started {record.start_s * 1e3:.4f} ms; formation"
+        f" {record.formation_s * 1e6:.3f} us billed before this span"
+    )
+    return Timeline(
+        name=f"serve/{record.graph}/batch-{record.batch_id}",
+        device_name=device_name,
+        source="serve-batch",
+        time_s=bill.total_s,
+        lanes=(Lane(label=f"worker{record.worker}", events=tuple(events)),),
+        critical_lane=0,
+        notes=notes,
+    )
+
+
+@dataclass(frozen=True)
+class FlightRecord:
+    """One tail-sampled batch capture (ring-buffered)."""
+
+    #: ``"p99_tail"`` (latency above the rolling p99) or ``"alert"``.
+    trigger: str
+    #: Virtual time of the triggering completion.
+    t_s: float
+    #: The triggering request and its tenant.
+    rid: int
+    tenant: str
+    latency_s: float
+    #: Rolling global p99 at the trigger (None before the window arms).
+    window_p99_s: float | None
+    #: Objective specs whose alerts fired at this observation.
+    alerts: tuple[str, ...]
+    batch: BatchRecord
+    #: Batch membership (parallel tuples, batch order).
+    rids: tuple[int, ...]
+    tenants: tuple[str, ...]
+    iterations: tuple[int, ...]
+    #: Admission queue depth when the batch closed.
+    queue_depth: int
+    #: Queries still waiting in the graph's coalescer after the close.
+    coalescer_pending: int
+    #: Compute timeline; ``timeline.time_s == batch.compute_s`` exactly.
+    timeline: Timeline
+    #: Per-term decomposition forced exact against the same total.
+    attribution: Attribution
+
+
+class _BatchSnapshot:
+    """Frozen facts about one batch, captured at close time."""
+
+    __slots__ = (
+        "record",
+        "graph",
+        "iterations",
+        "bill",
+        "queue_depth",
+        "pending_after",
+        "completions",
+    )
+
+    def __init__(
+        self, record, graph, iterations, bill, queue_depth, pending_after,
+        completions,
+    ):
+        self.record = record
+        self.graph = graph
+        self.iterations = iterations
+        self.bill = bill
+        self.queue_depth = queue_depth
+        self.pending_after = pending_after
+        self.completions = completions
+
+
+def _noneify(x: float) -> float | None:
+    return None if x != x else x  # nan -> null for JSON
+
+
+class ServeMonitor:
+    """Watches one serve run; see the module docstring for the contract.
+
+    Attach by passing the monitor to ``run_trace(requests,
+    monitor=...)``.  A monitor watches exactly one run — reuse raises.
+    After the run: :attr:`records` (time-ordered metric/alert/flightrec
+    dicts), :attr:`alerts`, :attr:`flight_records`, :attr:`summary`,
+    :meth:`jsonl_lines` and :meth:`chrome_counters`.
+    """
+
+    def __init__(self, config: MonitorConfig | None = None) -> None:
+        self.config = config or MonitorConfig()
+        self.records: list[dict] = []
+        self.alerts: list[AlertEvent] = []
+        self.flight_records: deque[FlightRecord] = deque(
+            maxlen=self.config.flightrec_capacity
+        )
+        self.summary: dict = {}
+        self._engine = None
+        self._device = None
+        self._finalized = False
+        self._sheds: list[tuple[ShedQuery, int]] = []
+        self._snapshots: list[_BatchSnapshot] = []
+        self._att_cache: dict[tuple[str, int], tuple] = {}
+        self._captured: set[int] = set()
+
+    # ---------------- engine-facing hooks (buffer-only) ----------------
+
+    def _begin_run(self, engine) -> None:
+        if self._engine is not None or self._finalized:
+            raise RuntimeError(
+                "a ServeMonitor watches exactly one run; create a fresh one"
+            )
+        self._engine = engine
+        self._device = engine.device
+
+    def _observe_shed(self, outcome: ShedQuery, queue_depth: int) -> None:
+        self._sheds.append((outcome, queue_depth))
+
+    def _observe_batch(
+        self,
+        record: BatchRecord,
+        iterations,
+        bill: BatchBill,
+        queue_depth: int,
+        pending_after: int,
+        completions,
+    ) -> None:
+        self._snapshots.append(
+            _BatchSnapshot(
+                record=record,
+                graph=record.graph,
+                iterations=tuple(iterations),
+                bill=bill,
+                queue_depth=queue_depth,
+                pending_after=pending_after,
+                completions=tuple(completions),
+            )
+        )
+
+    # ----------------------- finalize (replay) --------------------------
+
+    def _finalize(self, result) -> None:
+        if self._finalized:
+            raise RuntimeError("monitor already finalized")
+        self._finalized = True
+        cfg = self.config
+        tenants = sorted({r.request.tenant for r in result.requests})
+        graphs = sorted({r.request.graph for r in result.requests})
+        self._keys = [("global", "*")]
+        self._keys += [("tenant", t) for t in tenants]
+        self._keys += [("graph", g) for g in graphs]
+        self._lat = {
+            k: WindowedHistogram("latency_s", cfg.window_s, cfg.n_buckets)
+            for k in self._keys
+        }
+        self._adm = {
+            k: WindowedCounter("admitted", cfg.window_s, cfg.n_buckets)
+            for k in self._keys
+        }
+        self._shedc = {
+            k: WindowedCounter("shed", cfg.window_s, cfg.n_buckets)
+            for k in self._keys
+        }
+        self._slo_engine = (
+            SLOEngine(cfg.slos, cfg.policy, cfg.slo_buckets)
+            if cfg.slos
+            else None
+        )
+        self._depth = 0
+
+        # Replay order: (virtual time, kind rank, id).  Batch closes rank
+        # before sheds and completions at the same instant so the queue
+        # depth a sample sees is the latest one.
+        events: list[tuple] = []
+        for snap in self._snapshots:
+            events.append((snap.record.close_s, 0, snap.record.batch_id,
+                           "batch", snap))
+            for done in snap.completions:
+                events.append(
+                    (done.completion_s, 2, done.request.rid, "done",
+                     (done, snap))
+                )
+        for shed, depth in self._sheds:
+            events.append(
+                (shed.request.arrival_s, 1, shed.request.rid, "shed",
+                 (shed, depth))
+            )
+        events.sort(key=lambda e: e[:3])
+
+        cadence = cfg.cadence_s
+        next_tick = cadence
+        for t, _rank, _eid, kind, payload in events:
+            while t >= next_tick:
+                self._emit_samples(next_tick)
+                next_tick += cadence
+            if kind == "batch":
+                self._depth = payload.queue_depth
+            elif kind == "shed":
+                self._replay_shed(t, *payload)
+            else:
+                self._replay_completion(t, *payload)
+        end_t = max(
+            result.makespan_s, events[-1][0] if events else 0.0
+        )
+        self._emit_samples(end_t)
+        if self._slo_engine is not None:
+            self.alerts = list(self._slo_engine.alerts)
+        self._build_summary(end_t)
+
+    def _replay_shed(self, t: float, shed: ShedQuery, depth: int) -> None:
+        self._depth = depth
+        tenant = shed.request.tenant
+        for key in (
+            ("global", "*"), ("tenant", tenant), ("graph", shed.request.graph)
+        ):
+            self._shedc[key].inc(t)
+        if self._slo_engine is not None:
+            for event in self._slo_engine.observe(t, tenant, shed=True):
+                self._append_alert(event)
+
+    def _replay_completion(
+        self, t: float, done: CompletedQuery, snap: _BatchSnapshot
+    ) -> None:
+        tenant = done.request.tenant
+        latency = done.latency_s
+        # Tail check against the rolling p99 *before* this observation.
+        window_p99 = None
+        glob = self._lat[("global", "*")]
+        if glob.window_count(t) >= self.config.p99_min_samples:
+            window_p99 = glob.quantile(0.99, t)
+        trigger = (
+            "p99_tail"
+            if window_p99 is not None and latency > window_p99
+            else None
+        )
+        for key in (
+            ("global", "*"), ("tenant", tenant), ("graph", done.request.graph)
+        ):
+            self._lat[key].observe(t, latency)
+            self._adm[key].inc(t)
+        fired: list[AlertEvent] = []
+        if self._slo_engine is not None:
+            for event in self._slo_engine.observe(
+                t, tenant, latency_s=latency
+            ):
+                self._append_alert(event)
+                if event.state == "firing":
+                    fired.append(event)
+        if fired:
+            trigger = "alert"
+        if trigger is not None:
+            self._capture(
+                trigger, t, done, snap, window_p99,
+                tuple(e.slo for e in fired),
+            )
+
+    def _append_alert(self, event: AlertEvent) -> None:
+        self.records.append(
+            {
+                "record": "alert",
+                "t_s": event.t_s,
+                "slo": event.slo,
+                "key": event.key,
+                "state": event.state,
+                "burn_fast": event.burn_fast,
+                "burn_slow": event.burn_slow,
+                "window_events": event.window_events,
+            }
+        )
+
+    def _emit_samples(self, t: float) -> None:
+        for scope, key in self._keys:
+            k = (scope, key)
+            adm_total = self._adm[k].total(t)
+            shed_total = self._shedc[k].total(t)
+            seen = adm_total + shed_total
+            lat = self._lat[k]
+            self.records.append(
+                {
+                    "record": "metric",
+                    "t_s": t,
+                    "scope": scope,
+                    "key": key,
+                    "window_s": self.config.window_s,
+                    "qps": self._adm[k].rate(t),
+                    "shed_rate": shed_total / seen if seen > 0 else 0.0,
+                    "n": int(seen),
+                    "p50_s": _noneify(lat.quantile(0.5, t)),
+                    "p95_s": _noneify(lat.quantile(0.95, t)),
+                    "p99_s": _noneify(lat.quantile(0.99, t)),
+                    "queue_depth": self._depth if scope == "global" else None,
+                }
+            )
+
+    # --------------------- flight recorder capture ----------------------
+
+    def _width_attributions(self, graph: str, w: int) -> tuple:
+        key = (graph, w)
+        cached = self._att_cache.get(key)
+        if cached is None:
+            ctx = self._engine._graphs[graph]
+            spmm = attribute_format(ctx.fmt, self._device, k=w)
+            vec_work = vector_ops_work(
+                ctx.plan.n_rows * w, DEFAULT_VECTOR_PASSES, ctx.fmt.precision
+            )
+            vec = attribute_sequence(
+                self._device, [vec_work], name=f"vector-ops[k={w}]"
+            )
+            cached = (spmm, vec)
+            self._att_cache[key] = cached
+        return cached
+
+    def _batch_attribution(self, snap: _BatchSnapshot) -> Attribution:
+        parts: list[Attribution] = []
+        for w in snap.bill.widths:
+            spmm, vec = self._width_attributions(snap.graph, w)
+            parts.append(spmm)
+            parts.append(vec)
+        return merge_attributions(
+            parts,
+            name=f"serve/{snap.graph}/batch-{snap.record.batch_id}",
+            device=self._device.name,
+            time_s=snap.bill.total_s,
+        )
+
+    def _capture(
+        self, trigger, t, done, snap, window_p99, alert_specs
+    ) -> None:
+        if snap.record.batch_id in self._captured:
+            return  # one capture per batch — the first trigger wins
+        self._captured.add(snap.record.batch_id)
+        record = FlightRecord(
+            trigger=trigger,
+            t_s=t,
+            rid=done.request.rid,
+            tenant=done.request.tenant,
+            latency_s=done.latency_s,
+            window_p99_s=window_p99,
+            alerts=alert_specs,
+            batch=snap.record,
+            rids=tuple(c.request.rid for c in snap.completions),
+            tenants=tuple(c.request.tenant for c in snap.completions),
+            iterations=snap.iterations,
+            queue_depth=snap.queue_depth,
+            coalescer_pending=snap.pending_after,
+            timeline=batch_timeline(
+                snap.record, snap.bill, self._device.name
+            ),
+            attribution=self._batch_attribution(snap),
+        )
+        self.flight_records.append(record)
+        b = snap.record
+        self.records.append(
+            {
+                "record": "flightrec",
+                "t_s": t,
+                "trigger": trigger,
+                "rid": record.rid,
+                "tenant": record.tenant,
+                "latency_s": record.latency_s,
+                "window_p99_s": window_p99,
+                "alerts": list(alert_specs),
+                "batch_id": b.batch_id,
+                "graph": b.graph,
+                "worker": b.worker,
+                "k": b.k,
+                "close_s": b.close_s,
+                "start_s": b.start_s,
+                "formation_s": b.formation_s,
+                "compute_s": b.compute_s,
+                "end_s": b.end_s,
+                "queue_depth": record.queue_depth,
+                "coalescer_pending": record.coalescer_pending,
+                "rids": list(record.rids),
+                "iterations": list(record.iterations),
+                "timeline_time_s": record.timeline.time_s,
+                "attribution": record.attribution.as_dict(),
+            }
+        )
+
+    # --------------------------- read-outs ------------------------------
+
+    def _require_finalized(self) -> None:
+        if not self._finalized:
+            raise RuntimeError(
+                "monitor not finalized; attach it to run_trace first"
+            )
+
+    @property
+    def alert_count(self) -> int:
+        """Firing transitions over the run (0 without objectives)."""
+        return sum(1 for a in self.alerts if a.state == "firing")
+
+    def windowed_quantile(self, q: float) -> float:
+        """Global rolling latency quantile at end of run (nan if empty)."""
+        self._require_finalized()
+        return self._lat[("global", "*")].quantile(q, self.summary["end_t_s"])
+
+    def _build_summary(self, end_t: float) -> None:
+        glob = self._lat[("global", "*")]
+        self.summary = {
+            "end_t_s": end_t,
+            "windowed_p50_s": _noneify(glob.quantile(0.5, end_t)),
+            "windowed_p95_s": _noneify(glob.quantile(0.95, end_t)),
+            "windowed_p99_s": _noneify(glob.quantile(0.99, end_t)),
+            "window_count": glob.window_count(end_t),
+            "alert_count": self.alert_count,
+            "alerts_logged": len(self.alerts),
+            "flight_records": len(self.flight_records),
+            "metric_records": sum(
+                1 for r in self.records if r["record"] == "metric"
+            ),
+        }
+
+    def meta(self) -> dict:
+        """Monitor configuration, for the JSONL ``meta`` record."""
+        return {
+            "window_s": self.config.window_s,
+            "n_buckets": self.config.n_buckets,
+            "sample_every_s": self.config.cadence_s,
+            "slos": [
+                s if isinstance(s, str) else s.spec for s in self.config.slos
+            ],
+            "flightrec_capacity": self.config.flightrec_capacity,
+            "p99_min_samples": self.config.p99_min_samples,
+        }
+
+    def jsonl_lines(self) -> list[str]:
+        """The monitor's records as JSON lines (time-ordered)."""
+        self._require_finalized()
+        return [json.dumps(r) for r in self.records]
+
+    def chrome_counters(self) -> dict:
+        """Chrome ``"ph": "C"`` counter tracks of the rolling series.
+
+        One pid per ``scope:key`` series; qps, shed-rate, windowed p99
+        (ms) and — on the global pid — queue depth.  Passes
+        :func:`~repro.obs.export.validate_chrome_trace`.
+        """
+        self._require_finalized()
+        events = []
+        for rec in self.records:
+            if rec["record"] != "metric":
+                continue
+            pid = f"{rec['scope']}:{rec['key']}"
+            ts = rec["t_s"] * 1e6
+            tracks = [
+                ("qps", rec["qps"]),
+                ("shed_rate", rec["shed_rate"]),
+                (
+                    "p99_ms",
+                    None if rec["p99_s"] is None else rec["p99_s"] * 1e3,
+                ),
+                ("queue_depth", rec["queue_depth"]),
+            ]
+            for name, value in tracks:
+                if value is None:
+                    continue
+                events.append(
+                    {
+                        "name": name,
+                        "cat": "serve-monitor",
+                        "ph": "C",
+                        "ts": ts,
+                        "pid": pid,
+                        "args": {"value": value},
+                    }
+                )
+        return {"traceEvents": events, "displayTimeUnit": "ns"}

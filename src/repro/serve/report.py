@@ -29,8 +29,22 @@ from .queries import CompletedQuery
 from .server import ServeResult
 
 
+def shed_by_tenant(result: ServeResult) -> dict[str, int]:
+    """Shed-query counts per tenant (sorted keys, zero counts omitted)."""
+    counts: dict[str, int] = {}
+    for outcome in result.shed:
+        tenant = outcome.request.tenant
+        counts[tenant] = counts.get(tenant, 0) + 1
+    return dict(sorted(counts.items()))
+
+
 def slo_summary(result: ServeResult) -> dict:
-    """The ``slo`` record: throughput, exact percentiles, run counts."""
+    """The ``slo`` record: throughput, exact percentiles, run counts.
+
+    When every request was shed the record says so explicitly
+    (``no_admitted_queries: true``) instead of leaving only bare null
+    percentiles for the reader to interpret.
+    """
     latencies = result.latencies_s
     admitted = len(latencies)
 
@@ -46,6 +60,8 @@ def slo_summary(result: ServeResult) -> dict:
         "p99_s": pct(0.99),
         "admitted": admitted,
         "shed": len(result.shed),
+        "no_admitted_queries": admitted == 0 and len(result.requests) > 0,
+        "shed_by_tenant": shed_by_tenant(result),
         "batches": len(result.batches),
         "mean_batch_width": (
             sum(widths) / len(widths) if widths else None
@@ -86,8 +102,16 @@ def _request_record(outcome) -> dict:
     return base
 
 
-def serve_report_lines(result: ServeResult, **meta) -> list[str]:
-    """All JSONL lines of one serve report (meta kwargs land in line 1)."""
+def serve_report_lines(result: ServeResult, monitor=None, **meta) -> list[str]:
+    """All JSONL lines of one serve report (meta kwargs land in line 1).
+
+    With a finalized :class:`~repro.serve.monitor.ServeMonitor` the
+    report additionally carries the monitor's configuration in the meta
+    line and its time-ordered ``metric`` / ``alert`` / ``flightrec``
+    stream between the batch spans and the final summary records.
+    """
+    if monitor is not None:
+        meta = {**meta, "monitor": monitor.meta()}
     lines = [json.dumps({"record": "meta", "kind": "serve", **meta})]
     for outcome in result.requests:
         lines.append(json.dumps(_request_record(outcome)))
@@ -108,6 +132,8 @@ def serve_report_lines(result: ServeResult, **meta) -> list[str]:
                 }
             )
         )
+    if monitor is not None:
+        lines.extend(monitor.jsonl_lines())
     lines.append(json.dumps(slo_summary(result)))
     lines.append(
         json.dumps(
@@ -117,8 +143,10 @@ def serve_report_lines(result: ServeResult, **meta) -> list[str]:
     return lines
 
 
-def write_serve_jsonl(result: ServeResult, path, **meta) -> Path:
+def write_serve_jsonl(result: ServeResult, path, monitor=None, **meta) -> Path:
     """Write one serve report; returns the path written."""
     path = Path(path)
-    path.write_text("\n".join(serve_report_lines(result, **meta)) + "\n")
+    path.write_text(
+        "\n".join(serve_report_lines(result, monitor=monitor, **meta)) + "\n"
+    )
     return path

@@ -213,13 +213,23 @@ class ServeEngine:
             ctx.query_cache[node] = cached
         return cached
 
-    def run_trace(self, requests) -> ServeResult:
-        """Serve one query trace to completion on the virtual clock."""
+    def run_trace(self, requests, monitor=None) -> ServeResult:
+        """Serve one query trace to completion on the virtual clock.
+
+        ``monitor`` (a :class:`~repro.serve.monitor.ServeMonitor`) is
+        strictly read-only: the engine hands it frozen outcome records
+        and queue-depth integers at shed/close time and finalizes it
+        after the :class:`ServeResult` is built, so attaching one can
+        never change an outcome, a modelled time, or the event order —
+        the tests assert byte-identical results with and without.
+        """
         reqs = tuple(requests)
         if len({r.rid for r in reqs}) != len(reqs):
             raise ValueError("request rids must be unique")
         for r in reqs:
             self._context(r.graph)  # fail fast on unknown graphs
+        if monitor is not None:
+            monitor._begin_run(self)
 
         admission = AdmissionController(
             AdmissionPolicy(
@@ -308,6 +318,15 @@ class ServeEngine:
                 self.registry.histogram(
                     "serve_latency_s", "modelled end-to-end latency"
                 ).observe(latency)
+            if monitor is not None:
+                monitor._observe_batch(
+                    record=batches[batch_id],
+                    iterations=its,
+                    bill=bill,
+                    queue_depth=admission.depth,
+                    pending_after=coalescer.pending(graph),
+                    completions=[outcomes[r.rid] for r in batch],
+                )
 
         for r in reqs:
             push(r.arrival_s, "arrive", r)
@@ -330,6 +349,10 @@ class ServeEngine:
                         "terminal request outcomes",
                         labels={"status": "shed"},
                     ).inc()
+                    if monitor is not None:
+                        monitor._observe_shed(
+                            outcomes[req.rid], admission.depth
+                        )
                     continue
                 deadline = coalescer.add(req, now)
                 if deadline is not None:
@@ -354,6 +377,8 @@ class ServeEngine:
         self.registry.gauge(
             "serve_queries_per_s", "served throughput over the makespan"
         ).set(result.queries_per_s)
+        if monitor is not None:
+            monitor._finalize(result)
         return result
 
 

@@ -64,6 +64,21 @@ class TestServeCase:
         assert a["serve_qps"] == b["serve_qps"]
         assert a["serve_p99_s"] == b["serve_p99_s"]
 
+    def test_monitor_columns_present_and_deterministic(self):
+        a = run_serve_case(
+            "WIK", 0.002, GTX_TITAN, gpus=1, repeats=1, requests=12
+        )
+        # The monitor window is wider than the makespan, so the
+        # end-of-run windowed p99 merges every sample: zero drift.
+        assert a["serve_windowed_p99_s"] == a["serve_p99_s"]
+        assert a["serve_p99_drift"] == 0.0
+        assert isinstance(a["serve_alert_count"], int)
+        b = run_serve_case(
+            "WIK", 0.002, GTX_TITAN, gpus=1, repeats=1, requests=12
+        )
+        assert a["serve_alert_count"] == b["serve_alert_count"]
+        assert a["serve_windowed_p99_s"] == b["serve_windowed_p99_s"]
+
     def test_multi_gpu_cell_is_named_and_faster(self):
         solo = run_serve_case(
             "WIK", 0.002, GTX_TITAN, gpus=1, repeats=1, requests=24
@@ -118,6 +133,41 @@ class TestServeGates:
             ]
         }
         assert check_regressions(self._payload(1.0, 9.9), old) == []
+
+    def _monitored(self, drift=0.0, alerts=2, qps=100.0, p99=1e-3):
+        payload = self._payload(qps, p99)
+        payload["cases"][0].update(
+            {
+                "serve_windowed_p99_s": p99 * (1.0 + drift),
+                "serve_p99_drift": drift,
+                "serve_alert_count": alerts,
+            }
+        )
+        return payload
+
+    def test_drift_within_limit_passes(self):
+        cur = self._monitored(drift=0.05)
+        assert check_regressions(cur, self._monitored(drift=0.0)) == []
+
+    def test_excessive_drift_fails(self):
+        failures = check_regressions(
+            self._monitored(drift=0.2), self._monitored(drift=0.0)
+        )
+        assert any("serve_p99_drift" in f for f in failures)
+
+    def test_alert_count_change_fails(self):
+        failures = check_regressions(
+            self._monitored(alerts=5), self._monitored(alerts=2)
+        )
+        assert any("serve_alert_count" in f for f in failures)
+
+    def test_baseline_without_monitor_columns_skips(self):
+        # A high-drift, alert-heavy run still passes against a baseline
+        # that predates the monitor columns.
+        assert check_regressions(
+            self._monitored(drift=0.5, alerts=9),
+            self._payload(100.0, 1e-3),
+        ) == []
 
     def test_wall_s_is_median_of_repeats(self, monkeypatch):
         """wall_s = median of the per-repeat timings; wall_s_min = best."""

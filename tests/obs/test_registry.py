@@ -10,6 +10,8 @@ from repro.obs import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    WindowedCounter,
+    WindowedHistogram,
     exact_quantile,
 )
 
@@ -47,6 +49,18 @@ class TestExactQuantile:
     def test_range_checked(self):
         with pytest.raises(ValueError):
             exact_quantile([1.0], 1.5)
+
+    def test_extremes_are_min_and_max(self):
+        data = [9.0, 2.0, 7.0, 4.0]
+        assert exact_quantile(data, 0.0) == 2.0
+        assert exact_quantile(data, 1.0) == 9.0
+
+    def test_nan_sample_rejected(self):
+        with pytest.raises(ValueError):
+            exact_quantile([1.0, math.nan, 2.0], 0.5)
+
+    def test_accepts_any_iterable(self):
+        assert exact_quantile((v for v in (3.0, 1.0)), 1.0) == 3.0
 
 
 class TestCounter:
@@ -96,6 +110,45 @@ class TestHistogram:
         bounds = list(h.bounds)
         assert bounds == sorted(bounds)
 
+    def test_merge_adds_counts_and_stats(self):
+        a = Histogram("lat", bounds=(1.0, 10.0))
+        b = Histogram("lat", bounds=(1.0, 10.0))
+        for v in (0.5, 5.0):
+            a.observe(v)
+        for v in (50.0, 0.1):
+            b.observe(v)
+        out = a.merge(b)
+        assert out is a
+        assert a.count == 4
+        assert a.sum == pytest.approx(55.6)
+        assert a.min == 0.1 and a.max == 50.0
+        assert a.counts == [2, 1, 1]
+
+    def test_merge_empty_other_keeps_min_max(self):
+        a = Histogram("lat", bounds=(1.0,))
+        a.observe(2.0)
+        a.merge(Histogram("lat", bounds=(1.0,)))
+        assert a.count == 1
+        assert a.min == 2.0 and a.max == 2.0
+
+    def test_merge_into_empty_adopts_extremes(self):
+        a = Histogram("lat", bounds=(1.0,))
+        b = Histogram("lat", bounds=(1.0,))
+        b.observe(3.0)
+        a.merge(b)
+        assert a.count == 1
+        assert a.min == 3.0 and a.max == 3.0
+
+    def test_merge_bounds_mismatch_rejected(self):
+        a = Histogram("lat", bounds=(1.0,))
+        b = Histogram("lat", bounds=(2.0,))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_type_mismatch_rejected(self):
+        with pytest.raises(TypeError):
+            Histogram("lat").merge(Counter("x"))
+
 
 class TestRegistry:
     def test_get_or_create_is_idempotent(self):
@@ -129,3 +182,88 @@ class TestRegistry:
         assert snap["launches"]["value"] == 3
         assert snap["unset"]["value"] is None
         assert snap["lat"]["count"] == 1
+
+
+class TestWindowedCounter:
+    def test_total_and_rate_in_window(self):
+        c = WindowedCounter("qps", window_s=1.0, n_buckets=10)
+        c.inc(0.05)
+        c.inc(0.45, 2.0)
+        c.inc(0.95)
+        assert c.total(0.95) == 4.0
+        assert c.rate(0.95) == pytest.approx(4.0)
+        assert c.lifetime == 4.0
+
+    def test_old_buckets_age_out(self):
+        c = WindowedCounter("qps", window_s=1.0, n_buckets=10)
+        c.inc(0.05)
+        # 0.05 s is more than one window behind 1.55 s.
+        assert c.total(1.55) == 0.0
+        assert c.lifetime == 1.0
+
+    def test_late_increment_past_ring_is_dropped(self):
+        c = WindowedCounter("qps", window_s=1.0, n_buckets=10)
+        c.inc(5.0)
+        c.inc(0.1)  # slice aged out of the ring entirely
+        assert c.total(5.0) == 1.0
+        assert c.lifetime == 2.0  # ...but still counted all-time
+
+    def test_sub_window_read(self):
+        c = WindowedCounter("qps", window_s=1.0, n_buckets=10)
+        c.inc(0.05)
+        c.inc(0.95)
+        assert c.total(0.95, window_s=0.2) == 1.0
+
+    def test_rate_denominator_clipped_early(self):
+        # At t=0.05 only one bucket (0.1 s) has elapsed: a single event
+        # reads as 10/s, not 1/s diluted over the unseen window.
+        c = WindowedCounter("qps", window_s=1.0, n_buckets=10)
+        c.inc(0.05)
+        assert c.rate(0.05) == pytest.approx(10.0)
+
+    def test_reads_never_mutate(self):
+        c = WindowedCounter("qps", window_s=1.0, n_buckets=10)
+        c.inc(0.05)
+        c.total(100.0)  # far-future read
+        assert c.total(0.05) == 1.0  # past state still intact
+
+    def test_negative_amount_rejected(self):
+        c = WindowedCounter("qps", window_s=1.0)
+        with pytest.raises(ValueError):
+            c.inc(0.0, -1.0)
+
+    def test_negative_time_rejected(self):
+        c = WindowedCounter("qps", window_s=1.0)
+        with pytest.raises(ValueError):
+            c.inc(-0.1)
+
+    def test_oversized_read_window_rejected(self):
+        c = WindowedCounter("qps", window_s=1.0)
+        with pytest.raises(ValueError):
+            c.total(0.5, window_s=2.0)
+
+
+class TestWindowedHistogram:
+    def test_window_quantile_is_exact(self):
+        h = WindowedHistogram("lat", window_s=1.0, n_buckets=10)
+        for i, v in enumerate((5.0, 1.0, 3.0, 2.0, 4.0)):
+            h.observe(0.1 * i, v)
+        assert h.quantile(0.5, 0.5) == 3.0
+        assert h.values(0.5) == (5.0, 1.0, 3.0, 2.0, 4.0)
+        assert h.window_count(0.5) == 5
+
+    def test_samples_age_out(self):
+        h = WindowedHistogram("lat", window_s=1.0, n_buckets=10)
+        h.observe(0.05, 100.0)
+        h.observe(1.25, 1.0)
+        assert h.values(1.25) == (1.0,)
+        assert math.isnan(h.quantile(0.5, 3.0))
+        assert h.lifetime_count == 2
+
+    def test_values_in_slice_then_insertion_order(self):
+        h = WindowedHistogram("lat", window_s=1.0, n_buckets=10)
+        h.observe(0.35, 2.0)
+        h.observe(0.05, 1.0)
+        h.observe(0.35, 3.0)
+        # Bucket order (0.0s slice before 0.3s slice), then insertion.
+        assert h.values(0.4) == (1.0, 2.0, 3.0)

@@ -103,3 +103,141 @@ class TestSloRecords:
         bad = {k: v for k, v in SLO.items() if k != "queries_per_s"}
         errors = validate_profile_jsonl(write(tmp_path, META, OK_REQUEST, bad))
         assert any("queries_per_s" in e for e in errors)
+
+
+METRIC = {
+    "record": "metric",
+    "t_s": 2.5e-4,
+    "scope": "tenant",
+    "key": "t0",
+    "window_s": 5e-3,
+    "qps": 1200.0,
+    "shed_rate": 0.25,
+    "n": 6,
+    "p50_s": 1e-4,
+    "p95_s": 2e-4,
+    "p99_s": None,
+    "queue_depth": None,
+}
+ALERT = {
+    "record": "alert",
+    "t_s": 3e-4,
+    "slo": "p99<=350us@5ms",
+    "key": "*",
+    "state": "firing",
+    "burn_fast": 12.5,
+    "burn_slow": 3.0,
+    "window_events": 9,
+}
+FLIGHTREC = {
+    "record": "flightrec",
+    "t_s": 4e-4,
+    "trigger": "p99_tail",
+    "rid": 7,
+    "tenant": "t0",
+    "latency_s": 9e-4,
+    "window_p99_s": 5e-4,
+    "alerts": [],
+    "batch_id": 3,
+    "graph": "WIK",
+    "worker": 0,
+    "k": 2,
+    "close_s": 1e-4,
+    "start_s": 1e-4,
+    "formation_s": 1e-5,
+    "compute_s": 3e-4,
+    "end_s": 4.1e-4,
+    "queue_depth": 4,
+    "coalescer_pending": 1,
+    "rids": [6, 7],
+    "iterations": [12, 9],
+    "timeline_time_s": 3e-4,
+    # 2.25e-4 + 0.75e-4 == 3e-4 bit-for-bit (the addends share an
+    # exponent scale, so the sum rounds to exactly 3e-4); most pairs,
+    # e.g. 2e-4 + 1e-4, do not.
+    "attribution": {"spmm": 2.25e-4, "vector": 0.75e-4},
+}
+
+
+class TestMetricRecords:
+    def test_valid_metric_record(self, tmp_path):
+        path = write(tmp_path, META, METRIC)
+        assert validate_profile_jsonl(path) == []
+
+    def test_metrics_alone_satisfy_the_content_check(self, tmp_path):
+        # Like requests, a metric stream is substantive on its own.
+        path = write(tmp_path, META, METRIC)
+        assert validate_profile_jsonl(path) == []
+
+    def test_unknown_scope_flagged(self, tmp_path):
+        bad = dict(METRIC, scope="universe")
+        errors = validate_profile_jsonl(write(tmp_path, META, bad))
+        assert any("unknown metric scope" in e for e in errors)
+
+    def test_shed_rate_above_one_flagged(self, tmp_path):
+        bad = dict(METRIC, shed_rate=1.5)
+        errors = validate_profile_jsonl(write(tmp_path, META, bad))
+        assert any("above 1" in e for e in errors)
+
+    def test_non_integer_window_count_flagged(self, tmp_path):
+        bad = dict(METRIC, n=2.5)
+        errors = validate_profile_jsonl(write(tmp_path, META, bad))
+        assert any("'n'" in e for e in errors)
+
+    def test_percentiles_numeric_or_null(self, tmp_path):
+        bad = dict(METRIC, p95_s="slow")
+        errors = validate_profile_jsonl(write(tmp_path, META, bad))
+        assert any("p95_s" in e for e in errors)
+
+    def test_negative_queue_depth_flagged(self, tmp_path):
+        bad = dict(METRIC, queue_depth=-1)
+        errors = validate_profile_jsonl(write(tmp_path, META, bad))
+        assert any("queue_depth" in e for e in errors)
+
+
+class TestAlertRecords:
+    def test_valid_alert_record(self, tmp_path):
+        path = write(tmp_path, META, METRIC, ALERT)
+        assert validate_profile_jsonl(path) == []
+
+    def test_unknown_state_flagged(self, tmp_path):
+        bad = dict(ALERT, state="panicking")
+        errors = validate_profile_jsonl(write(tmp_path, META, METRIC, bad))
+        assert any("unknown alert state" in e for e in errors)
+
+    def test_negative_burn_flagged(self, tmp_path):
+        bad = dict(ALERT, burn_fast=-0.5)
+        errors = validate_profile_jsonl(write(tmp_path, META, METRIC, bad))
+        assert any("burn_fast" in e for e in errors)
+
+
+class TestFlightrecRecords:
+    def test_valid_flightrec_record(self, tmp_path):
+        path = write(tmp_path, META, METRIC, FLIGHTREC)
+        assert validate_profile_jsonl(path) == []
+
+    def test_unknown_trigger_flagged(self, tmp_path):
+        bad = dict(FLIGHTREC, trigger="gut_feeling")
+        errors = validate_profile_jsonl(write(tmp_path, META, METRIC, bad))
+        assert any("unknown flightrec trigger" in e for e in errors)
+
+    def test_timeline_must_equal_billed_compute_bitwise(self, tmp_path):
+        bad = dict(FLIGHTREC, timeline_time_s=3.0000001e-4)
+        errors = validate_profile_jsonl(write(tmp_path, META, METRIC, bad))
+        assert any("bit-for-bit" in e for e in errors)
+
+    def test_attribution_must_sum_to_the_timeline(self, tmp_path):
+        bad = dict(FLIGHTREC, attribution={"spmm": 2e-4, "vector": 2e-4})
+        errors = validate_profile_jsonl(write(tmp_path, META, METRIC, bad))
+        assert any("attribution terms sum" in e for e in errors)
+
+    def test_non_numeric_attribution_flagged(self, tmp_path):
+        bad = dict(FLIGHTREC, attribution={"spmm": "fast"})
+        errors = validate_profile_jsonl(write(tmp_path, META, METRIC, bad))
+        assert any("numeric 'attribution'" in e for e in errors)
+
+    def test_width_and_lists_checked(self, tmp_path):
+        bad = dict(FLIGHTREC, k=0, rids=7)
+        errors = validate_profile_jsonl(write(tmp_path, META, METRIC, bad))
+        assert any("k >= 1" in e for e in errors)
+        assert any("'rids'" in e for e in errors)

@@ -1,0 +1,247 @@
+"""The live serving monitor: read-only proof, flight-recorder exactness.
+
+The load-bearing claims: attaching a :class:`ServeMonitor` cannot
+perturb a run (byte-identical reports with it on or off, swept over
+seeds and devices), the same seed renders byte-identical telemetry, and
+every captured flight record's timeline equals the billed compute
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.device import GTX_580, GTX_TITAN, TESLA_K10
+from repro.obs import validate_chrome_trace, validate_profile_jsonl
+from repro.serve import (
+    MonitorConfig,
+    ServeConfig,
+    ServeEngine,
+    ServeMonitor,
+    TraceConfig,
+    auto_interarrival_s,
+    batch_timeline,
+    generate_trace,
+    serve_dash_html,
+    serve_report_lines,
+    write_serve_jsonl,
+)
+
+MATRIX = "WIK"
+SCALE = 0.002
+DEVICES = (GTX_580, TESLA_K10, GTX_TITAN)
+
+#: Tight objective + fast-arming recorder: fires on the WIK analog.
+HOT_CONFIG = MonitorConfig(
+    window_s=5e-3,
+    slos=("p99<=0.00035@5ms",),
+    p99_min_samples=8,
+)
+
+
+def run_once(
+    seed=3, n=32, device=GTX_TITAN, monitor=None, rate_s=None, burst=None
+):
+    engine = ServeEngine(device, ServeConfig())
+    plan = engine.register(MATRIX, scale=SCALE, format_name="csr")
+    mean = rate_s or auto_interarrival_s(
+        [plan], engine.config.gpus, engine.config.epsilon,
+        engine.config.restart,
+    )
+    trace_config = (
+        TraceConfig(n_requests=n, seed=seed)
+        if burst is None
+        else TraceConfig(n_requests=n, seed=seed, burst_factor=burst)
+    )
+    trace = generate_trace(
+        trace_config, engine.registered_graphs(), mean
+    )
+    return engine.run_trace(trace, monitor=monitor)
+
+
+@pytest.fixture(scope="module")
+def hot_run():
+    """One monitored burst-overload run: alerts and flight records exist."""
+    monitor = ServeMonitor(HOT_CONFIG)
+    result = run_once(
+        seed=3, n=96, monitor=monitor, rate_s=120e-6, burst=6.0
+    )
+    assert monitor.alert_count > 0
+    assert monitor.flight_records
+    return result, monitor
+
+
+class TestReadOnly:
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        device=st.sampled_from(DEVICES),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_monitor_never_perturbs_the_run(self, seed, device):
+        plain = run_once(seed=seed, n=24, device=device)
+        monitored = run_once(
+            seed=seed,
+            n=24,
+            device=device,
+            monitor=ServeMonitor(HOT_CONFIG),
+        )
+        # Byte-identical reports: same requests, batches, billing,
+        # registry counters — the monitor observed without touching.
+        assert serve_report_lines(monitored, seed=seed) == (
+            serve_report_lines(plain, seed=seed)
+        )
+
+    def test_same_seed_byte_identical_telemetry(self):
+        lines = []
+        htmls = []
+        for _ in range(2):
+            monitor = ServeMonitor(HOT_CONFIG)
+            result = run_once(seed=3, n=48, monitor=monitor)
+            lines.append(monitor.jsonl_lines())
+            htmls.append(serve_dash_html(result, monitor))
+        assert lines[0] == lines[1]
+        assert htmls[0] == htmls[1]
+
+    def test_monitor_is_single_use(self):
+        monitor = ServeMonitor()
+        run_once(n=8, monitor=monitor)
+        with pytest.raises(RuntimeError, match="exactly one run"):
+            run_once(n=8, monitor=monitor)
+
+
+class TestFlightRecorder:
+    def test_timeline_equals_billed_compute_bitwise(self, hot_run):
+        _, monitor = hot_run
+        for fr in monitor.flight_records:
+            assert fr.timeline.time_s == fr.batch.compute_s
+            lane = fr.timeline.lanes[0]
+            assert lane.events
+            assert lane.events[-1].end_s == fr.batch.compute_s
+
+    def test_attribution_forced_exact_to_the_same_total(self, hot_run):
+        _, monitor = hot_run
+        for fr in monitor.flight_records:
+            assert fr.attribution.time_s == fr.batch.compute_s
+            assert fr.attribution.check_exact()
+
+    def test_triggers_and_context(self, hot_run):
+        _, monitor = hot_run
+        for fr in monitor.flight_records:
+            assert fr.trigger in ("p99_tail", "alert")
+            assert fr.rid in fr.rids
+            assert len(fr.rids) == fr.batch.k
+            assert len(fr.iterations) == fr.batch.k
+            assert fr.queue_depth >= 0
+            assert fr.coalescer_pending >= 0
+        assert any(fr.trigger == "alert" for fr in monitor.flight_records)
+
+    def test_capacity_bounds_the_ring(self):
+        monitor = ServeMonitor(
+            MonitorConfig(
+                window_s=HOT_CONFIG.window_s,
+                slos=HOT_CONFIG.slos,
+                p99_min_samples=HOT_CONFIG.p99_min_samples,
+                flightrec_capacity=2,
+            )
+        )
+        run_once(seed=3, n=96, monitor=monitor, rate_s=120e-6, burst=6.0)
+        assert len(monitor.flight_records) == 2
+
+
+class TestBatchTimeline:
+    def test_boundaries_come_from_the_bill(self):
+        from repro.apps.power_method import make_batch_bill
+        from repro.serve import BatchRecord
+
+        # Widths 3,3,2,1,1 -> three equal-width runs, one event each.
+        bill = make_batch_bill([5, 3, 2], lambda w: w * 1e-5)
+        record = BatchRecord(
+            batch_id=0,
+            graph=MATRIX,
+            worker=1,
+            k=3,
+            close_s=0.0,
+            start_s=0.0,
+            formation_s=0.0,
+            compute_s=bill.total_s,
+            end_s=bill.total_s,
+        )
+        tl = batch_timeline(record, bill, GTX_TITAN.name)
+        assert tl.time_s == bill.total_s
+        events = tl.lanes[0].events
+        assert len(events) == 3
+        assert events[0].start_s == 0.0
+        for prev, nxt in zip(events, events[1:]):
+            assert prev.end_s == nxt.start_s
+        assert events[-1].end_s == bill.total_s
+        assert tl.lanes[0].label == "worker1"
+
+
+class TestSurfaces:
+    def test_jsonl_passes_the_profile_validator(self, hot_run, tmp_path):
+        result, monitor = hot_run
+        path = write_serve_jsonl(
+            result, tmp_path / "mon.jsonl", monitor=monitor, seed=3
+        )
+        assert validate_profile_jsonl(path) == []
+
+    def test_record_kinds_present_and_time_ordered(self, hot_run):
+        _, monitor = hot_run
+        records = [json.loads(x) for x in monitor.jsonl_lines()]
+        kinds = {r["record"] for r in records}
+        assert kinds == {"metric", "alert", "flightrec"}
+        times = [r["t_s"] for r in records]
+        assert times == sorted(times)
+
+    def test_metric_scopes_and_keys(self, hot_run):
+        _, monitor = hot_run
+        metrics = [r for r in monitor.records if r["record"] == "metric"]
+        scopes = {r["scope"] for r in metrics}
+        assert scopes == {"global", "tenant", "graph"}
+        assert {r["key"] for r in metrics if r["scope"] == "graph"} == {
+            MATRIX
+        }
+
+    def test_chrome_counters_validate(self, hot_run):
+        _, monitor = hot_run
+        trace = json.loads(json.dumps(monitor.chrome_counters()))
+        assert validate_chrome_trace(trace) == []
+        assert any(e["ph"] == "C" for e in trace["traceEvents"])
+
+    def test_dashboard_mentions_the_telemetry(self, hot_run):
+        result, monitor = hot_run
+        html = serve_dash_html(result, monitor)
+        assert "Rolling series" in html
+        assert "FIRING".lower() in html.lower() or "firing" in html
+        assert "<svg" in html
+        assert "p99&lt;=0.00035@5ms" in html
+
+    def test_meta_describes_the_config(self, hot_run):
+        _, monitor = hot_run
+        meta = monitor.meta()
+        assert meta["window_s"] == HOT_CONFIG.window_s
+        assert meta["slos"] == ["p99<=0.00035@5ms"]
+
+
+class TestMonitorConfig:
+    def test_bad_slo_spec_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            MonitorConfig(slos=("p99<=oops@5ms",))
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError):
+            MonitorConfig(window_s=0.0)
+        with pytest.raises(ValueError):
+            MonitorConfig(n_buckets=0)
+        with pytest.raises(ValueError):
+            MonitorConfig(sample_every_s=-1.0)
+        with pytest.raises(ValueError):
+            MonitorConfig(flightrec_capacity=0)
+
+    def test_cadence_defaults_to_one_bucket(self):
+        cfg = MonitorConfig(window_s=1.0, n_buckets=20)
+        assert cfg.cadence_s == cfg.bucket_s == 0.05
+        assert MonitorConfig(sample_every_s=0.5).cadence_s == 0.5

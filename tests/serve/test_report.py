@@ -128,3 +128,64 @@ class TestJsonl:
             "device": "GTXTitan",
             "seed": 4,
         }
+
+
+class TestShedAccounting:
+    def _all_shed_result(self):
+        from repro.obs import MetricsRegistry
+        from repro.serve import QueryRequest, ShedQuery
+        from repro.serve.server import ServeResult
+
+        sheds = tuple(
+            ShedQuery(
+                request=QueryRequest(
+                    rid=i,
+                    tenant=f"tenant-{i % 2}",
+                    graph=MATRIX,
+                    node=i,
+                    arrival_s=1e-4 * i,
+                ),
+                reason="queue-full",
+                retry_after_s=1e-4,
+            )
+            for i in range(4)
+        )
+        return ServeResult(
+            requests=sheds,
+            batches=(),
+            makespan_s=0.0,
+            config=ServeConfig(),
+            registry=MetricsRegistry(),
+        )
+
+    def test_shed_by_tenant_counts(self):
+        from repro.serve import shed_by_tenant
+
+        result = run_once(n=48, queue_limit=2, tenant_limit=2, seed=6)
+        assert result.shed
+        counts = shed_by_tenant(result)
+        assert sum(counts.values()) == len(result.shed)
+        assert list(counts) == sorted(counts)
+        assert all(v > 0 for v in counts.values())
+
+    def test_shed_by_tenant_lands_in_slo_record(self):
+        from repro.serve import shed_by_tenant
+
+        result = run_once(n=48, queue_limit=2, tenant_limit=2, seed=6)
+        slo = slo_summary(result)
+        assert slo["shed_by_tenant"] == shed_by_tenant(result)
+        assert slo["no_admitted_queries"] is False
+
+    def test_all_shed_flagged_explicitly(self):
+        slo = slo_summary(self._all_shed_result())
+        assert slo["no_admitted_queries"] is True
+        assert slo["admitted"] == 0
+        assert slo["shed_by_tenant"] == {"tenant-0": 2, "tenant-1": 2}
+
+    def test_empty_run_not_flagged(self):
+        engine = ServeEngine(DEV)
+        engine.register(MATRIX, scale=SCALE, format_name="csr")
+        slo = slo_summary(engine.run_trace([]))
+        # No requests at all is not the same failure as all-shed.
+        assert slo["no_admitted_queries"] is False
+        assert slo["shed_by_tenant"] == {}

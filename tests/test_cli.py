@@ -274,6 +274,116 @@ class TestServeSimCli:
         assert main(self.ARGS + ["--assert-p99", "10.0"]) == 0
 
 
+class TestServeSimMonitorCli:
+    #: Burst-heavy overload that fires the burn-rate alert (the CI
+    #: slo-smoke configuration, 96 requests).
+    HOT = [
+        "serve-sim",
+        "WIK",
+        "GTXTitan",
+        "--scale",
+        "0.002",
+        "--requests",
+        "96",
+        "--format",
+        "csr",
+        "--seed",
+        "3",
+        "--rate",
+        "120",
+        "--burst",
+        "6",
+        "--slo",
+        "p99<=350us@5ms",
+    ]
+
+    def test_monitor_summary_and_alert_lines(self, capsys):
+        assert main(self.HOT) == 0
+        out = capsys.readouterr().out
+        assert "monitor:" in out
+        assert "rolling p50" in out
+        assert "FIRING" in out
+
+    def test_slo_implies_monitor_and_assert_alerts_passes(self):
+        assert main(self.HOT + ["--assert-alerts", "1"]) == 0
+
+    def test_quiet_run_fails_the_alert_assertion(self, capsys):
+        args = TestServeSimCli.ARGS + [
+            "--slo",
+            "p99<=1@10s",  # 1 s: nothing is ever bad
+            "--assert-alerts",
+            "1",
+        ]
+        assert main(args) == 3
+        assert "ASSERTION FAILED" in capsys.readouterr().err
+
+    def test_bad_slo_spec_exits_2(self, capsys):
+        args = TestServeSimCli.ARGS + ["--slo", "p99<=oops@5ms"]
+        assert main(args) == 2
+        assert "bad SLO spec" in capsys.readouterr().err
+
+    def test_monitored_jsonl_passes_profile_check(self, capsys, tmp_path):
+        jsonl = tmp_path / "mon.jsonl"
+        assert main(self.HOT + ["--jsonl", str(jsonl)]) == 0
+        assert main(["profile-check", str(jsonl)]) == 0
+        assert ": ok" in capsys.readouterr().out
+        text = jsonl.read_text()
+        assert '"record": "metric"' in text
+        assert '"record": "alert"' in text
+        assert '"record": "flightrec"' in text
+
+    def test_same_seed_byte_identical_monitor_artifacts(self, tmp_path):
+        outs = []
+        for tag in ("a", "b"):
+            jsonl = tmp_path / f"{tag}.jsonl"
+            dash = tmp_path / f"{tag}.html"
+            chrome = tmp_path / f"{tag}.json"
+            assert (
+                main(
+                    self.HOT
+                    + [
+                        "--jsonl",
+                        str(jsonl),
+                        "--html-dash",
+                        str(dash),
+                        "--monitor-chrome",
+                        str(chrome),
+                    ]
+                )
+                == 0
+            )
+            outs.append(
+                (jsonl.read_bytes(), dash.read_bytes(), chrome.read_bytes())
+            )
+        assert outs[0] == outs[1]
+
+    def test_dashboard_is_selfcontained_html(self, tmp_path):
+        dash = tmp_path / "dash.html"
+        assert main(self.HOT + ["--html-dash", str(dash)]) == 0
+        text = dash.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "<svg" in text
+        assert "http://" not in text.replace(
+            "http://www.w3.org/2000/svg", ""
+        )
+
+    def test_chrome_counters_artifact_validates(self, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        chrome = tmp_path / "counters.json"
+        assert main(self.HOT + ["--monitor-chrome", str(chrome)]) == 0
+        trace = json.loads(chrome.read_text())
+        assert validate_chrome_trace(trace) == []
+
+    def test_monitor_flag_alone_attaches(self, capsys):
+        assert main(TestServeSimCli.ARGS + ["--monitor"]) == 0
+        out = capsys.readouterr().out
+        assert "monitor:" in out
+        assert "0 alert(s)" in out
+
+
 class TestDiffCli:
     def test_diff_prints_ranked_report(self, capsys):
         assert main(["diff", "INT", "csr-scalar", "acsr", "GTXTitan"]) == 0
