@@ -393,6 +393,57 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="exit 3 unless at least N burn-rate alerts fired",
     )
+    serve.add_argument(
+        "--trace-queries",
+        metavar="FILE",
+        default=None,
+        help=(
+            "attach the causal query tracer and write its span-tree "
+            "JSONL artifact (read-only; readable with 'repro trace')"
+        ),
+    )
+    serve.add_argument(
+        "--trace-head-rate",
+        type=float,
+        default=1.0,
+        metavar="R",
+        help=(
+            "head-sampling keep fraction in [0, 1] (tail sampling "
+            "keeps shed/p99/alert-overlap traces regardless)"
+        ),
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="inspect a causal trace JSONL: slowest queries + explain",
+        description=(
+            "Read the span records of a 'serve-sim --trace-queries' "
+            "artifact and print the slowest traced requests; --explain "
+            "adds one request's span waterfall and its exact latency "
+            "decomposition (terms float-sum to latency_s bit-for-bit). "
+            "Exit codes: 0 = ok, 2 = unreadable file, no trace spans, "
+            "or unknown trace id."
+        ),
+    )
+    trace.add_argument(
+        "jsonl", help="trace JSONL file (from serve-sim --trace-queries)"
+    )
+    trace.add_argument(
+        "--slowest",
+        type=int,
+        default=5,
+        metavar="N",
+        help="list the N slowest traced requests (default 5)",
+    )
+    trace.add_argument(
+        "--explain",
+        metavar="TRACE_ID",
+        default=None,
+        help=(
+            "print the span waterfall + explain table of one trace "
+            "('worst', or a unique trace-id prefix)"
+        ),
+    )
     return p
 
 
@@ -436,6 +487,8 @@ def main(argv: list[str] | None = None) -> int:
         return _diff_cli(args)
     if args.command == "serve-sim":
         return _serve_sim_cli(args)
+    if args.command == "trace":
+        return _trace_cli(args)
     # run
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
@@ -689,7 +742,23 @@ def _serve_sim_cli(args) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-    result = engine.run_trace(requests, monitor=monitor)
+    tracer = None
+    if args.trace_queries:
+        from .obs.tracing import QueryTracer, TracingConfig
+
+        try:
+            tracer = QueryTracer(
+                TracingConfig(
+                    seed=args.seed,
+                    head_rate=args.trace_head_rate,
+                    window_s=args.window_us * 1e-6,
+                ),
+                monitor=monitor,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    result = engine.run_trace(requests, monitor=monitor, tracer=tracer)
     summary = slo_summary(result)
 
     def us(v):
@@ -732,6 +801,16 @@ def _serve_sim_cli(args) -> int:
         )
         for event in monitor.alerts:
             print(f"  {render_alert(event)}")
+    if tracer is not None:
+        ts = tracer.summary
+        tail = ", ".join(
+            f"{reason} {n}" for reason, n in ts["tail_kept"].items() if n
+        )
+        print(
+            f"  tracer: kept {ts['kept']}/{ts['requests_seen']} traces "
+            f"(head {ts['head_kept']}; tail {tail or 'none'}), "
+            f"{ts['batches_kept']}/{ts['batches']} batch trace(s)"
+        )
     if args.jsonl:
         write_serve_jsonl(
             result,
@@ -751,8 +830,30 @@ def _serve_sim_cli(args) -> int:
             mean_interarrival_s=mean_s,
             epsilon=config.epsilon,
             restart=config.restart,
+            burst=trace_config.burst_factor,
+            zipf_graph=trace_config.graph_zipf_s,
+            zipf_node=trace_config.node_zipf_s,
+            queue_limit=config.queue_limit,
+            tenant_limit=config.tenant_limit,
+            max_iterations=config.max_iterations,
+            rate_us=args.rate,
+            window_us=args.window_us,
+            monitored=monitor is not None,
+            slos=list(slos),
         )
         print(f"wrote {args.jsonl}")
+    if args.trace_queries:
+        from .obs.tracing import write_trace_jsonl
+
+        write_trace_jsonl(
+            tracer,
+            args.trace_queries,
+            matrices=keys,
+            device=device.name,
+            seed=args.seed,
+            requests=args.requests,
+        )
+        print(f"wrote {args.trace_queries}")
     if args.trace:
         engine_result = replay_engine(device, config.gpus, result.batches)
         path = engine_result.trace.save(args.trace)
@@ -763,6 +864,7 @@ def _serve_sim_cli(args) -> int:
             monitor,
             args.html_dash,
             title=f"serve monitor — {','.join(keys)} on {device.name}",
+            tracer=tracer,
         )
         print(f"wrote {args.html_dash}")
     if args.monitor_chrome:
@@ -789,6 +891,111 @@ def _serve_sim_cli(args) -> int:
                 file=sys.stderr,
             )
             return 3
+    return 0
+
+
+def _trace_cli(args) -> int:
+    """``repro trace``: slowest-query table + exact slow-query explain.
+
+    Exit codes: 0 = ok, 2 = unreadable file, no trace spans, or an
+    unknown / ambiguous ``--explain`` trace id.
+    """
+    import json
+
+    from .obs.tracing import (
+        ExplainTable,
+        format_slowest,
+        group_traces,
+        spans_from_records,
+        trace_waterfall,
+    )
+
+    try:
+        with open(args.jsonl) as fh:
+            lines = fh.read().splitlines()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    objs = []
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            objs.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            print(f"error: line {i + 1}: {exc}", file=sys.stderr)
+            return 2
+    spans = spans_from_records(objs)
+    if not spans:
+        print(f"error: no trace spans in {args.jsonl}", file=sys.stderr)
+        return 2
+    traces = group_traces(spans)
+    roots = sorted(
+        (
+            ss[0]
+            for ss in traces.values()
+            if ss[0].parent_id is None and ss[0].kind == "request"
+        ),
+        key=lambda s: (-s.duration_s, s.attrs.get("rid", 0)),
+    )
+    print(
+        f"trace: {len(spans)} span(s) in {len(traces)} trace(s) "
+        f"from {args.jsonl}"
+    )
+    print(format_slowest(roots, args.slowest))
+    if args.explain is None:
+        return 0
+    if args.explain == "worst":
+        candidates = roots[:1]
+    else:
+        candidates = [
+            r for r in roots if r.trace_id.startswith(args.explain)
+        ]
+    if not candidates:
+        print(
+            f"error: no request trace matches {args.explain!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if len(candidates) > 1:
+        ids = ", ".join(r.trace_id for r in candidates)
+        print(
+            f"error: ambiguous trace id prefix {args.explain!r}: {ids}",
+            file=sys.stderr,
+        )
+        return 2
+    root = candidates[0]
+    print()
+    print(trace_waterfall(traces[root.trace_id]).gantt())
+    if root.status != "ok":
+        print(
+            f"request {root.attrs.get('rid')} was shed "
+            f"({root.attrs.get('reason', 'overload')}) — "
+            "no latency to explain"
+        )
+        return 0
+    table = ExplainTable.from_root_span(root)
+    if table is not None:
+        print()
+        print(table.render())
+    batch_id = root.attrs.get("batch_id")
+    batch_spans = next(
+        (
+            ss
+            for ss in traces.values()
+            if ss[0].kind == "batch"
+            and ss[0].attrs.get("batch_id") == batch_id
+        ),
+        None,
+    )
+    if batch_spans is not None:
+        print()
+        print(
+            f"batch {batch_id} drill-down "
+            f"(trace {batch_spans[0].trace_id}):"
+        )
+        print(trace_waterfall(batch_spans).gantt())
     return 0
 
 

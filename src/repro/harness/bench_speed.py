@@ -31,7 +31,12 @@ coalescing scheduler, recording steady-state wall-clock plus the
 modelled ``serve_qps`` / ``serve_p99_s`` SLO cells.  Those two columns
 are deterministic virtual-clock outputs, so the ``--check`` gate holds
 them to the baseline with tight factors — but only when the baseline
-carries them, so pre-serving baselines keep passing.
+carries them, so pre-serving baselines keep passing.  Each serving cell
+also replays the trace with the causal query tracer attached:
+``serve_trace_overhead`` (the median per-repeat traced/untraced wall
+ratio) is gated at :data:`SERVE_TRACE_OVERHEAD_LIMIT`, and
+``serve_trace_identical`` asserts tracing never changes a byte of the
+serve report.
 """
 
 from __future__ import annotations
@@ -121,6 +126,11 @@ SERVE_BENCH_SLO = "p99<=500us@1s"
 #: The windowed p99 may disagree with the exact percentile by at most
 #: this relative fraction.
 SERVE_P99_DRIFT_LIMIT = 0.10
+
+#: Query tracing must stay near-free on the hot path: the median of the
+#: per-repeat traced/untraced wall-clock ratios may be at most this
+#: factor (the tracer buffers during the run and derives lazily).
+SERVE_TRACE_OVERHEAD_LIMIT = 1.10
 
 #: Added by the full benchmark: the largest corpus matrices scaled all the
 #: way to their paper size (scale 1.0 — up to 113M non-zeros for HOL).
@@ -223,7 +233,18 @@ def run_serve_case(
     against the exact percentile, and ``serve_alert_count`` pins the
     burn-rate alert count to the baseline.  The monitor is read-only,
     so attaching it cannot change the SLO cells.
+
+    A second timed leg replays the same trace with a
+    :class:`~repro.obs.tracing.QueryTracer` attached (a fresh instance
+    per repeat — tracers are one-run-per-instance):
+    ``serve_trace_overhead`` is the median of the per-repeat
+    traced/untraced wall ratios, gated at
+    :data:`SERVE_TRACE_OVERHEAD_LIMIT`, and
+    ``serve_trace_identical`` asserts the serve report is byte-identical
+    with and without the tracer (the read-only contract, checked
+    outside the timed region).
     """
+    from ..obs.tracing import QueryTracer, TracingConfig
     from ..serve import (
         MonitorConfig,
         ServeConfig,
@@ -234,6 +255,7 @@ def run_serve_case(
         generate_trace,
         slo_summary,
     )
+    from ..serve.report import serve_report_lines
 
     engine = ServeEngine(device, ServeConfig(gpus=gpus))
     plan = engine.register(matrix, scale=scale)
@@ -243,11 +265,37 @@ def run_serve_case(
     trace_config = TraceConfig(n_requests=requests, seed=seed)
     trace = generate_trace(trace_config, engine.registered_graphs(), mean_s)
     result = engine.run_trace(trace)  # warm: fills the iteration cache
+    # The untraced and traced legs alternate inside one loop so both
+    # see the same machine state, and the serve cells take extra repeats
+    # (they cost milliseconds): the gated overhead ratio is paired per
+    # repeat — a min-over-min or median-over-median ratio is dominated
+    # by machine drift at these cell sizes.
     times = []
-    for _ in range(max(1, repeats)):
-        t0 = time.perf_counter()
-        result = engine.run_trace(trace)
-        times.append(time.perf_counter() - t0)
+    traced_times = []
+    tracer = None
+    # The dropped per-repeat tracers (and their snapshot buffers) would
+    # otherwise trigger collection cycles mid-measurement, which is the
+    # dominant noise source at millisecond cell sizes.
+    import gc
+
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(max(1, repeats, 15)):
+            t0 = time.perf_counter()
+            result = engine.run_trace(trace)
+            times.append(time.perf_counter() - t0)
+            tracer = QueryTracer(TracingConfig(seed=seed))
+            t0 = time.perf_counter()
+            traced_result = engine.run_trace(trace, tracer=tracer)
+            traced_times.append(time.perf_counter() - t0)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    trace_identical = serve_report_lines(result) == serve_report_lines(
+        traced_result
+    )
     monitor = ServeMonitor(
         MonitorConfig(window_s=SERVE_MONITOR_WINDOW_S, slos=(SERVE_BENCH_SLO,))
     )
@@ -282,6 +330,14 @@ def run_serve_case(
         "serve_alert_count": monitor.alert_count,
         "serve_windowed_p99_s": windowed_p99,
         "serve_p99_drift": drift,
+        # Paired estimator: each repeat's traced/untraced runs are
+        # adjacent, so per-pair ratios cancel machine drift that a
+        # ratio of aggregates would not.
+        "serve_trace_overhead": statistics.median(
+            t / u for t, u in zip(traced_times, times)
+        ),
+        "serve_trace_identical": trace_identical,
+        "serve_trace_spans": len(tracer.spans),
     }
 
 
@@ -487,6 +543,28 @@ def check_regressions(
                     f"{ref['serve_alert_count']} (burn-rate behaviour "
                     "changed)"
                 )
+        # Query-tracing columns: overhead is wall-clock (gated only when
+        # the baseline carries the column, so pre-tracing baselines keep
+        # passing); the byte-identity bit is absolute — a tracer that
+        # changes the serve report broke the read-only contract.
+        if (
+            "serve_trace_overhead" in ref
+            and "serve_trace_overhead" in record
+        ):
+            overhead = float(record["serve_trace_overhead"])
+            if overhead > SERVE_TRACE_OVERHEAD_LIMIT:
+                failures.append(
+                    f"{label}: serve_trace_overhead {overhead:.3f}x > "
+                    f"{SERVE_TRACE_OVERHEAD_LIMIT:g}x (tracing is no "
+                    "longer near-free on the hot path)"
+                )
+        if "serve_trace_identical" in record and not record[
+            "serve_trace_identical"
+        ]:
+            failures.append(
+                f"{label}: serve report not byte-identical with the "
+                "query tracer attached (read-only contract violated)"
+            )
     return failures
 
 
@@ -570,7 +648,9 @@ def run_cli(args: argparse.Namespace) -> int:
                 f"{r['batches']} batches "
                 f"(mean width {r['mean_batch_width']:.2f}), "
                 f"shed {r['shed']}, p99 drift {drift_txt}, "
-                f"{r['serve_alert_count']} alert(s)"
+                f"{r['serve_alert_count']} alert(s), "
+                f"trace x{r['serve_trace_overhead']:.2f}"
+                f"{'' if r['serve_trace_identical'] else ' NOT IDENTICAL'}"
             )
             return
         ratio = r["total_warps"] / max(1, r["total_entries"])

@@ -39,6 +39,7 @@ from .attribution import (
     attribute_launch,
     attribute_multigpu,
     attribute_sequence,
+    force_exact_sum,
     merge_attributions,
 )
 from .counters import CounterSet, aggregate, launch_counters, with_totals
@@ -79,6 +80,7 @@ from .report_html import (
     diff_report_html,
     svg_gantt,
     svg_sparkline,
+    svg_waterfall,
     write_html_report,
 )
 from .slo import (
@@ -101,6 +103,20 @@ from .timeline import (
     timeline_from_multigpu,
     timeline_from_sequence,
 )
+from .tracing import (
+    EXPLAIN_ORDER,
+    ExplainTable,
+    QueryTracer,
+    TraceContext,
+    TracingConfig,
+    format_slowest,
+    group_traces,
+    spans_from_records,
+    trace_report_lines,
+    trace_waterfall,
+    write_trace_jsonl,
+)
+from .tracing import Span as TraceSpan
 
 __all__ = [
     "CounterSet",
@@ -164,5 +180,19 @@ __all__ = [
     "diff_report_html",
     "svg_gantt",
     "svg_sparkline",
+    "svg_waterfall",
     "write_html_report",
+    "EXPLAIN_ORDER",
+    "ExplainTable",
+    "QueryTracer",
+    "TraceContext",
+    "TraceSpan",
+    "TracingConfig",
+    "force_exact_sum",
+    "format_slowest",
+    "group_traces",
+    "spans_from_records",
+    "trace_report_lines",
+    "trace_waterfall",
+    "write_trace_jsonl",
 ]

@@ -76,20 +76,24 @@ def _zero_terms() -> dict[str, float]:
 
 
 def _force_exact(
-    terms: dict[str, float], target: float, adjust: str = "ideal"
+    terms: dict[str, float],
+    target: float,
+    adjust: str = "ideal",
+    order: tuple[str, ...] | None = None,
 ) -> dict[str, float]:
-    """Nudge ``terms[adjust]`` until the canonical-order float sum equals
-    ``target`` bit-for-bit.
+    """Nudge ``terms[adjust]`` until the ``order``-order float sum equals
+    ``target`` bit-for-bit (``order`` defaults to :data:`TERM_ORDER`).
 
     The additive fix-point converges in one or two steps in practice; a
     bisection fallback handles the corners where the fix-point
     oscillates (the correction is smaller than the adjusted term's ulp,
     or the sum jumps two ulps per step of the term).
     """
+    names = TERM_ORDER if order is None else tuple(order)
 
     def total() -> float:
         s = 0.0
-        for name in TERM_ORDER:
+        for name in names:
             s += terms[name]
         return s
 
@@ -146,10 +150,28 @@ def _force_exact(
     # The sum can straddle ``target`` without landing on it for one
     # particular adjusted position (a 2-ulp rounding jump); a term at a
     # different position in the sum rounds differently, so retry.
-    for name in sorted(TERM_ORDER, key=lambda n: -abs(terms[n])):
+    for name in sorted(names, key=lambda n: -abs(terms[n])):
         if name != adjust and nudge(name):
             return terms
     return terms
+
+
+def force_exact_sum(
+    terms: dict[str, float],
+    target: float,
+    *,
+    adjust: str = "ideal",
+    order: tuple[str, ...] | None = None,
+) -> dict[str, float]:
+    """Public wrapper around the exactness fix-point used by attribution.
+
+    Returns ``terms`` (mutated in place) nudged on ``terms[adjust]`` so
+    that summing the values in ``order`` left to right equals ``target``
+    bit-for-bit.  ``order`` defaults to :data:`TERM_ORDER`; callers with
+    extra leading terms (the trace explain table prepends ``queue_wait``
+    and ``formation``) pass their own order.
+    """
+    return _force_exact(terms, target, adjust=adjust, order=order)
 
 
 @dataclass(frozen=True)

@@ -313,16 +313,19 @@ def validate_chrome_trace(trace: dict) -> list[str]:
 
     Checked: ``traceEvents`` is a list of objects; every event carries
     ``name``/``cat``/``ph``/``ts``/``pid``; ``ph`` is a complete event
-    (``X``, which additionally needs ``dur`` and ``tid``) or a counter
-    sample (``C``, which needs numeric ``args`` values); and within each
-    ``(pid, tid)`` lane — or ``(pid, name)`` counter track — timestamps
-    never run backwards.
+    (``X``, which additionally needs ``dur`` and ``tid``), a counter
+    sample (``C``, which needs numeric ``args`` values), or a flow
+    start/finish (``s``/``f``, which need ``id`` and ``tid``, and every
+    ``f`` must follow a matching ``s``); and within each ``(pid, tid)``
+    lane — or ``(pid, name)`` counter track — timestamps never run
+    backwards.
     """
     errors: list[str] = []
     events = trace.get("traceEvents")
     if not isinstance(events, list):
         return ["traceEvents missing or not a list"]
     last_ts: dict[tuple, float] = {}
+    flow_start: dict[object, float] = {}
     for i, ev in enumerate(events):
         where = f"traceEvents[{i}]"
         if not isinstance(ev, dict):
@@ -332,12 +335,32 @@ def validate_chrome_trace(trace: dict) -> list[str]:
             if key not in ev:
                 errors.append(f"{where}: missing key {key!r}")
         ph = ev.get("ph")
-        if ph not in ("X", "C"):
+        if ph not in ("X", "C", "s", "f"):
             errors.append(f"{where}: unsupported ph {ph!r}")
             continue
         ts = ev.get("ts")
         if not isinstance(ts, (int, float)) or ts < 0:
             errors.append(f"{where}: ts={ts!r} not a non-negative number")
+            continue
+        if ph in ("s", "f"):
+            if "tid" not in ev:
+                errors.append(f"{where}: flow event missing 'tid'")
+            fid = ev.get("id")
+            if not isinstance(fid, (int, str)):
+                errors.append(f"{where}: flow event needs an 'id'")
+                continue
+            if ph == "s":
+                if fid not in flow_start:
+                    flow_start[fid] = ts
+            elif fid not in flow_start:
+                errors.append(
+                    f"{where}: flow finish id={fid!r} without a start"
+                )
+            elif ts < flow_start[fid]:
+                errors.append(
+                    f"{where}: flow finish id={fid!r} before its start "
+                    f"({ts} < {flow_start[fid]})"
+                )
             continue
         if ph == "X":
             if "tid" not in ev:
@@ -549,6 +572,138 @@ def _validate_flightrec_fields(obj: dict, where: str) -> list[str]:
     return errors
 
 
+def _validate_trace_span_fields(obj: dict, where: str) -> list[str]:
+    """Field checks for one causal-trace ``span`` record.
+
+    Trace spans (spans carrying a ``trace_id``) additionally promise:
+    non-negative start/duration, a valid status, string links, and —
+    for batch compute spans — ``timeline_time_s`` equal to the span's
+    duration bit-for-bit (the PR-5 timeline reconstruction contract).
+    """
+    errors = []
+    for field in ("trace_id", "span_id", "kind"):
+        if not isinstance(obj.get(field), str):
+            errors.append(f"{where}: trace span needs a string {field!r}")
+    if obj.get("status") not in ("ok", "shed"):
+        errors.append(
+            f"{where}: unknown trace span status {obj.get('status')!r}"
+        )
+    parent = obj.get("parent_id")
+    if parent is not None and not isinstance(parent, str):
+        errors.append(f"{where}: parent_id must be a string or null")
+    for field in ("start_s", "time_s"):
+        v = obj.get(field)
+        if not isinstance(v, (int, float)) or v < 0:
+            errors.append(
+                f"{where}: trace span needs non-negative {field!r}"
+            )
+    attrs = obj.get("attrs", {})
+    if not isinstance(attrs, dict):
+        errors.append(f"{where}: trace span attrs must be an object")
+        attrs = {}
+    links = obj.get("links", [])
+    if not isinstance(links, list) or not all(
+        isinstance(x, str) for x in links
+    ):
+        errors.append(f"{where}: trace span links must be a string list")
+    if obj.get("kind") == "batch_compute":
+        tl = attrs.get("timeline_time_s")
+        dur = obj.get("time_s")
+        if not isinstance(tl, (int, float)):
+            errors.append(
+                f"{where}: batch_compute span needs numeric "
+                "attrs.timeline_time_s"
+            )
+        elif isinstance(dur, (int, float)) and tl != dur:
+            errors.append(
+                f"{where}: timeline_time_s={tl!r} != time_s={dur!r} "
+                "(the timeline must reproduce the billed compute "
+                "bit-for-bit)"
+            )
+    return errors
+
+
+def _validate_trace_linkage(trace_spans: list[tuple[str, dict]]) -> list[str]:
+    """Cross-line checks over all trace spans of one JSONL file.
+
+    Each trace must have exactly one root; every ``parent_id`` resolves
+    within its trace and every ``links`` entry resolves file-wide.  On
+    ``request`` roots the exact-sum identities are re-checked *after*
+    the JSON round-trip: the children's file-order float sum equals the
+    root duration, and the ``explain`` terms (summed in listed order)
+    equal it too.
+    """
+    errors: list[str] = []
+    all_ids = {obj.get("span_id") for _, obj in trace_spans}
+    by_trace: dict[str, list[tuple[str, dict]]] = {}
+    for where, obj in trace_spans:
+        by_trace.setdefault(obj.get("trace_id"), []).append((where, obj))
+    for tid, spans in by_trace.items():
+        local_ids = {obj.get("span_id") for _, obj in spans}
+        for where, obj in spans:
+            parent = obj.get("parent_id")
+            if parent is not None and parent not in local_ids:
+                errors.append(
+                    f"{where}: parent_id {parent!r} not in trace {tid}"
+                )
+            for link in obj.get("links", ()):
+                if isinstance(link, str) and link not in all_ids:
+                    errors.append(
+                        f"{where}: link {link!r} resolves to no span in "
+                        "this file"
+                    )
+        roots = [
+            (where, obj)
+            for where, obj in spans
+            if obj.get("parent_id") is None
+        ]
+        if len(roots) != 1:
+            errors.append(
+                f"trace {tid}: expected exactly one root span, "
+                f"got {len(roots)}"
+            )
+            continue
+        root_where, root = roots[0]
+        if root.get("kind") != "request":
+            continue
+        root_time = root.get("time_s")
+        children = [
+            obj
+            for _, obj in spans
+            if obj.get("parent_id") == root.get("span_id")
+        ]
+        if children and isinstance(root_time, (int, float)):
+            s = 0.0
+            for child in children:
+                v = child.get("time_s")
+                if isinstance(v, (int, float)):
+                    s += v
+            if s != root_time:
+                errors.append(
+                    f"{root_where}: child spans sum to {s!r}, not the "
+                    f"root's time_s={root_time!r} (exact-sum identity)"
+                )
+        attrs = root.get("attrs")
+        explain = attrs.get("explain") if isinstance(attrs, dict) else None
+        if explain is not None:
+            if not isinstance(explain, dict) or not all(
+                isinstance(v, (int, float)) for v in explain.values()
+            ):
+                errors.append(
+                    f"{root_where}: explain terms must be numeric"
+                )
+            elif isinstance(root_time, (int, float)):
+                s = 0.0
+                for v in explain.values():
+                    s += v
+                if s != root_time:
+                    errors.append(
+                        f"{root_where}: explain terms sum to {s!r}, not "
+                        f"the root's time_s={root_time!r}"
+                    )
+    return errors
+
+
 def validate_profile_jsonl(path) -> list[str]:
     """Schema-check one profile JSONL file; returns error messages.
 
@@ -557,7 +712,10 @@ def validate_profile_jsonl(path) -> list[str]:
     comes first; launch/aggregate records carry the full counter field
     set with ratios in range; serve ``request`` records carry tenant /
     graph / latency-term fields (and ``slo`` summaries valid
-    percentiles); at least one launch, aggregate, or request exists.
+    percentiles); causal-trace ``span`` records (those with a
+    ``trace_id``) pass per-span field checks plus the cross-line
+    linkage/exact-sum checks of :func:`_validate_trace_linkage`; at
+    least one launch, aggregate, request, metric, or trace span exists.
     """
     path = Path(path)
     errors: list[str] = []
@@ -570,6 +728,7 @@ def validate_profile_jsonl(path) -> list[str]:
     n_counter_records = 0
     n_request_records = 0
     n_metric_records = 0
+    trace_spans: list[tuple[str, dict]] = []
     for i, line in enumerate(lines, start=1):
         where = f"{path}:{i}"
         if not line.strip():
@@ -595,6 +754,9 @@ def validate_profile_jsonl(path) -> list[str]:
             for field in ("name", "path", "time_s"):
                 if field not in obj:
                     errors.append(f"{where}: span missing {field!r}")
+            if "trace_id" in obj:
+                trace_spans.append((where, obj))
+                errors.extend(_validate_trace_span_fields(obj, where))
         elif kind == "metrics":
             if not isinstance(obj.get("metrics"), dict):
                 errors.append(f"{where}: metrics record missing 'metrics'")
@@ -616,7 +778,10 @@ def validate_profile_jsonl(path) -> list[str]:
             errors.extend(_validate_alert_fields(obj, where))
         elif kind == "flightrec":
             errors.extend(_validate_flightrec_fields(obj, where))
+    errors.extend(_validate_trace_linkage(trace_spans))
     if n_counter_records == 0 and n_request_records == 0 \
-            and n_metric_records == 0:
-        errors.append(f"{path}: no launch/aggregate/request/metric records")
+            and n_metric_records == 0 and not trace_spans:
+        errors.append(
+            f"{path}: no launch/aggregate/request/metric/trace records"
+        )
     return errors

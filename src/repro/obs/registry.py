@@ -315,16 +315,23 @@ class WindowedHistogram(_WindowedRing):
     def __init__(self, name, window_s, n_buckets=20, help="", labels=None):
         super().__init__(name, window_s, n_buckets, help, labels)
         self._samples: list[list[float]] = [[] for _ in range(self.n_buckets)]
+        self._exemplars: list[list[object]] = [
+            [] for _ in range(self.n_buckets)
+        ]
         self.lifetime_count = 0
 
     def _reset_slot(self, slot: int) -> None:
         self._samples[slot] = []
+        self._exemplars[slot] = []
 
-    def observe(self, t_s: float, value: float) -> None:
+    def observe(
+        self, t_s: float, value: float, exemplar: object = None
+    ) -> None:
         self.lifetime_count += 1
         slot = self._writable_slot(t_s)
         if slot is not None:
             self._samples[slot].append(float(value))
+            self._exemplars[slot].append(exemplar)
 
     def values(self, t_s: float, window_s: float | None = None) -> tuple:
         slots, _ = self._read_slots(t_s, window_s)
@@ -342,6 +349,38 @@ class WindowedHistogram(_WindowedRing):
     ) -> float:
         """Exact ``q``-quantile of the trailing window (nan if empty)."""
         return exact_quantile(self.values(t_s, window_s), q)
+
+    def exemplars(
+        self, t_s: float, window_s: float | None = None
+    ) -> tuple[tuple[float, object], ...]:
+        """``(value, exemplar)`` pairs for the trailing window.
+
+        Same deterministic slice/insertion order as :meth:`values`;
+        observations recorded without an exemplar pair with ``None``.
+        """
+        slots, _ = self._read_slots(t_s, window_s)
+        out: list[tuple[float, object]] = []
+        for s in slots:
+            out.extend(zip(self._samples[s], self._exemplars[s]))
+        return tuple(out)
+
+    def exemplar_near(
+        self, q: float, t_s: float, window_s: float | None = None
+    ) -> object:
+        """The exemplar attached to the smallest sample >= the exact
+        ``q``-quantile (ties broken by window order; ``None`` when the
+        window is empty or no qualifying sample carries an exemplar)."""
+        pairs = self.exemplars(t_s, window_s)
+        if not pairs:
+            return None
+        cut = exact_quantile(tuple(v for v, _ in pairs), q)
+        best: tuple[float, object] | None = None
+        for value, ex in pairs:
+            if ex is None or value < cut:
+                continue
+            if best is None or value < best[0]:
+                best = (value, ex)
+        return None if best is None else best[1]
 
 
 class MetricsRegistry:

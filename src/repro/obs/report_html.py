@@ -36,6 +36,14 @@ svg { background: #fafafa; border: 1px solid #ddd; margin: 0.4em 0; }
                font-size: 0.8em; }
 .swatch { display: inline-block; width: 10px; height: 10px;
           margin-right: 4px; }
+.grid { border-collapse: collapse; }
+.grid td, .grid th { border: none; padding: 2px 10px 2px 0; }
+.spark { background: #fcfcfc; border: 1px solid #e5e5e5; }
+.mono { font-family: ui-monospace, monospace; font-size: 0.85em; }
+.firing { color: #b42318; font-weight: 600; }
+.resolved { color: #1a7f37; }
+pre.waterfall { font-size: 0.8em; background: #f7f7f7; padding: 0.6em;
+                border: 1px solid #e5e5e5; overflow-x: auto; }
 """
 
 
@@ -152,9 +160,15 @@ def svg_sparkline(
     return "".join(parts)
 
 
-def _svg_waterfall(report: DiffReport, width: int = 860) -> str:
-    """An inline SVG waterfall of the ranked attribution deltas."""
-    bars = [(k, v) for k, v in report.ranked() if v != 0.0]
+def svg_waterfall(bars, width: int = 860) -> str:
+    """An inline SVG waterfall of signed ``(label, seconds)`` bars.
+
+    Shared plumbing of the diff report's attribution waterfall and the
+    serve dashboard / trace explain waterfalls: one horizontal bar per
+    term around a mid axis, green right of it for positive seconds, red
+    left of it for negative, each labelled in microseconds.
+    """
+    bars = [(k, v) for k, v in bars if v != 0.0]
     bar_h, pad_l, pad_t = 24, 130, 8
     height = pad_t + bar_h * max(1, len(bars)) + 12
     peak = max((abs(v) for _, v in bars), default=1e-12)
@@ -190,6 +204,11 @@ def _svg_waterfall(report: DiffReport, width: int = 860) -> str:
         )
     parts.append("</svg>")
     return "".join(parts)
+
+
+def _svg_waterfall(report: DiffReport, width: int = 860) -> str:
+    """The diff report's waterfall — ranked attribution deltas."""
+    return svg_waterfall(report.ranked(), width)
 
 
 def _terms_table(report: DiffReport) -> str:

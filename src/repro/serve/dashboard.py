@@ -2,13 +2,15 @@
 
 One ``repro serve-sim --html-dash`` artifact = one file: run summary,
 per-tenant / per-graph sparklines of the rolling qps, windowed p99 and
-shed-rate series, the burn-rate alert log, and the flight recorder's
-captured batch timelines (SVG Gantt) with their exact attributions.  No
-external scripts, stylesheets, fonts or network fetches — same
-portability contract as the diff report (:mod:`repro.obs.report_html`,
-whose CSS and SVG helpers this reuses).  Everything is derived from the
-monitor's deterministic record stream, so the same seed renders the
-byte-identical file.
+shed-rate series, the burn-rate alert log, the flight recorder's
+captured batch timelines (SVG Gantt) with their exact attributions, and
+— when a :class:`~repro.obs.tracing.QueryTracer` is attached — the
+slowest traced queries' span waterfalls with their exact explain
+tables.  No external scripts, stylesheets, fonts or network fetches —
+same portability contract as the diff report
+(:mod:`repro.obs.report_html`, whose CSS and SVG helpers this reuses).
+Everything is derived from the monitor's and tracer's deterministic
+record streams, so the same seed renders the byte-identical file.
 """
 
 from __future__ import annotations
@@ -16,21 +18,22 @@ from __future__ import annotations
 import html
 from pathlib import Path
 
-from ..obs.report_html import _CATEGORY_FILL, _CSS, svg_gantt, svg_sparkline
+from ..obs.report_html import (
+    _CATEGORY_FILL,
+    _CSS,
+    svg_gantt,
+    svg_sparkline,
+    svg_waterfall,
+)
+from ..obs.tracing import ExplainTable, trace_waterfall
 from .monitor import ServeMonitor
 from .report import slo_summary
 from .server import ServeResult
 
 __all__ = ["serve_dash_html", "write_serve_dash"]
 
-_DASH_CSS = _CSS + """
-.grid { border-collapse: collapse; }
-.grid td, .grid th { border: none; padding: 2px 10px 2px 0; }
-.spark { background: #fcfcfc; border: 1px solid #e5e5e5; }
-.mono { font-family: ui-monospace, monospace; font-size: 0.85em; }
-.firing { color: #b42318; font-weight: 600; }
-.resolved { color: #1a7f37; }
-"""
+#: All shared styling now lives in :data:`repro.obs.report_html._CSS`.
+_DASH_CSS = _CSS
 
 
 def _fmt_us(v) -> str:
@@ -168,16 +171,57 @@ def _flight_section(monitor: ServeMonitor) -> str:
     return "".join(parts)
 
 
+def _trace_section(tracer, slowest: int) -> str:
+    """Slow-query section: span waterfalls + exact explain waterfalls."""
+    roots = [r for r in tracer.request_roots if r.status == "ok"]
+    if not roots:
+        return "<p>No admitted request traces kept.</p>"
+    parts = [
+        f"<p>{tracer.summary['kept']} traces kept "
+        f"({tracer.summary['dropped']} dropped); showing the "
+        f"{min(slowest, len(roots))} slowest.</p>"
+    ]
+    for root in roots[:slowest]:
+        a = root.attrs
+        parts.append(
+            f'<h3>trace <span class="mono">{html.escape(root.trace_id)}'
+            f"</span> — rid {a.get('rid')}, tenant "
+            f"{html.escape(str(a.get('tenant')))}, "
+            f"{root.duration_s * 1e6:.1f} us "
+            f"(sampled by {html.escape(', '.join(a.get('sampled_by', ())))})"
+            "</h3>"
+        )
+        parts.append(svg_gantt(trace_waterfall(tracer.traces[root.trace_id])))
+        table = ExplainTable.from_root_span(root)
+        if table is not None:
+            parts.append(svg_waterfall(table.nonzero()))
+    return "".join(parts)
+
+
 def serve_dash_html(
     result: ServeResult,
     monitor: ServeMonitor,
     title: str = "serve monitor",
+    tracer=None,
+    slowest: int = 3,
 ) -> str:
-    """The full self-contained dashboard document for one run."""
+    """The full self-contained dashboard document for one run.
+
+    ``tracer`` (an optional finalized
+    :class:`~repro.obs.tracing.QueryTracer`) adds a "Slow queries
+    (traced)" section with the ``slowest`` kept requests' span
+    waterfalls and exact explain waterfalls.
+    """
     legend = "".join(
         f'<span><span class="swatch" style="background:{color}"></span>'
         f"{html.escape(cat)}</span>"
         for cat, color in _CATEGORY_FILL.items()
+    )
+    trace_part = (
+        ""
+        if tracer is None
+        else "<h2>Slow queries (traced)</h2>"
+        + _trace_section(tracer, slowest)
     )
     return f"""<!DOCTYPE html>
 <html><head><meta charset="utf-8">
@@ -192,6 +236,7 @@ def serve_dash_html(
 {_alert_log(monitor)}
 <h2>Flight recorder</h2>
 {_flight_section(monitor)}
+{trace_part}
 <p class="legend">{legend}</p>
 </body></html>
 """
@@ -202,8 +247,14 @@ def write_serve_dash(
     monitor: ServeMonitor,
     path,
     title: str = "serve monitor",
+    tracer=None,
+    slowest: int = 3,
 ) -> Path:
     """Write the dashboard artifact; returns the path written."""
     path = Path(path)
-    path.write_text(serve_dash_html(result, monitor, title=title))
+    path.write_text(
+        serve_dash_html(
+            result, monitor, title=title, tracer=tracer, slowest=slowest
+        )
+    )
     return path

@@ -213,23 +213,27 @@ class ServeEngine:
             ctx.query_cache[node] = cached
         return cached
 
-    def run_trace(self, requests, monitor=None) -> ServeResult:
+    def run_trace(self, requests, monitor=None, tracer=None) -> ServeResult:
         """Serve one query trace to completion on the virtual clock.
 
-        ``monitor`` (a :class:`~repro.serve.monitor.ServeMonitor`) is
-        strictly read-only: the engine hands it frozen outcome records
-        and queue-depth integers at shed/close time and finalizes it
-        after the :class:`ServeResult` is built, so attaching one can
-        never change an outcome, a modelled time, or the event order —
-        the tests assert byte-identical results with and without.
+        ``monitor`` (a :class:`~repro.serve.monitor.ServeMonitor`) and
+        ``tracer`` (a :class:`~repro.obs.tracing.QueryTracer`) are
+        strictly read-only observers: the engine hands them frozen
+        outcome records and queue-depth integers at shed/close time and
+        finalizes them after the :class:`ServeResult` is built, so
+        attaching either can never change an outcome, a modelled time,
+        or the event order — the tests assert byte-identical results
+        with and without.  The monitor is always finalized first, so a
+        tracer may read its alert log for tail-sampling decisions.
         """
         reqs = tuple(requests)
         if len({r.rid for r in reqs}) != len(reqs):
             raise ValueError("request rids must be unique")
         for r in reqs:
             self._context(r.graph)  # fail fast on unknown graphs
-        if monitor is not None:
-            monitor._begin_run(self)
+        observers = tuple(o for o in (monitor, tracer) if o is not None)
+        for watcher in observers:
+            watcher._begin_run(self)
 
         admission = AdmissionController(
             AdmissionPolicy(
@@ -318,8 +322,8 @@ class ServeEngine:
                 self.registry.histogram(
                     "serve_latency_s", "modelled end-to-end latency"
                 ).observe(latency)
-            if monitor is not None:
-                monitor._observe_batch(
+            for watcher in observers:
+                watcher._observe_batch(
                     record=batches[batch_id],
                     iterations=its,
                     bill=bill,
@@ -349,8 +353,8 @@ class ServeEngine:
                         "terminal request outcomes",
                         labels={"status": "shed"},
                     ).inc()
-                    if monitor is not None:
-                        monitor._observe_shed(
+                    for watcher in observers:
+                        watcher._observe_shed(
                             outcomes[req.rid], admission.depth
                         )
                     continue
@@ -377,8 +381,8 @@ class ServeEngine:
         self.registry.gauge(
             "serve_queries_per_s", "served throughput over the makespan"
         ).set(result.queries_per_s)
-        if monitor is not None:
-            monitor._finalize(result)
+        for watcher in observers:
+            watcher._finalize(result)
         return result
 
 

@@ -408,3 +408,68 @@ class TestEfficiencyGate:
             ):
                 del case[col]
         assert check_regressions(self._case(), old) == []
+
+
+class TestTraceOverheadColumns:
+    def test_record_carries_trace_columns(self):
+        a = run_serve_case(
+            "WIK", 0.002, GTX_TITAN, gpus=1, repeats=1, requests=12
+        )
+        assert a["serve_trace_overhead"] > 0
+        assert a["serve_trace_identical"] is True
+        assert a["serve_trace_spans"] > 0
+        # Span count is a deterministic virtual-clock output.
+        b = run_serve_case(
+            "WIK", 0.002, GTX_TITAN, gpus=1, repeats=1, requests=12
+        )
+        assert a["serve_trace_spans"] == b["serve_trace_spans"]
+
+
+class TestTraceOverheadGate:
+    def _payload(self, overhead=1.0, identical=True, with_trace=True):
+        case = {
+            "name": "WIK-serve",
+            "scale": 0.002,
+            "k": 1,
+            "wall_s": 1.0,
+        }
+        if with_trace:
+            case["serve_trace_overhead"] = overhead
+            case["serve_trace_identical"] = identical
+        return {"cases": [case]}
+
+    def test_cheap_tracing_passes(self):
+        assert (
+            check_regressions(self._payload(1.02), self._payload(1.0))
+            == []
+        )
+
+    def test_overhead_beyond_limit_fails(self):
+        failures = check_regressions(
+            self._payload(1.5), self._payload(1.0)
+        )
+        assert any("serve_trace_overhead" in f for f in failures)
+
+    def test_limit_itself_passes(self):
+        from repro.harness.bench_speed import SERVE_TRACE_OVERHEAD_LIMIT
+
+        assert (
+            check_regressions(
+                self._payload(SERVE_TRACE_OVERHEAD_LIMIT),
+                self._payload(1.0),
+            )
+            == []
+        )
+
+    def test_broken_identity_fails_even_without_baseline_column(self):
+        failures = check_regressions(
+            self._payload(1.0, identical=False),
+            self._payload(with_trace=False),
+        )
+        assert any("byte-identical" in f for f in failures)
+
+    def test_baseline_without_trace_columns_skips_overhead(self):
+        failures = check_regressions(
+            self._payload(9.9), self._payload(with_trace=False)
+        )
+        assert failures == []

@@ -1,0 +1,124 @@
+"""Edge cases of the shared SVG helpers in :mod:`repro.obs.report_html`.
+
+These helpers are now shared plumbing (diff report, serve dashboard,
+trace waterfalls), so degenerate inputs — empty series, a single point,
+``None`` gaps, empty timelines, all-zero waterfalls — must render valid
+self-contained SVG rather than raise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.report_html import svg_gantt, svg_sparkline, svg_waterfall
+from repro.obs.timeline import Lane, LaneEvent, Timeline
+
+
+def timeline(lanes):
+    return Timeline(
+        name="t",
+        device_name="GTXTitan",
+        source="trace",
+        time_s=max((ln.end_s for ln in lanes), default=0.0),
+        lanes=tuple(lanes),
+    )
+
+
+class TestSparkline:
+    def test_empty_series_renders(self):
+        svg = svg_sparkline([])
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+
+    def test_all_none_series_renders(self):
+        svg = svg_sparkline([None, None, None])
+        assert "<svg" in svg
+        assert "NaN" not in svg
+
+    def test_single_point_renders(self):
+        svg = svg_sparkline([1.5])
+        assert "<svg" in svg
+        assert "NaN" not in svg
+
+    def test_flat_line_does_not_divide_by_zero(self):
+        svg = svg_sparkline([2.0, 2.0, 2.0])
+        assert "<svg" in svg
+        assert "NaN" not in svg
+
+    def test_none_gaps_break_the_polyline(self):
+        gapped = svg_sparkline([1.0, None, 2.0, 3.0])
+        solid = svg_sparkline([1.0, 1.5, 2.0, 3.0])
+        # The isolated run before the gap degrades to a point marker;
+        # the remaining polyline only spans the run after the gap.
+        assert "<circle" in gapped
+        assert "<circle" not in solid
+        assert gapped.count(",") < solid.count(",")
+        assert "NaN" not in gapped
+
+    def test_leading_and_trailing_nones(self):
+        svg = svg_sparkline([None, 1.0, 2.0, None])
+        assert "<svg" in svg
+        assert "NaN" not in svg
+
+    def test_label_is_escaped(self):
+        svg = svg_sparkline([1.0, 2.0], label="a<b&c")
+        assert "a<b" not in svg
+        assert "a&lt;b&amp;c" in svg
+
+
+class TestGantt:
+    def test_no_lanes_renders(self):
+        svg = svg_gantt(timeline([]))
+        assert "<svg" in svg
+        assert "NaN" not in svg
+
+    def test_empty_lane_renders(self):
+        svg = svg_gantt(timeline([Lane(label="empty", events=())]))
+        assert "<svg" in svg
+        assert "empty" in svg
+
+    def test_single_zero_duration_event(self):
+        lane = Lane(
+            label="l",
+            events=(LaneEvent("e", 0.0, 0.0, category="overhead"),),
+        )
+        svg = svg_gantt(timeline([lane]))
+        assert "<svg" in svg
+        assert "NaN" not in svg
+
+    def test_single_event_renders_rect(self):
+        lane = Lane(label="l", events=(LaneEvent("k", 0.0, 1e-4),))
+        svg = svg_gantt(timeline([lane]))
+        assert "<rect" in svg
+
+    def test_gantt_text_and_svg_agree_on_total(self):
+        lane = Lane(label="l", events=(LaneEvent("k", 0.0, 2.5e-4),))
+        tl = timeline([lane])
+        assert "250.000 us" in tl.gantt()
+        assert "<svg" in svg_gantt(tl)
+
+
+class TestWaterfall:
+    def test_empty_bars_render(self):
+        svg = svg_waterfall([])
+        assert svg.startswith("<svg")
+        assert "NaN" not in svg
+
+    def test_all_zero_bars_filtered(self):
+        svg = svg_waterfall([("a", 0.0), ("b", 0.0)])
+        assert "<svg" in svg
+        assert "a" not in svg.split("xmlns")[1]
+
+    def test_signed_bars_get_both_colours(self):
+        svg = svg_waterfall([("up", 1e-4), ("down", -5e-5)])
+        assert "#1a7f37" in svg  # positive: green
+        assert "#b42318" in svg  # negative: red
+
+    def test_single_bar_renders(self):
+        svg = svg_waterfall([("only", 3e-5)])
+        assert "<rect" in svg
+        assert "only" in svg
+
+    def test_microsecond_labels(self):
+        svg = svg_waterfall([("term", 1.5e-4)])
+        assert "150.0" in svg

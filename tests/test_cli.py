@@ -504,3 +504,254 @@ class TestDiffCli:
     def test_unknown_device_exits_2(self, capsys):
         assert main(["diff", "INT", "csr", "acsr", "Voodoo2"]) == 2
         assert "unknown" in capsys.readouterr().err.lower()
+
+
+class TestTraceQueriesCli:
+    """``serve-sim --trace-queries`` + the ``repro trace`` reader."""
+
+    HOT = [
+        "serve-sim",
+        "WIK",
+        "GTXTitan",
+        "--scale",
+        "0.002",
+        "--requests",
+        "32",
+        "--format",
+        "csr",
+        "--seed",
+        "3",
+        "--rate",
+        "120",
+        "--burst",
+        "6",
+        "--monitor",
+        "--slo",
+        "p99<=350us@5ms",
+    ]
+
+    def run_traced(self, tmp_path):
+        jsonl = tmp_path / "spans.jsonl"
+        assert main(self.HOT + ["--trace-queries", str(jsonl)]) == 0
+        return jsonl
+
+    def test_trace_artifact_passes_profile_check(self, capsys, tmp_path):
+        jsonl = self.run_traced(tmp_path)
+        assert main(["profile-check", str(jsonl)]) == 0
+        assert ": ok" in capsys.readouterr().out
+
+    def test_same_seed_byte_identical_spans(self, tmp_path):
+        a = self.run_traced(tmp_path)
+        b = tmp_path / "b.jsonl"
+        assert main(self.HOT + ["--trace-queries", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_serve_jsonl_identical_with_tracing_on_or_off(self, tmp_path):
+        on = tmp_path / "on.jsonl"
+        off = tmp_path / "off.jsonl"
+        spans = tmp_path / "spans.jsonl"
+        assert main(self.HOT + ["--jsonl", str(off)]) == 0
+        assert (
+            main(
+                self.HOT
+                + ["--jsonl", str(on), "--trace-queries", str(spans)]
+            )
+            == 0
+        )
+        assert on.read_bytes() == off.read_bytes()
+
+    def test_slowest_table_prints(self, capsys, tmp_path):
+        jsonl = self.run_traced(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", str(jsonl), "--slowest", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "trace_id" in out
+        assert "latency_us" in out
+
+    def test_explain_worst_prints_waterfall_and_exact_table(
+        self, capsys, tmp_path
+    ):
+        jsonl = self.run_traced(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", str(jsonl), "--explain", "worst"]) == 0
+        out = capsys.readouterr().out
+        assert "queue_wait" in out
+        assert "timeline:" in out
+        assert "exact: terms sum to latency bit-for-bit" in out
+        assert "drill-down" in out
+
+    def test_explain_by_unique_prefix(self, capsys, tmp_path):
+        jsonl = self.run_traced(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", str(jsonl), "--slowest", "1"]) == 0
+        out = capsys.readouterr().out
+        trace_id = out.splitlines()[2].split()[0]
+        assert main(["trace", str(jsonl), "--explain", trace_id[:12]]) == 0
+
+    def test_unknown_explain_id_exits_2(self, capsys, tmp_path):
+        jsonl = self.run_traced(tmp_path)
+        assert main(["trace", str(jsonl), "--explain", "zzzz"]) == 2
+        assert "no request trace" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, capsys, tmp_path):
+        assert main(["trace", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_jsonl_without_spans_exits_2(self, capsys, tmp_path):
+        serve = tmp_path / "serve.jsonl"
+        assert main(self.HOT + ["--jsonl", str(serve)]) == 0
+        assert main(["trace", str(serve)]) == 2
+        assert "no trace spans" in capsys.readouterr().err
+
+    def test_bad_head_rate_exits_2(self, capsys, tmp_path):
+        assert (
+            main(
+                self.HOT
+                + [
+                    "--trace-queries",
+                    str(tmp_path / "s.jsonl"),
+                    "--trace-head-rate",
+                    "1.5",
+                ]
+            )
+            == 2
+        )
+        assert "head_rate" in capsys.readouterr().err
+
+    def test_html_dash_gains_trace_section(self, tmp_path):
+        dash = tmp_path / "dash.html"
+        spans = tmp_path / "spans.jsonl"
+        assert (
+            main(
+                self.HOT
+                + [
+                    "--html-dash",
+                    str(dash),
+                    "--trace-queries",
+                    str(spans),
+                ]
+            )
+            == 0
+        )
+        assert "Slow queries (traced)" in dash.read_text()
+
+
+class TestServeMetaEcho:
+    """The serve JSONL meta line echoes every resolved knob (and the
+    run is reconstructible from the meta line alone)."""
+
+    ARGS = [
+        "serve-sim",
+        "WIK",
+        "GTXTitan",
+        "--scale",
+        "0.002",
+        "--requests",
+        "24",
+        "--format",
+        "csr",
+        "--seed",
+        "7",
+        "--rate",
+        "150",
+        "--burst",
+        "3.5",
+        "--monitor",
+        "--slo",
+        "p99<=350us@5ms",
+    ]
+
+    KNOBS = (
+        "matrices",
+        "device",
+        "precision",
+        "seed",
+        "scale",
+        "format",
+        "gpus",
+        "max_batch",
+        "max_wait_s",
+        "requests",
+        "tenants",
+        "mean_interarrival_s",
+        "epsilon",
+        "restart",
+        "burst",
+        "zipf_graph",
+        "zipf_node",
+        "queue_limit",
+        "tenant_limit",
+        "max_iterations",
+        "rate_us",
+        "window_us",
+        "monitored",
+        "slos",
+    )
+
+    def meta(self, tmp_path, name="m.jsonl"):
+        import json
+
+        jsonl = tmp_path / name
+        assert main(self.ARGS + ["--jsonl", str(jsonl)]) == 0
+        return json.loads(jsonl.read_text().splitlines()[0]), jsonl
+
+    def test_meta_echoes_every_resolved_knob(self, tmp_path):
+        meta, _ = self.meta(tmp_path)
+        assert meta["record"] == "meta"
+        for knob in self.KNOBS:
+            assert knob in meta, f"meta missing {knob!r}"
+        assert meta["burst"] == 3.5
+        assert meta["rate_us"] == 150.0
+        assert meta["monitored"] is True
+        assert meta["slos"] == ["p99<=350us@5ms"]
+
+    def test_run_reconstructs_from_meta_alone(self, tmp_path):
+        meta, original = self.meta(tmp_path)
+        args = [
+            "serve-sim",
+            ",".join(meta["matrices"]),
+            meta["device"],
+            "--scale",
+            str(meta["scale"]),
+            "--requests",
+            str(meta["requests"]),
+            "--tenants",
+            str(meta["tenants"]),
+            "--seed",
+            str(meta["seed"]),
+            "--max-batch",
+            str(meta["max_batch"]),
+            "--max-wait-us",
+            str(meta["max_wait_s"] * 1e6),
+            "--queue-limit",
+            str(meta["queue_limit"]),
+            "--tenant-limit",
+            str(meta["tenant_limit"]),
+            "--gpus",
+            str(meta["gpus"]),
+            "--rate",
+            str(meta["rate_us"]),
+            "--burst",
+            str(meta["burst"]),
+            "--zipf-graph",
+            str(meta["zipf_graph"]),
+            "--zipf-node",
+            str(meta["zipf_node"]),
+            "--format",
+            meta["format"],
+            "--epsilon",
+            str(meta["epsilon"]),
+            "--restart",
+            str(meta["restart"]),
+            "--precision",
+            meta["precision"],
+            "--window-us",
+            str(meta["window_us"]),
+        ]
+        if meta["monitored"]:
+            args.append("--monitor")
+        for spec in meta["slos"]:
+            args += ["--slo", spec]
+        rebuilt = tmp_path / "rebuilt.jsonl"
+        assert main(args + ["--jsonl", str(rebuilt)]) == 0
+        assert rebuilt.read_bytes() == original.read_bytes()
